@@ -1,0 +1,96 @@
+// Table 1 of the paper: simulation runtime for the twelve packet-processing
+// programs, at each of the three optimization levels, with 50,000 PHVs from
+// the traffic generator per run ("Every RMT benchmark was executed by using
+// 50000 PHVs generated from the traffic generator", §5).
+//
+// Run with:
+//
+//	go test -bench BenchmarkTable1 -benchmem
+//
+// One benchmark iteration is one full 50,000-PHV simulation; the reported
+// ms/run metric corresponds to the milliseconds columns of Table 1. Absolute
+// numbers differ from the paper (Go interpreter vs. compiled Rust); the
+// comparisons that matter are across the three engines: SCC propagation
+// gives the large win, inlining is neutral, and the biggest improvements
+// appear on the largest grids (stateful firewall, flowlets, learn filter).
+package druzhba_test
+
+import (
+	"testing"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+// table1PHVs is the paper's workload size.
+const table1PHVs = 50000
+
+func benchPHVs(b *testing.B) int {
+	if testing.Short() {
+		return 2000
+	}
+	return table1PHVs
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, bm := range spec.All() {
+		bm := bm
+		for _, level := range core.Levels() {
+			level := level
+			b.Run(bm.Name+"/"+level.String(), func(b *testing.B) {
+				pipeline, err := bm.Pipeline(level)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := benchPHVs(b)
+				gen := sim.NewTrafficGen(1, pipeline.PHVLen(), pipeline.Bits(), bm.MaxInput)
+				trace := gen.Trace(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pipeline.ResetState()
+					if _, err := sim.Run(pipeline, trace); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				perRun := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+				b.ReportMetric(perRun, "ms/run")
+				b.ReportMetric(float64(n), "PHVs/run")
+			})
+		}
+	}
+}
+
+// BenchmarkEngines isolates the per-PHV cost of all four engines — the
+// paper's three plus the closure-compiled extension — on one representative
+// grid (4x5 pred_raw, the stateful-firewall configuration). The compiled
+// engine quantifies how much of the SCC-vs-inlining gap in BenchmarkTable1
+// is interpreter dispatch (see EXPERIMENTS.md).
+func BenchmarkEngines(b *testing.B) {
+	bm, err := spec.Lookup("stateful-firewall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, level := range core.AllLevels() {
+		level := level
+		b.Run(level.String(), func(b *testing.B) {
+			pipeline, err := bm.Pipeline(level)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := sim.NewTrafficGen(2, pipeline.PHVLen(), pipeline.Bits(), 0)
+			in := make([]*phv.PHV, 256)
+			for i := range in {
+				in[i] = gen.Next()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Process(in[i%len(in)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

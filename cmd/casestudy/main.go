@@ -1,0 +1,62 @@
+// casestudy reproduces §5.2 of the paper: a battery of small Domino packet
+// transactions is compiled to Druzhba machine code with the synthesis-based
+// compiler, every result is tested by fuzzing, and failures are classified —
+// machine code files missing the output-mux pairs, and machine code that
+// only satisfies a limited range of values because synthesis ran at a low
+// input bit width.
+//
+// Usage:
+//
+//	casestudy                 # full battery (~126 programs)
+//	casestudy -v              # with per-program outcomes
+//	casestudy -limit 20       # quicker pass over a prefix of the battery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"druzhba/internal/casestudy"
+	"druzhba/internal/cli"
+)
+
+func main() {
+	fs := flag.NewFlagSet("casestudy", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "base search seed")
+	limit := fs.Int("limit", 0, "run only the first N programs (0 = all)")
+	match := fs.String("match", "", "run only programs whose name contains this substring")
+	iters := fs.Int("iters", 150000, "per-program synthesis budget")
+	verifyBits := fs.Int("verify-bits", 0, "synthesis input bit width (0 = 10-bit default; limited-range cases always use 2)")
+	validateBits := fs.Int("validate-bits", 10, "validation input bit width")
+	workers := fs.Int("workers", 0, "parallel workers (0 = NumCPU)")
+	verbose := fs.Bool("v", false, "print per-program outcomes")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	cases := casestudy.Battery()
+	if *match != "" {
+		var filtered []*casestudy.Case
+		for _, c := range cases {
+			if strings.Contains(c.Name, *match) {
+				filtered = append(filtered, c)
+			}
+		}
+		cases = filtered
+	}
+	if *limit > 0 && *limit < len(cases) {
+		cases = cases[:*limit]
+	}
+	fmt.Fprintf(os.Stderr, "casestudy: synthesizing and testing %d programs...\n", len(cases))
+	summary, err := casestudy.Run(cases, casestudy.Options{
+		Seed:         *seed,
+		MaxIters:     *iters,
+		VerifyBits:   *verifyBits,
+		ValidateBits: *validateBits,
+		Workers:      *workers,
+	})
+	if err != nil {
+		cli.Fatalf("casestudy: %v", err)
+	}
+	fmt.Print(summary.Format(*verbose))
+}

@@ -1,0 +1,76 @@
+// dbench regenerates Table 1 of the paper: simulation runtime for the
+// twelve packet-processing programs at the three optimization levels
+// (unoptimized, SCC propagation, SCC + function inlining), each over 50,000
+// traffic-generator PHVs.
+//
+// Usage:
+//
+//	dbench                 # full table, 50000 PHVs per cell
+//	dbench -phvs 5000      # quicker pass
+//	dbench -program rcp    # single row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"druzhba/internal/cli"
+	"druzhba/internal/core"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dbench", flag.ExitOnError)
+	phvs := fs.Int("phvs", 50000, "PHVs per benchmark run (the paper uses 50000)")
+	program := fs.String("program", "", "run a single program (default: all twelve)")
+	seed := fs.Int64("seed", 1, "traffic generator seed")
+	repeats := fs.Int("repeats", 1, "repetitions per cell (minimum time reported)")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	benches := spec.All()
+	if *program != "" {
+		b, err := spec.Lookup(*program)
+		if err != nil {
+			cli.Fatalf("dbench: %v", err)
+		}
+		benches = []*spec.Benchmark{b}
+	}
+
+	fmt.Printf("Table 1: RMT runtimes with and without optimizations (%d PHVs per run)\n\n", *phvs)
+	fmt.Printf("%-20s %-16s %-12s %14s %14s %18s\n",
+		"Program", "Depth, width", "ALU name", "Unoptimized", "SCC prop.", "+ Func. inlining")
+	for _, bm := range benches {
+		times := make(map[core.OptLevel]time.Duration)
+		for _, level := range core.Levels() {
+			pipeline, err := bm.Pipeline(level)
+			if err != nil {
+				cli.Fatalf("dbench: %s/%s: %v", bm.Name, level, err)
+			}
+			gen := sim.NewTrafficGen(*seed, pipeline.PHVLen(), pipeline.Bits(), bm.MaxInput)
+			trace := gen.Trace(*phvs)
+			best := time.Duration(0)
+			for r := 0; r < *repeats; r++ {
+				pipeline.ResetState()
+				start := time.Now()
+				if _, err := sim.Run(pipeline, trace); err != nil {
+					cli.Fatalf("dbench: %s/%s: %v", bm.Name, level, err)
+				}
+				elapsed := time.Since(start)
+				if best == 0 || elapsed < best {
+					best = elapsed
+				}
+			}
+			times[level] = best
+		}
+		fmt.Printf("%-20s %-16s %-12s %11d ms %11d ms %15d ms\n",
+			bm.Name,
+			fmt.Sprintf("%d,%d", bm.Depth, bm.Width),
+			bm.Atom,
+			times[core.Unoptimized].Milliseconds(),
+			times[core.SCCPropagation].Milliseconds(),
+			times[core.SCCInlining].Milliseconds())
+	}
+}

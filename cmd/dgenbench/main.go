@@ -1,0 +1,185 @@
+// dgenbench measures compiled pipeline descriptions: for a Table-1
+// benchmark it emits the dgen-generated Go source at the SCC and
+// SCC+inlining levels, compiles each into a standalone simulator binary
+// with the Go toolchain, runs both over the same 50,000-PHV workload, and
+// reports the runtimes.
+//
+// This is the ablation behind the paper's §3.4 observation that, once the
+// pipeline description is compiled ("due to the aggressiveness of the Rust
+// compiler optimizations"), function inlining adds no significant runtime
+// improvement over SCC propagation — the compiler inlines the trivial
+// helpers itself. The in-process interpreter (cmd/dbench) cannot show this
+// because it pays per-node dispatch; the compiled path can.
+//
+// Usage:
+//
+//	dgenbench -program stateful-firewall -phvs 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"druzhba/internal/cli"
+	"druzhba/internal/codegen"
+	"druzhba/internal/core"
+	"druzhba/internal/spec"
+)
+
+const driverTemplate = `package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"gen/pipeline"
+)
+
+func main() {
+	n, _ := strconv.Atoi(os.Args[1])
+	seed := int64(1)
+	// xorshift PRNG so the workload is identical across binaries.
+	next := func() int64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		v := seed & MAXMASK
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	phvs := make([][]int64, n)
+	for i := range phvs {
+		p := make([]int64, PHVLEN)
+		for c := range p {
+			p[c] = next()
+		}
+		phvs[i] = p
+	}
+	pipeline.Reset()
+	start := time.Now()
+	var sink int64
+	for _, p := range phvs {
+		out := pipeline.Execute(p)
+		sink += out[0]
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d %d\n", elapsed.Milliseconds(), sink)
+}
+`
+
+func main() {
+	fs := flag.NewFlagSet("dgenbench", flag.ExitOnError)
+	program := fs.String("program", "stateful-firewall", "Table 1 benchmark name")
+	phvs := fs.Int("phvs", 50000, "PHVs per run")
+	repeats := fs.Int("repeats", 3, "runs per binary (minimum reported)")
+	keep := fs.Bool("keep", false, "keep the generated workspace")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	bm, err := spec.Lookup(*program)
+	if err != nil {
+		cli.Fatalf("dgenbench: %v", err)
+	}
+	hw, err := bm.Spec()
+	if err != nil {
+		cli.Fatalf("dgenbench: %v", err)
+	}
+	code, err := bm.MachineCode()
+	if err != nil {
+		cli.Fatalf("dgenbench: %v", err)
+	}
+
+	dir, err := os.MkdirTemp("", "dgenbench")
+	if err != nil {
+		cli.Fatalf("dgenbench: %v", err)
+	}
+	if *keep {
+		fmt.Fprintf(os.Stderr, "dgenbench: workspace %s\n", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	phvLen := hw.PHVLen
+	if phvLen == 0 {
+		phvLen = hw.Width
+	}
+	maxMask := int64(1)<<62 - 1
+	if bm.MaxInput > 0 {
+		// Round the bound down to a mask so the driver stays branch-free.
+		m := int64(1)
+		for m<<1 <= bm.MaxInput {
+			m <<= 1
+		}
+		maxMask = m - 1
+	}
+
+	results := map[core.OptLevel]time.Duration{}
+	var outputs []string
+	for _, level := range []core.OptLevel{core.SCCPropagation, core.SCCInlining} {
+		src, err := codegen.Generate(hw, code, codegen.Options{Level: level, Package: "pipeline"})
+		if err != nil {
+			cli.Fatalf("dgenbench: %v", err)
+		}
+		work := filepath.Join(dir, strings.ReplaceAll(level.String(), "+", "_"))
+		if err := os.MkdirAll(filepath.Join(work, "pipeline"), 0o755); err != nil {
+			cli.Fatalf("dgenbench: %v", err)
+		}
+		files := map[string]string{
+			"go.mod":               "module gen\n\ngo 1.22\n",
+			"pipeline/pipeline.go": src,
+			"main.go": strings.NewReplacer(
+				"PHVLEN", strconv.Itoa(phvLen),
+				"MAXMASK", strconv.FormatInt(maxMask, 10),
+			).Replace(driverTemplate),
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(work, name), []byte(content), 0o644); err != nil {
+				cli.Fatalf("dgenbench: %v", err)
+			}
+		}
+		bin := filepath.Join(work, "simbin")
+		build := exec.Command("go", "build", "-o", bin, ".")
+		build.Dir = work
+		if out, err := build.CombinedOutput(); err != nil {
+			cli.Fatalf("dgenbench: compiling %s: %v\n%s", level, err, out)
+		}
+		best := time.Duration(0)
+		var lastOut string
+		for r := 0; r < *repeats; r++ {
+			run := exec.Command(bin, strconv.Itoa(*phvs))
+			out, err := run.Output()
+			if err != nil {
+				cli.Fatalf("dgenbench: running %s: %v", level, err)
+			}
+			fields := strings.Fields(string(out))
+			ms, err := strconv.Atoi(fields[0])
+			if err != nil {
+				cli.Fatalf("dgenbench: bad output %q", out)
+			}
+			lastOut = fields[1]
+			if d := time.Duration(ms) * time.Millisecond; best == 0 || d < best {
+				best = d
+			}
+		}
+		results[level] = best
+		outputs = append(outputs, lastOut)
+		fmt.Printf("%-12s compiled pipeline: %4d ms for %d PHVs (checksum %s)\n",
+			level.String()+":", best.Milliseconds(), *phvs, lastOut)
+	}
+	if len(outputs) == 2 && outputs[0] != outputs[1] {
+		cli.Fatalf("dgenbench: v2 and v3 binaries disagree (checksums %s vs %s)", outputs[0], outputs[1])
+	}
+	v2, v3 := results[core.SCCPropagation], results[core.SCCInlining]
+	if v3 > 0 {
+		fmt.Printf("inlining speedup over SCC in compiled code: %.2fx\n", float64(v2)/float64(v3))
+	}
+}

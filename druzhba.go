@@ -1,0 +1,252 @@
+// Package druzhba is a programmable switch simulator for testing compilers
+// that target high speed programmable packet-processing substrates, a Go
+// reproduction of "Testing Compilers for Programmable Switches Through
+// Switch Hardware Simulation" (Wong, Varma, Sivaraman, 2020).
+//
+// Druzhba models the low-level hardware primitives of an RMT-style switch
+// pipeline — PHV containers, input multiplexers, stateless and stateful
+// ALUs expressed in an ALU DSL, and output multiplexers — and executes
+// machine code programs (name -> integer pairs) against that model. A
+// compiler targeting the instruction set is tested by fuzzing: random PHVs
+// flow through both the simulated pipeline and a high-level specification,
+// and the output traces are compared (Fig. 5 of the paper).
+//
+// The package is a thin facade over the internal packages:
+//
+//	internal/aludsl       the ALU DSL (Fig. 3/4)
+//	internal/atoms        the Banzai atom library (6 stateful + 5 stateless)
+//	internal/machinecode  machine code pairs and the naming convention
+//	internal/core         the RMT machine model and its three engines
+//	internal/opt          SCC propagation and function inlining (Fig. 6)
+//	internal/codegen      dgen's Go source emission
+//	internal/sim          dsim: tick simulation, traffic gen, fuzzing
+//	internal/domino       the mini-Domino frontend (specs)
+//	internal/spec         the 12 Table-1 benchmark programs
+//	internal/synth        the Chipmunk-substitute synthesis compiler
+//	internal/p4 + drmt    the dRMT model (§4)
+//
+// # Quick start
+//
+//	spec := druzhba.Config{Depth: 2, Width: 1, StatefulAtom: "if_else_raw"}
+//	pipe, err := druzhba.BuildPipeline(spec, code, druzhba.SCCInlining)
+//	report, err := druzhba.FuzzPipeline(pipe, mySpec, 42, 50000, 0, nil)
+package druzhba
+
+import (
+	"fmt"
+	"io"
+
+	"druzhba/internal/atoms"
+	"druzhba/internal/codegen"
+	"druzhba/internal/core"
+	"druzhba/internal/domino"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
+	"druzhba/internal/sim"
+	"druzhba/internal/synth"
+	"druzhba/internal/verify"
+)
+
+// OptLevel re-exports the pipeline-generation optimization levels.
+type OptLevel = core.OptLevel
+
+// Optimization levels (Fig. 6 of the paper).
+const (
+	Unoptimized    = core.Unoptimized
+	SCCPropagation = core.SCCPropagation
+	SCCInlining    = core.SCCInlining
+)
+
+// Pipeline is an executable pipeline description.
+type Pipeline = core.Pipeline
+
+// MachineCode is a machine code program: ordered name -> value pairs.
+type MachineCode = machinecode.Program
+
+// FuzzReport is the outcome of a fuzzing session.
+type FuzzReport = sim.FuzzReport
+
+// Spec is a high-level specification consumed by the fuzzer.
+type Spec = sim.Spec
+
+// Config describes the simulated hardware: pipeline dimensions and the
+// names of the ALU DSL atoms instantiated in every stage.
+type Config struct {
+	Depth int // pipeline stages
+	Width int // ALUs of each kind per stage
+
+	// PHVLen is the number of PHV containers (0 = Width).
+	PHVLen int
+
+	// Bits is the datapath bit width (0 = 32).
+	Bits int
+
+	// StatefulAtom names the stateful ALU from the atom library
+	// (empty = no stateful ALUs). See AtomNames.
+	StatefulAtom string
+
+	// StatelessAtom names the stateless ALU (empty = "stateless_full").
+	StatelessAtom string
+}
+
+// coreSpec lowers a Config to the internal representation.
+func (c Config) coreSpec() (core.Spec, error) {
+	s := core.Spec{Depth: c.Depth, Width: c.Width, PHVLen: c.PHVLen}
+	if c.Bits != 0 {
+		w, err := phv.NewWidth(c.Bits)
+		if err != nil {
+			return s, err
+		}
+		s.Bits = w
+	}
+	statelessName := c.StatelessAtom
+	if statelessName == "" {
+		statelessName = "stateless_full"
+	}
+	stateless, err := atoms.Load(statelessName)
+	if err != nil {
+		return s, err
+	}
+	s.StatelessALU = stateless
+	if c.StatefulAtom != "" {
+		stateful, err := atoms.Load(c.StatefulAtom)
+		if err != nil {
+			return s, err
+		}
+		s.StatefulALU = stateful
+	}
+	return s, nil
+}
+
+// AtomNames lists the ALU atoms available to Config, sorted.
+func AtomNames() []string { return atoms.Names() }
+
+// ParseMachineCode reads a machine code file ("name = value" lines).
+func ParseMachineCode(r io.Reader) (*MachineCode, error) {
+	return machinecode.Parse(r)
+}
+
+// NewMachineCode returns an empty machine code program.
+func NewMachineCode() *MachineCode { return machinecode.New() }
+
+// BuildPipeline compiles a hardware config and machine code into an
+// executable pipeline at the given optimization level (dgen, §3.1-3.2).
+func BuildPipeline(cfg Config, code *MachineCode, level OptLevel) (*Pipeline, error) {
+	s, err := cfg.coreSpec()
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(s, code, level)
+}
+
+// RequiredPairs lists every machine code pair the config's pipeline needs,
+// with its valid value count (0 = unbounded immediate).
+func RequiredPairs(cfg Config) ([]core.HoleSpec, error) {
+	s, err := cfg.coreSpec()
+	if err != nil {
+		return nil, err
+	}
+	return s.RequiredPairs()
+}
+
+// ValidateMachineCode reports every missing or out-of-range pair.
+func ValidateMachineCode(cfg Config, code *MachineCode) ([]error, error) {
+	s, err := cfg.coreSpec()
+	if err != nil {
+		return nil, err
+	}
+	return s.Validate(code), nil
+}
+
+// GeneratePipelineSource emits the pipeline description as Go source text
+// (dgen's output; Fig. 6 shows the three shapes).
+func GeneratePipelineSource(cfg Config, code *MachineCode, level OptLevel, pkg string) (string, error) {
+	s, err := cfg.coreSpec()
+	if err != nil {
+		return "", err
+	}
+	return codegen.Generate(s, code, codegen.Options{Level: level, Package: pkg})
+}
+
+// Simulate runs n random PHVs (from a seeded traffic generator bounded by
+// maxValue; 0 = full range) through the pipeline and returns the simulation
+// result with input and output traces (dsim, §3.3).
+func Simulate(p *Pipeline, seed int64, n int, maxValue int64) (*sim.Result, error) {
+	gen := sim.NewTrafficGen(seed, p.PHVLen(), p.Bits(), maxValue)
+	return sim.Run(p, gen.Trace(n))
+}
+
+// ParseDominoSpec parses a mini-Domino program and binds its packet fields
+// to PHV containers, yielding a specification for fuzzing.
+func ParseDominoSpec(src string, fields map[string]int, bits int) (Spec, error) {
+	prog, err := domino.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	w := phv.Default32
+	if bits != 0 {
+		w, err = phv.NewWidth(bits)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return domino.NewPHVSpec(prog, domino.FieldMap(fields), w)
+}
+
+// FuzzPipeline runs the Fig. 5 compiler-testing workflow: n random PHVs
+// through the pipeline and the specification, comparing outputs on the
+// given containers (nil = all).
+func FuzzPipeline(p *Pipeline, spec Spec, seed int64, n int, maxValue int64, containers []int) (*FuzzReport, error) {
+	return sim.FuzzRandom(p, spec, seed, n, maxValue, sim.FuzzOptions{Containers: containers})
+}
+
+// SynthesizeOptions configures Synthesize.
+type SynthesizeOptions = synth.Options
+
+// SynthesizeResult is the outcome of a synthesis run.
+type SynthesizeResult = synth.Result
+
+// Synthesize searches for machine code implementing the specification on
+// the configured hardware (the Chipmunk-substitute compiler of §5.2).
+func Synthesize(cfg Config, target Spec, opts SynthesizeOptions) (*SynthesizeResult, error) {
+	s, err := cfg.coreSpec()
+	if err != nil {
+		return nil, err
+	}
+	return synth.Synthesize(s, target, opts)
+}
+
+// VerifyOptions configures Prove (bit width, unrolled transactions, input
+// constraints, solver budget).
+type VerifyOptions = verify.Options
+
+// VerifyResult is the outcome of an equivalence proof: either a proof that
+// the machine code matches the specification for every input of the
+// verification width, or a concrete counterexample trace.
+type VerifyResult = verify.Result
+
+// Prove formally verifies machine code against a mini-Domino specification
+// (the §7 direction: "transformed into SMT formulas so that equivalence
+// can be formally proven"). Where FuzzPipeline samples random inputs,
+// Prove covers every input of the verification bit width exhaustively via
+// an internal SAT solver, and returns a counterexample input trace when
+// the machine code is wrong.
+func Prove(cfg Config, code *MachineCode, dominoSrc string, fields map[string]int, opts VerifyOptions) (*VerifyResult, error) {
+	s, err := cfg.coreSpec()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := domino.Parse(dominoSrc)
+	if err != nil {
+		return nil, err
+	}
+	return verify.Equivalence(s, code, prog, domino.FieldMap(fields), opts)
+}
+
+// Version identifies the library.
+const Version = "1.0.0"
+
+// String renders a Config for logs.
+func (c Config) String() string {
+	return fmt.Sprintf("pipeline %dx%d (phv=%d, stateful=%s)", c.Depth, c.Width, c.PHVLen, c.StatefulAtom)
+}

@@ -1,0 +1,53 @@
+// Debugger demonstrates §7's time-travel debugging direction: a sampling
+// pipeline is simulated with full history recording, a scripted session
+// rewinds and fast-forwards through the ticks, watches the counter state
+// evolve, and uses a state breakpoint to find the first sampled packet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"druzhba/internal/core"
+	"druzhba/internal/debug"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+func main() {
+	bench, err := spec.Lookup("sampling")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := bench.Pipeline(core.SCCInlining)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := sim.NewTrafficGen(1, pipeline.PHVLen(), pipeline.Bits(), 100)
+	session, err := debug.NewSession(pipeline, gen.Trace(25))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the REPL with a script; ddbg runs the same loop interactively.
+	script := strings.Join([]string{
+		"state",  // counter after tick 0
+		"goto 9", // travel forward
+		"state",  // counter mid-run
+		"back",   // rewind one tick (bi-directional travel)
+		"state",
+		"watch 0 0 0",   // the counter across all ticks
+		"goto 0",        //
+		"break 0 0 0 0", // first tick where the counter wrapped to 0
+		"slots",         // pipeline occupancy at the breakpoint
+		"phv 9",         // the sampled packet
+		"quit",
+	}, "\n")
+	fmt.Println("scripted time-travel session over the sampling pipeline:")
+	fmt.Println()
+	if err := debug.REPL(session, strings.NewReader(script), os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// The verification example walks the §7 future-work direction end to end:
+// formally proving compiler-generated machine code equivalent to its
+// high-level specification, instead of (only) fuzzing it.
+//
+// It builds the same flowlet-sampling pipeline the quickstart fuzzes, then:
+//
+//  1. proves the correct machine code equivalent to the Domino spec for
+//     every 5-bit input over 3 consecutive transactions;
+//  2. plants a compiler bug (the wrong relational opcode) and shows the
+//     verifier return a concrete counterexample input trace;
+//  3. reproduces the paper's §5.2 failure class — machine code valid only
+//     for a limited range of inputs — which fuzzing at small values would
+//     miss but the verifier finds instantly at 10 bits, and shows how an
+//     input constraint (§7's "PHV and state value constraints") turns the
+//     same code provably correct on its intended domain.
+//
+// Run with: go run ./examples/verification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"druzhba"
+)
+
+const samplingSpec = `
+state count = 0;
+
+transaction {
+    if (count == 9) {
+        count = 0;
+        pkt.sample = 1;
+    } else {
+        count = count + 1;
+        pkt.sample = 0;
+    }
+}
+`
+
+func main() {
+	cfg := druzhba.Config{Depth: 2, Width: 1, StatefulAtom: "if_else_raw"}
+	fields := map[string]int{"sample": 0}
+
+	// The hand-mapped machine code for the sampling transaction — the
+	// artifact a compiler targeting Druzhba's instruction set emits.
+	code := samplingMachineCode(cfg)
+
+	// 1. Prove the mapping correct: every 5-bit input, 3 transactions.
+	res, err := druzhba.Prove(cfg, code, samplingSpec, fields, druzhba.VerifyOptions{
+		Bits: 5, Steps: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correct machine code: ", res)
+
+	// 2. Plant a compiler bug: rel_op != instead of ==. Fuzzing finds
+	// this quickly too, but the verifier both finds it and would have
+	// proven its absence.
+	buggy := code.Clone()
+	buggy.Set("pipeline_stage_0_stateful_alu_0_rel_op_0", 1)
+	res, err = druzhba.Prove(cfg, buggy, samplingSpec, fields, druzhba.VerifyOptions{
+		Bits: 5, Steps: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("planted rel_op bug:   ", res)
+
+	// 3. The §5.2 failure class: machine code correct only for a limited
+	// input range. The spec is the identity on pkt.a; the machine code
+	// computes pkt.a && pkt.a, which equals pkt.a only on {0,1} — the
+	// artifact of a synthesizer that verified at 1-bit width.
+	idCfg := druzhba.Config{Depth: 1, Width: 1}
+	idCode := identityAndCode(idCfg)
+	idSpec := `transaction { pkt.a = pkt.a; }`
+	idFields := map[string]int{"a": 0}
+
+	res, err = druzhba.Prove(idCfg, idCode, idSpec, idFields, druzhba.VerifyOptions{
+		Bits: 1, Steps: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("range-limited @1 bit: ", res)
+
+	res, err = druzhba.Prove(idCfg, idCode, idSpec, idFields, druzhba.VerifyOptions{
+		Bits: 10, Steps: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("range-limited @10 bit:", res)
+
+	// §7's "PHV and state value constraints": on its intended domain the
+	// code is provably correct even at 10 bits.
+	res, err = druzhba.Prove(idCfg, idCode, idSpec, idFields, druzhba.VerifyOptions{
+		Bits: 10, Steps: 2, MaxInput: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("with input constraint:", res)
+}
+
+// samplingMachineCode maps the sampling transaction onto a 2x1 pipeline of
+// if_else_raw atoms: stage 0 implements the wrap-around counter, stage 1
+// converts "counter wrapped" into the 0/1 sample flag.
+func samplingMachineCode(cfg druzhba.Config) *druzhba.MachineCode {
+	code := defaultPairs(cfg)
+	set := func(name string, v int64) { code.Set(name, v) }
+	// Stage 0 stateful ALU: if (count == 9) count = 0 else count = count+1.
+	set("pipeline_stage_0_stateful_alu_0_rel_op_0", 0) // ==
+	set("pipeline_stage_0_stateful_alu_0_opt_0", 0)    // pass state
+	set("pipeline_stage_0_stateful_alu_0_mux3_0", 2)   // compare against C()
+	set("pipeline_stage_0_stateful_alu_0_const_0", 9)
+	set("pipeline_stage_0_stateful_alu_0_opt_1", 1)  // then: 0 + ...
+	set("pipeline_stage_0_stateful_alu_0_mux3_1", 2) // ... C()
+	set("pipeline_stage_0_stateful_alu_0_const_1", 0)
+	set("pipeline_stage_0_stateful_alu_0_opt_2", 0)  // else: count + ...
+	set("pipeline_stage_0_stateful_alu_0_mux3_2", 2) // ... C()
+	set("pipeline_stage_0_stateful_alu_0_const_2", 1)
+	set("pipeline_stage_0_output_mux_phv_0", 2) // container 0 <- stateful out
+	// Stage 1 stateless ALU: sample = (counter_out == 0).
+	set("pipeline_stage_1_stateless_alu_0_alu_op_0", 5) // Eq
+	set("pipeline_stage_1_stateless_alu_0_mux3_0", 0)   // operand A = pkt
+	set("pipeline_stage_1_stateless_alu_0_mux3_1", 2)   // operand B = C()
+	set("pipeline_stage_1_stateless_alu_0_const_1", 0)
+	set("pipeline_stage_1_output_mux_phv_0", 1) // container 0 <- stateless out
+	return code
+}
+
+// identityAndCode programs a 1x1 stateless pipeline to compute
+// pkt.a && pkt.a.
+func identityAndCode(cfg druzhba.Config) *druzhba.MachineCode {
+	code := defaultPairs(cfg)
+	code.Set("pipeline_stage_0_stateless_alu_0_alu_op_0", 11) // logical and
+	code.Set("pipeline_stage_0_output_mux_phv_0", 1)          // stateless out
+	return code
+}
+
+// defaultPairs fills every required machine code pair with 0 (operand
+// muxes select container 0, output muxes pass through).
+func defaultPairs(cfg druzhba.Config) *druzhba.MachineCode {
+	req, err := druzhba.RequiredPairs(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	code := druzhba.NewMachineCode()
+	for _, h := range req {
+		code.Set(h.Name, 0)
+	}
+	return code
+}

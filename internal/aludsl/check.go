@@ -1,0 +1,173 @@
+package aludsl
+
+import (
+	"fmt"
+)
+
+// A CheckError reports a semantic error in an ALU program.
+type CheckError struct {
+	Msg string
+}
+
+func (e *CheckError) Error() string { return "aludsl: " + e.Msg }
+
+func checkErrorf(format string, args ...any) error {
+	return &CheckError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Resolve binds every identifier in the program to its declaration, collects
+// the program's holes in source order, and validates:
+//
+//   - identifiers must be declared state variables, packet fields or hole
+//     variables;
+//   - stateless ALUs must not declare or reference state variables;
+//   - assignments may target only state variables;
+//   - hole variables are read-only.
+//
+// Parse calls Resolve automatically; it is exported for programs constructed
+// or transformed programmatically.
+func Resolve(p *Program) error {
+	if p.Kind == Stateless && len(p.StateVars) > 0 {
+		return checkErrorf("stateless ALU %q declares state variables", p.Name)
+	}
+	states := indexOf(p.StateVars)
+	fields := indexOf(p.PacketFields)
+	holes := indexOf(p.HoleVars)
+	for name := range fields {
+		if _, dup := states[name]; dup {
+			return checkErrorf("%q declared as both state variable and packet field", name)
+		}
+	}
+	for name := range holes {
+		if _, dup := states[name]; dup {
+			return checkErrorf("%q declared as both state variable and hole variable", name)
+		}
+		if _, dup := fields[name]; dup {
+			return checkErrorf("%q declared as both packet field and hole variable", name)
+		}
+	}
+
+	p.Holes = nil
+	seenHoles := map[string]bool{}
+	var resolveExpr func(e Expr) error
+	resolveExpr = func(e Expr) error {
+		switch e := e.(type) {
+		case *Num:
+			return nil
+		case *Ident:
+			if i, ok := states[e.Name]; ok {
+				e.Class, e.Index = VarState, i
+				return nil
+			}
+			if i, ok := fields[e.Name]; ok {
+				e.Class, e.Index = VarField, i
+				return nil
+			}
+			if _, ok := holes[e.Name]; ok {
+				e.Class = VarHole
+				if !seenHoles[e.Name] {
+					seenHoles[e.Name] = true
+					p.Holes = append(p.Holes, Hole{Name: e.Name, Builtin: BuiltinC, Domain: 0, IsVar: true})
+				}
+				return nil
+			}
+			if e.Class == VarParam {
+				return nil // synthetic node from optimization passes
+			}
+			return checkErrorf("undeclared identifier %q", e.Name)
+		case *Unary:
+			return resolveExpr(e.X)
+		case *Binary:
+			if err := resolveExpr(e.X); err != nil {
+				return err
+			}
+			return resolveExpr(e.Y)
+		case *HoleCall:
+			if seenHoles[e.Hole] {
+				return checkErrorf("duplicate hole name %q", e.Hole)
+			}
+			seenHoles[e.Hole] = true
+			p.Holes = append(p.Holes, Hole{
+				Name:    e.Hole,
+				Builtin: e.Builtin,
+				Domain:  builtinDomain(e.Builtin),
+			})
+			for _, a := range e.Args {
+				if err := resolveExpr(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *Call:
+			for _, a := range e.Args {
+				if err := resolveExpr(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return checkErrorf("unknown expression node %T", e)
+		}
+	}
+
+	var resolveStmts func(stmts []Stmt) error
+	resolveStmts = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Assign:
+				i, ok := states[s.LHS.Name]
+				if !ok {
+					if _, isField := fields[s.LHS.Name]; isField {
+						return checkErrorf("cannot assign to packet field %q (ALUs write PHVs via output muxes)", s.LHS.Name)
+					}
+					return checkErrorf("cannot assign to %q: not a state variable", s.LHS.Name)
+				}
+				s.LHS.Class, s.LHS.Index = VarState, i
+				if err := resolveExpr(s.RHS); err != nil {
+					return err
+				}
+			case *Return:
+				if err := resolveExpr(s.Value); err != nil {
+					return err
+				}
+			case *If:
+				if err := resolveExpr(s.Cond); err != nil {
+					return err
+				}
+				if err := resolveStmts(s.Then); err != nil {
+					return err
+				}
+				if s.Else != nil {
+					if err := resolveStmts(s.Else); err != nil {
+						return err
+					}
+				}
+			default:
+				return checkErrorf("unknown statement node %T", s)
+			}
+		}
+		return nil
+	}
+	return resolveStmts(p.Body)
+}
+
+func indexOf(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		m[n] = i
+	}
+	return m
+}
+
+func builtinDomain(k BuiltinKind) int {
+	for _, info := range builtins {
+		if builtinKinds[info.name] == k {
+			return info.domain
+		}
+	}
+	return 0
+}
+
+// BuiltinDomain reports the number of valid machine code values for a
+// builtin kind (0 means unbounded, i.e. an immediate constant).
+func BuiltinDomain(k BuiltinKind) int { return builtinDomain(k) }

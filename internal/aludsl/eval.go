@@ -1,0 +1,327 @@
+package aludsl
+
+import (
+	"fmt"
+
+	"druzhba/internal/phv"
+)
+
+// EvalError reports a failure during ALU execution, e.g. a machine code pair
+// that is missing at runtime (one of the two §5.2 failure classes).
+type EvalError struct {
+	ALU string
+	Msg string
+}
+
+func (e *EvalError) Error() string {
+	if e.ALU == "" {
+		return "aludsl: " + e.Msg
+	}
+	return fmt.Sprintf("aludsl: %s: %s", e.ALU, e.Msg)
+}
+
+// HoleLookup resolves a hole name to its machine code value. The second
+// result reports whether the pair exists.
+type HoleLookup func(name string) (int64, bool)
+
+// MapLookup adapts a plain map to a HoleLookup.
+func MapLookup(m map[string]int64) HoleLookup {
+	return func(name string) (int64, bool) {
+		v, ok := m[name]
+		return v, ok
+	}
+}
+
+// Env is the mutable evaluation context for one ALU execution.
+type Env struct {
+	Width    phv.Width
+	Operands []phv.Value // input-mux-selected PHV container values
+	State    []phv.Value // the ALU's persistent state vector (mutated in place)
+	Holes    HoleLookup  // nil once optimization removed all hole references
+	aluName  string      // for error messages
+
+	// Helper-call frames live in a reusable arena so a call costs argument
+	// evaluation plus bookkeeping, not an allocation; the arena's capacity
+	// is retained across executions.
+	arena     []phv.Value
+	frameBase int
+}
+
+type evalPanic struct{ err *EvalError }
+
+func (e *Env) failf(format string, args ...any) phv.Value {
+	panic(evalPanic{&EvalError{ALU: e.aluName, Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (e *Env) holeValue(name string) phv.Value {
+	if e.Holes == nil {
+		return e.failf("hole %q referenced but no machine code supplied", name)
+	}
+	v, ok := e.Holes(name)
+	if !ok {
+		return e.failf("missing machine code pair for %q", name)
+	}
+	return v
+}
+
+// Run executes the program body in the environment and returns the ALU
+// output value. State mutations are applied to env.State in place.
+func Run(p *Program, env *Env) (out phv.Value, err error) {
+	env.aluName = p.Name
+	defer func() {
+		if r := recover(); r != nil {
+			if ep, ok := r.(evalPanic); ok {
+				err = ep.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	v, returned := execStmts(p.Body, env)
+	if returned {
+		return v, nil
+	}
+	// Implicit output: post-update state_0 for stateful ALUs, 0 otherwise.
+	if p.Kind == Stateful && len(env.State) > 0 {
+		return env.State[0], nil
+	}
+	return 0, nil
+}
+
+// execStmts executes statements; the bool result reports whether a Return
+// was executed.
+func execStmts(stmts []Stmt, env *Env) (phv.Value, bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			env.State[s.LHS.Index] = evalExpr(s.RHS, env)
+		case *Return:
+			return evalExpr(s.Value, env), true
+		case *If:
+			if phv.Truthy(evalExpr(s.Cond, env)) {
+				if v, ret := execStmts(s.Then, env); ret {
+					return v, true
+				}
+			} else if s.Else != nil {
+				if v, ret := execStmts(s.Else, env); ret {
+					return v, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func evalExpr(e Expr, env *Env) phv.Value {
+	switch e := e.(type) {
+	case *Num:
+		return env.Width.Trunc(e.Value)
+	case *Ident:
+		switch e.Class {
+		case VarState:
+			return env.State[e.Index]
+		case VarField:
+			if e.Index >= len(env.Operands) {
+				return env.failf("operand %d out of range (%d operands)", e.Index, len(env.Operands))
+			}
+			return env.Operands[e.Index]
+		case VarHole:
+			return env.Width.Trunc(env.holeValue(e.Name))
+		case VarParam:
+			return env.arena[env.frameBase+e.Index]
+		default:
+			return env.failf("unresolved identifier %q", e.Name)
+		}
+	case *Unary:
+		x := evalExpr(e.X, env)
+		switch e.Op {
+		case OpNeg:
+			return env.Width.Trunc(-x)
+		case OpNot:
+			return phv.Bool(x == 0)
+		}
+		return env.failf("unknown unary op %v", e.Op)
+	case *Binary:
+		// Short-circuit logical operators.
+		switch e.Op {
+		case OpAnd:
+			if !phv.Truthy(evalExpr(e.X, env)) {
+				return 0
+			}
+			return phv.Bool(phv.Truthy(evalExpr(e.Y, env)))
+		case OpOr:
+			if phv.Truthy(evalExpr(e.X, env)) {
+				return 1
+			}
+			return phv.Bool(phv.Truthy(evalExpr(e.Y, env)))
+		}
+		x := evalExpr(e.X, env)
+		y := evalExpr(e.Y, env)
+		return applyBinOp(env.Width, e.Op, x, y)
+	case *HoleCall:
+		return evalHoleCall(e, env)
+	case *Call:
+		base := len(env.arena)
+		for _, a := range e.Args {
+			env.arena = append(env.arena, evalExpr(a, env))
+		}
+		savedBase := env.frameBase
+		env.frameBase = base
+		v := evalExpr(e.Func.Body, env)
+		env.frameBase = savedBase
+		env.arena = env.arena[:base]
+		return v
+	default:
+		return env.failf("unknown expression node %T", e)
+	}
+}
+
+func applyBinOp(w phv.Width, op BinOp, x, y phv.Value) phv.Value {
+	switch op {
+	case OpAdd:
+		return w.Add(x, y)
+	case OpSub:
+		return w.Sub(x, y)
+	case OpMul:
+		return w.Mul(x, y)
+	case OpDiv:
+		return w.Div(x, y)
+	case OpMod:
+		return w.Mod(x, y)
+	case OpEq:
+		return phv.Bool(x == y)
+	case OpNeq:
+		return phv.Bool(x != y)
+	case OpLt:
+		return phv.Bool(x < y)
+	case OpGt:
+		return phv.Bool(x > y)
+	case OpLe:
+		return phv.Bool(x <= y)
+	case OpGe:
+		return phv.Bool(x >= y)
+	case OpAnd:
+		return phv.Bool(phv.Truthy(x) && phv.Truthy(y))
+	case OpOr:
+		return phv.Bool(phv.Truthy(x) || phv.Truthy(y))
+	}
+	panic(fmt.Sprintf("aludsl: applyBinOp: unknown op %v", op))
+}
+
+// evalHoleCall implements the unoptimized (version 1, Fig. 6) semantics: the
+// machine code value is looked up in the hole table and the behaviour is
+// selected by branching on it at every execution.
+func evalHoleCall(e *HoleCall, env *Env) phv.Value {
+	mc := env.holeValue(e.Hole)
+	switch e.Builtin {
+	case BuiltinC:
+		return env.Width.Trunc(mc)
+	case BuiltinOpt:
+		// Opt is a 2-to-1 mux that returns its argument or 0 (Fig. 4).
+		x := evalExpr(e.Args[0], env)
+		if mc == 0 {
+			return x
+		}
+		return 0
+	case BuiltinMux2, BuiltinMux3, BuiltinMux4, BuiltinMux5:
+		// Like a generated helper function, a mux evaluates all of its
+		// operands and forwards the selected one.
+		base := len(env.arena)
+		for _, a := range e.Args {
+			env.arena = append(env.arena, evalExpr(a, env))
+		}
+		if mc < 0 || int(mc) >= len(e.Args) {
+			env.arena = env.arena[:base]
+			return env.failf("mux selector %d out of range for %q (%d inputs)", mc, e.Hole, len(e.Args))
+		}
+		v := env.arena[base+int(mc)]
+		env.arena = env.arena[:base]
+		return v
+	case BuiltinRelOp:
+		x := evalExpr(e.Args[0], env)
+		y := evalExpr(e.Args[1], env)
+		switch mc {
+		case RelEq:
+			return phv.Bool(x == y)
+		case RelNe:
+			return phv.Bool(x != y)
+		case RelGe:
+			return phv.Bool(x >= y)
+		case RelLe:
+			return phv.Bool(x <= y)
+		default:
+			return env.failf("rel_op opcode %d out of range for %q", mc, e.Hole)
+		}
+	case BuiltinArithOp:
+		x := evalExpr(e.Args[0], env)
+		y := evalExpr(e.Args[1], env)
+		switch mc {
+		case ArithAdd:
+			return env.Width.Add(x, y)
+		case ArithSub:
+			return env.Width.Sub(x, y)
+		default:
+			return env.failf("arith_op opcode %d out of range for %q", mc, e.Hole)
+		}
+	case BuiltinALUOp:
+		x := evalExpr(e.Args[0], env)
+		y := evalExpr(e.Args[1], env)
+		op, ok := aluOpBinOp(mc)
+		if !ok {
+			switch mc {
+			case ALUOpPassA:
+				return x
+			case ALUOpPassB:
+				return y
+			}
+			return env.failf("alu_op opcode %d out of range for %q", mc, e.Hole)
+		}
+		return applyBinOp(env.Width, op, x, y)
+	default:
+		return env.failf("unknown builtin %d", e.Builtin)
+	}
+}
+
+// aluOpBinOp maps an alu_op opcode to a BinOp; pass-through opcodes return
+// ok=false.
+func aluOpBinOp(mc int64) (BinOp, bool) {
+	switch mc {
+	case ALUOpAdd:
+		return OpAdd, true
+	case ALUOpSub:
+		return OpSub, true
+	case ALUOpMul:
+		return OpMul, true
+	case ALUOpDiv:
+		return OpDiv, true
+	case ALUOpMod:
+		return OpMod, true
+	case ALUOpEq:
+		return OpEq, true
+	case ALUOpNeq:
+		return OpNeq, true
+	case ALUOpGe:
+		return OpGe, true
+	case ALUOpLe:
+		return OpLe, true
+	case ALUOpLt:
+		return OpLt, true
+	case ALUOpGt:
+		return OpGt, true
+	case ALUOpAnd:
+		return OpAnd, true
+	case ALUOpOr:
+		return OpOr, true
+	}
+	return 0, false
+}
+
+// ALUOpBinOp is the exported form of aluOpBinOp, used by the optimizer and
+// code generator.
+func ALUOpBinOp(mc int64) (BinOp, bool) { return aluOpBinOp(mc) }
+
+// ApplyBinOp applies a binary operator under a width; exported for the
+// optimizer's constant folding and for specs.
+func ApplyBinOp(w phv.Width, op BinOp, x, y phv.Value) phv.Value {
+	return applyBinOp(w, op, x, y)
+}

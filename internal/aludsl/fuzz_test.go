@@ -1,0 +1,78 @@
+package aludsl
+
+import (
+	"testing"
+
+	"druzhba/internal/phv"
+)
+
+// FuzzParse exercises the lexer/parser/resolver on arbitrary input: it must
+// never panic, and any program it accepts must format to source that
+// reparses to a program with the same hole inventory.
+func FuzzParse(f *testing.F) {
+	f.Add(figure4Src)
+	f.Add("type: stateless\npacket fields: {a}\nreturn a + 1;")
+	f.Add("type: stateful\nstate variables: {s}\npacket fields: {p}\ns = arith_op(s, Mux2(p, C()));")
+	f.Add("type: stateless\npacket fields: {a,b}\nif (a && !b || a >= 3) { return a % b; }")
+	f.Add("type:")
+	f.Add("{}{}((")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		formatted := p.Format()
+		q, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("accepted program fails to reparse: %v\nsource:\n%s\nformatted:\n%s", err, src, formatted)
+		}
+		if len(q.Holes) != len(p.Holes) {
+			t.Fatalf("hole count changed across format round trip: %d vs %d", len(p.Holes), len(q.Holes))
+		}
+		if q.Kind != p.Kind || q.NumOperands() != p.NumOperands() || q.NumState() != p.NumState() {
+			t.Fatal("program shape changed across format round trip")
+		}
+	})
+}
+
+// FuzzEval runs accepted programs under arbitrary machine code and inputs:
+// execution must never panic and, absent an error, must return an in-range
+// value.
+func FuzzEval(f *testing.F) {
+	f.Add(figure4Src, int64(1), int64(2), int64(3))
+	f.Add("type: stateless\npacket fields: {a, b}\nreturn alu_op(Mux3(a, b, C()), Mux3(a, b, C()));", int64(0), int64(7), int64(12))
+	f.Fuzz(func(t *testing.T, src string, h, a, b int64) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		holes := make(map[string]int64, len(p.Holes))
+		for i, hole := range p.Holes {
+			// Derive per-hole values from the fuzzed seed; mix of valid and
+			// invalid values exercises both paths.
+			holes[hole.Name] = (h + int64(i)) % 16
+		}
+		ops := make([]phv.Value, p.NumOperands())
+		for i := range ops {
+			if i%2 == 0 {
+				ops[i] = phv.Default32.Trunc(a)
+			} else {
+				ops[i] = phv.Default32.Trunc(b)
+			}
+		}
+		state := make([]phv.Value, p.NumState())
+		env := &Env{Width: phv.Default32, Operands: ops, State: state, Holes: MapLookup(holes)}
+		v, err := Run(p, env)
+		if err != nil {
+			return // out-of-range machine code is a legal failure
+		}
+		if v < 0 || v > phv.Default32.Mask() {
+			t.Fatalf("output %d outside datapath range", v)
+		}
+		for i, s := range state {
+			if s < 0 || s > phv.Default32.Mask() {
+				t.Fatalf("state %d = %d outside datapath range", i, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package aludsl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// A SyntaxError reports a lexical or parse failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("aludsl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		switch tok.Text {
+		case "if":
+			tok.Kind = TokIf
+		case "else":
+			tok.Kind = TokElse
+		case "return":
+			tok.Kind = TokReturn
+		default:
+			tok.Kind = TokIdent
+		}
+		return tok, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return tok, l.errorf("invalid number %q: %v", text, err)
+		}
+		tok.Kind = TokNumber
+		tok.Text = text
+		tok.Num = n
+		return tok, nil
+	}
+	l.advance()
+	two := func(second byte, with, without TokenKind) (Token, error) {
+		if l.peek() == second {
+			l.advance()
+			tok.Kind = with
+		} else {
+			tok.Kind = without
+		}
+		return tok, nil
+	}
+	switch c {
+	case ':':
+		tok.Kind = TokColon
+	case ',':
+		tok.Kind = TokComma
+	case ';':
+		tok.Kind = TokSemicolon
+	case '{':
+		tok.Kind = TokLBrace
+	case '}':
+		tok.Kind = TokRBrace
+	case '(':
+		tok.Kind = TokLParen
+	case ')':
+		tok.Kind = TokRParen
+	case '+':
+		tok.Kind = TokPlus
+	case '-':
+		tok.Kind = TokMinus
+	case '*':
+		tok.Kind = TokStar
+	case '/':
+		tok.Kind = TokSlash
+	case '%':
+		tok.Kind = TokPercent
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNeq, TokBang)
+	case '<':
+		return two('=', TokLe, TokLt)
+	case '>':
+		return two('=', TokGe, TokGt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			tok.Kind = TokAndAnd
+			return tok, nil
+		}
+		return tok, l.errorf("unexpected character '&'")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			tok.Kind = TokOrOr
+			return tok, nil
+		}
+		return tok, l.errorf("unexpected character '|'")
+	default:
+		return tok, l.errorf("unexpected character %q", string(c))
+	}
+	return tok, nil
+}
+
+// lexAll scans the entire source into tokens (ending with TokEOF).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

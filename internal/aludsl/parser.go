@@ -1,0 +1,467 @@
+package aludsl
+
+import (
+	"fmt"
+)
+
+// Parse parses an ALU DSL program, resolves identifiers, assigns hole names
+// and validates the result. The input follows Fig. 4 of the paper:
+//
+//	type: stateful
+//	state variables: {state_0}
+//	hole variables: {}
+//	packet fields: {pkt_0, pkt_1}
+//	if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+//	    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+//	} else {
+//	    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+//	}
+//
+// Header lines may appear in any order; "hole variables" and
+// "state variables" may be omitted (stateless ALUs usually omit both).
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Resolve(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	// per-builtin counters for hole naming
+	holeCounts map[string]int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t Token, format string, args ...any) error {
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Kind: Stateless}
+	p.holeCounts = map[string]int{}
+
+	sawType := false
+	for {
+		t := p.cur()
+		if t.Kind != TokIdent {
+			break
+		}
+		// Header lines: "type:", "state variables:", "hole variables:",
+		// "packet fields:". A bare identifier followed by anything else
+		// starts the body.
+		switch t.Text {
+		case "type":
+			p.advance()
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			kt, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch kt.Text {
+			case "stateful":
+				prog.Kind = Stateful
+			case "stateless":
+				prog.Kind = Stateless
+			default:
+				return nil, p.errorf(kt, "unknown ALU type %q (want stateful or stateless)", kt.Text)
+			}
+			sawType = true
+			continue
+		case "state", "hole", "packet":
+			second := map[string]string{"state": "variables", "hole": "variables", "packet": "fields"}[t.Text]
+			// Look ahead: ident ident ':' confirms a header line.
+			if p.toks[p.pos+1].Kind == TokIdent && p.toks[p.pos+1].Text == second {
+				p.advance()
+				p.advance()
+				if _, err := p.expect(TokColon); err != nil {
+					return nil, err
+				}
+				names, err := p.parseNameSet()
+				if err != nil {
+					return nil, err
+				}
+				switch t.Text {
+				case "state":
+					prog.StateVars = names
+				case "hole":
+					prog.HoleVars = names
+				case "packet":
+					prog.PacketFields = names
+				}
+				continue
+			}
+		}
+		break
+	}
+	if !sawType {
+		return nil, p.errorf(p.cur(), "missing 'type:' header")
+	}
+
+	body, err := p.parseStmts(TokEOF)
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if _, err := p.expect(TokEOF); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// parseNameSet parses "{a, b, c}" (possibly empty).
+func (p *parser) parseNameSet() ([]string, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var names []string
+	if p.cur().Kind == TokRBrace {
+		p.advance()
+		return names, nil
+	}
+	for {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.Text)
+		if p.cur().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// parseStmts parses statements until the terminator kind (not consumed).
+func (p *parser) parseStmts(end TokenKind) ([]Stmt, error) {
+	var stmts []Stmt
+	for p.cur().Kind != end && p.cur().Kind != TokEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIf:
+		return p.parseIf()
+	case TokReturn:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &Return{Value: e}, nil
+	case TokIdent:
+		name := p.advance()
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: &Ident{Name: name.Text}, RHS: rhs}, nil
+	default:
+		return nil, p.errorf(t, "expected statement, found %s", t)
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	p.advance() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.parseStmts(TokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: thenStmts}
+	if p.cur().Kind == TokElse {
+		p.advance()
+		if p.cur().Kind == TokIf {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{elseIf}
+			return node, nil
+		}
+		if _, err := p.expect(TokLBrace); err != nil {
+			return nil, err
+		}
+		elseStmts, err := p.parseStmts(TokRBrace)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		node.Else = elseStmts
+	}
+	return node, nil
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	expr     = orExpr
+//	orExpr   = andExpr { '||' andExpr }
+//	andExpr  = relExpr { '&&' relExpr }
+//	relExpr  = addExpr [ relop addExpr ]
+//	addExpr  = mulExpr { ('+'|'-') mulExpr }
+//	mulExpr  = unary   { ('*'|'/'|'%') unary }
+//	unary    = ('-'|'!') unary | primary
+//	primary  = number | ident | ident '(' args ')' | '(' expr ')'
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOrOr {
+		p.advance()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: OpOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAndAnd {
+		p.advance()
+		y, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: OpAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+var relOps = map[TokenKind]BinOp{
+	TokEq: OpEq, TokNeq: OpNeq, TokLt: OpLt, TokGt: OpGt, TokLe: OpLe, TokGe: OpGe,
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := relOps[p.cur().Kind]; ok {
+		p.advance()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokPlus:
+			p.advance()
+			y, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Op: OpAdd, X: x, Y: y}
+		case TokMinus:
+			p.advance()
+			y, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Op: OpSub, X: x, Y: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		case TokPercent:
+			op = OpMod
+		default:
+			return x, nil
+		}
+		p.advance()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	case TokBang:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		return &Num{Value: t.Num}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.advance()
+		if p.cur().Kind != TokLParen {
+			return &Ident{Name: t.Text}, nil
+		}
+		info, ok := builtins[t.Text]
+		if !ok {
+			return nil, p.errorf(t, "unknown builtin %q", t.Text)
+		}
+		p.advance() // '('
+		var args []Expr
+		if p.cur().Kind != TokRParen {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if len(args) != info.arity {
+			return nil, p.errorf(t, "%s takes %d argument(s), got %d", info.name, info.arity, len(args))
+		}
+		n := p.holeCounts[info.prefix]
+		p.holeCounts[info.prefix] = n + 1
+		return &HoleCall{
+			Builtin: builtinKinds[t.Text],
+			Hole:    fmt.Sprintf("%s_%d", info.prefix, n),
+			Args:    args,
+		}, nil
+	default:
+		return nil, p.errorf(t, "expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,106 @@
+package aludsl
+
+import "fmt"
+
+// TokenKind enumerates the lexical classes of the ALU DSL.
+type TokenKind int
+
+// Token kinds. Single-character operators use their own kind so the parser
+// can switch on kind alone.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+
+	TokColon     // :
+	TokComma     // ,
+	TokSemicolon // ;
+	TokLBrace    // {
+	TokRBrace    // }
+	TokLParen    // (
+	TokRParen    // )
+
+	TokAssign  // =
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+
+	TokEq  // ==
+	TokNeq // !=
+	TokLt  // <
+	TokGt  // >
+	TokLe  // <=
+	TokGe  // >=
+
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokBang   // !
+
+	TokIf     // if
+	TokElse   // else
+	TokReturn // return
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:       "EOF",
+	TokIdent:     "identifier",
+	TokNumber:    "number",
+	TokColon:     "':'",
+	TokComma:     "','",
+	TokSemicolon: "';'",
+	TokLBrace:    "'{'",
+	TokRBrace:    "'}'",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokAssign:    "'='",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokPercent:   "'%'",
+	TokEq:        "'=='",
+	TokNeq:       "'!='",
+	TokLt:        "'<'",
+	TokGt:        "'>'",
+	TokLe:        "'<='",
+	TokGe:        "'>='",
+	TokAndAnd:    "'&&'",
+	TokOrOr:      "'||'",
+	TokBang:      "'!'",
+	TokIf:        "'if'",
+	TokElse:      "'else'",
+	TokReturn:    "'return'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text for identifiers and numbers
+	Num  int64  // parsed value for TokNumber
+	Line int    // 1-based line
+	Col  int    // 1-based column
+}
+
+// Pos formats the token's position as "line:col".
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number(%d)", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}

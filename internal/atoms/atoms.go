@@ -1,0 +1,218 @@
+// Package atoms is Druzhba's library of ALU descriptions written in the ALU
+// DSL. The paper ships "5 stateless ALUs and 6 stateful ALUs ... that
+// represent the behavior of atoms in Banzai", Banzai being the Domino
+// compiler's machine model. The stateful atoms here mirror Banzai's raw,
+// sub (RAW with subtraction), if_else_raw (Fig. 4 of the paper), pred_raw,
+// pair and nested_ifs atoms; the stateless ALUs range from a bare constant
+// generator to a full opcode-driven ALU.
+package atoms
+
+import (
+	"fmt"
+	"sort"
+
+	"druzhba/internal/aludsl"
+)
+
+// Stateful atom sources, keyed by the names used in Table 1 of the paper.
+const (
+	// RawSrc accumulates into state: state_0 += (pkt_0 or an immediate).
+	RawSrc = `
+type: stateful
+state variables: {state_0}
+hole variables: {}
+packet fields: {pkt_0}
+state_0 = state_0 + Mux2(pkt_0, C());
+return state_0;
+`
+
+	// SubSrc is raw with a selectable add/subtract (Banzai's "sub").
+	SubSrc = `
+type: stateful
+state variables: {state_0}
+hole variables: {}
+packet fields: {pkt_0, pkt_1}
+state_0 = arith_op(state_0, Mux3(pkt_0, pkt_1, C()));
+return state_0;
+`
+
+	// IfElseRawSrc is the paper's Fig. 4 atom, verbatim (plus an explicit
+	// output so the updated state can be forwarded through the output muxes).
+	IfElseRawSrc = `
+type: stateful
+state variables: {state_0}
+hole variables: {}
+packet fields: {pkt_0, pkt_1}
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+else {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+return state_0;
+`
+
+	// PredRawSrc guards a raw update with a relational predicate.
+	PredRawSrc = `
+type: stateful
+state variables: {state_0}
+hole variables: {}
+packet fields: {pkt_0, pkt_1}
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+return state_0;
+`
+
+	// PairSrc updates two state variables under one predicate (Banzai's
+	// "pair" atom). The predicate compares a mux over the states or an
+	// immediate against a mux over the packet fields or an immediate.
+	// Assignments run sequentially, so the state_1 update observes the new
+	// state_0, exactly like Banzai.
+	PairSrc = `
+type: stateful
+state variables: {state_0, state_1}
+hole variables: {}
+packet fields: {pkt_0, pkt_1}
+if (rel_op(Mux3(state_0, state_1, C()), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+    state_1 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+}
+else {
+    state_0 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+    state_1 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+}
+return Mux2(state_0, state_1);
+`
+
+	// NestedIfsSrc has a two-level predicate tree (Banzai's "nested_ifs").
+	NestedIfsSrc = `
+type: stateful
+state variables: {state_0}
+hole variables: {}
+packet fields: {pkt_0, pkt_1}
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+        state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+    }
+    else {
+        state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+    }
+}
+else {
+    if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+        state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+    }
+    else {
+        state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+    }
+}
+return state_0;
+`
+)
+
+// Stateless ALU sources.
+const (
+	// StatelessConstSrc emits a machine-code immediate.
+	StatelessConstSrc = `
+type: stateless
+packet fields: {pkt_0}
+return C();
+`
+
+	// StatelessMuxSrc forwards one of its operands or an immediate.
+	StatelessMuxSrc = `
+type: stateless
+packet fields: {pkt_0, pkt_1}
+return Mux3(pkt_0, pkt_1, C());
+`
+
+	// StatelessArithSrc adds or subtracts two muxed operands.
+	StatelessArithSrc = `
+type: stateless
+packet fields: {pkt_0, pkt_1}
+return arith_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C()));
+`
+
+	// StatelessRelSrc compares two muxed operands, producing 0 or 1.
+	StatelessRelSrc = `
+type: stateless
+packet fields: {pkt_0, pkt_1}
+return rel_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C()));
+`
+
+	// StatelessFullSrc is the richest stateless ALU: a full opcode-driven
+	// operation over two muxed operands.
+	StatelessFullSrc = `
+type: stateless
+packet fields: {pkt_0, pkt_1}
+return alu_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C()));
+`
+)
+
+var sources = map[string]string{
+	"raw":             RawSrc,
+	"sub":             SubSrc,
+	"if_else_raw":     IfElseRawSrc,
+	"pred_raw":        PredRawSrc,
+	"pair":            PairSrc,
+	"nested_ifs":      NestedIfsSrc,
+	"stateless_const": StatelessConstSrc,
+	"stateless_mux":   StatelessMuxSrc,
+	"stateless_arith": StatelessArithSrc,
+	"stateless_rel":   StatelessRelSrc,
+	"stateless_full":  StatelessFullSrc,
+}
+
+// Names lists every atom in the library, sorted.
+func Names() []string {
+	out := make([]string, 0, len(sources))
+	for n := range sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatefulNames lists the six stateful atoms, sorted.
+func StatefulNames() []string {
+	return []string{"if_else_raw", "nested_ifs", "pair", "pred_raw", "raw", "sub"}
+}
+
+// StatelessNames lists the five stateless ALUs, sorted.
+func StatelessNames() []string {
+	return []string{"stateless_arith", "stateless_const", "stateless_full", "stateless_mux", "stateless_rel"}
+}
+
+// Source returns the DSL source for a named atom.
+func Source(name string) (string, error) {
+	src, ok := sources[name]
+	if !ok {
+		return "", fmt.Errorf("atoms: unknown atom %q", name)
+	}
+	return src, nil
+}
+
+// Load parses a named atom, returning a fresh Program (callers may mutate
+// the result freely; each call reparses).
+func Load(name string) (*aludsl.Program, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := aludsl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("atoms: parsing %q: %w", name, err)
+	}
+	p.Name = name
+	return p, nil
+}
+
+// MustLoad is Load for known-good names; it panics on error.
+func MustLoad(name string) *aludsl.Program {
+	p, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,242 @@
+package atoms
+
+import (
+	"testing"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/phv"
+)
+
+func TestLibraryShape(t *testing.T) {
+	// The paper: "We have written 5 stateless ALUs and 6 stateful ALUs".
+	if got := len(StatefulNames()); got != 6 {
+		t.Errorf("stateful atom count = %d, want 6", got)
+	}
+	if got := len(StatelessNames()); got != 5 {
+		t.Errorf("stateless ALU count = %d, want 5", got)
+	}
+	if got := len(Names()); got != 11 {
+		t.Errorf("total atom count = %d, want 11", got)
+	}
+}
+
+func TestAllAtomsParse(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Load(name)
+		if err != nil {
+			t.Errorf("Load(%q): %v", name, err)
+			continue
+		}
+		if p.Name != name {
+			t.Errorf("Load(%q).Name = %q", name, p.Name)
+		}
+	}
+}
+
+func TestAtomKinds(t *testing.T) {
+	for _, name := range StatefulNames() {
+		if p := MustLoad(name); p.Kind != aludsl.Stateful {
+			t.Errorf("%s.Kind = %v, want stateful", name, p.Kind)
+		}
+	}
+	for _, name := range StatelessNames() {
+		if p := MustLoad(name); p.Kind != aludsl.Stateless {
+			t.Errorf("%s.Kind = %v, want stateless", name, p.Kind)
+		}
+	}
+}
+
+func TestUnknownAtom(t *testing.T) {
+	if _, err := Load("no_such_atom"); err == nil {
+		t.Error("Load of unknown atom succeeded")
+	}
+}
+
+func TestLoadReturnsFreshCopies(t *testing.T) {
+	p1 := MustLoad("raw")
+	p2 := MustLoad("raw")
+	if p1 == p2 {
+		t.Fatal("Load returned a shared Program")
+	}
+	p1.Name = "mutated"
+	if p2.Name != "raw" {
+		t.Error("mutating one copy affected the other")
+	}
+}
+
+func exec(t *testing.T, name string, holes map[string]int64, ops []phv.Value, state []phv.Value) phv.Value {
+	t.Helper()
+	p := MustLoad(name)
+	env := &aludsl.Env{
+		Width:    phv.Default32,
+		Operands: ops,
+		State:    state,
+		Holes:    aludsl.MapLookup(holes),
+	}
+	v, err := aludsl.Run(p, env)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", name, err)
+	}
+	return v
+}
+
+// TestIfElseRawAsCounter configures Fig. 4's atom as the paper's Fig. 1
+// program: if (count == 9) { count = 0 } else { count = count + 1 }.
+func TestIfElseRawAsCounter(t *testing.T) {
+	holes := map[string]int64{
+		"rel_op_0": aludsl.RelEq,
+		"opt_0":    0,               // condition reads state_0
+		"mux3_0":   2, "const_0": 9, // compare against 9
+		"opt_1": 1, "mux3_1": 2, "const_1": 0, // then: state = 0 + 0
+		"opt_2": 0, "mux3_2": 2, "const_2": 1, // else: state = state + 1
+	}
+	state := []phv.Value{0}
+	var outs []phv.Value
+	for i := 0; i < 20; i++ {
+		outs = append(outs, exec(t, "if_else_raw", holes, []phv.Value{int64(i), 0}, state))
+	}
+	// The counter counts 1..9 then wraps to 0.
+	for i, v := range outs {
+		want := int64((i + 1) % 10)
+		if v != want {
+			t.Errorf("tick %d: counter = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestPredRawConditionalAccumulator: accumulate pkt_0 while pkt_1 >= state.
+func TestPredRawAccumulate(t *testing.T) {
+	holes := map[string]int64{
+		"rel_op_0": aludsl.RelGe,
+		"opt_0":    1,               // condition compares 0 ...
+		"mux3_0":   1, "const_0": 0, // ... against pkt_1: 0 >= pkt_1
+		"opt_1": 0, "mux3_1": 0, "const_1": 0, // state += pkt_0
+	}
+	// Condition: rel_op(0, pkt_1) with >= means update only when pkt_1 == 0.
+	state := []phv.Value{0}
+	exec(t, "pred_raw", holes, []phv.Value{5, 0}, state)
+	if state[0] != 5 {
+		t.Errorf("state = %d, want 5 (pkt_1 == 0 -> update)", state[0])
+	}
+	exec(t, "pred_raw", holes, []phv.Value{7, 3}, state)
+	if state[0] != 5 {
+		t.Errorf("state = %d, want 5 (pkt_1 != 0 -> no update)", state[0])
+	}
+}
+
+func TestRawAccumulator(t *testing.T) {
+	holes := map[string]int64{"mux2_0": 0, "const_0": 0}
+	state := []phv.Value{0}
+	var total int64
+	for _, v := range []int64{3, 9, 1} {
+		total += v
+		if got := exec(t, "raw", holes, []phv.Value{v}, state); got != total {
+			t.Errorf("raw output = %d, want %d", got, total)
+		}
+	}
+}
+
+func TestSubSubtract(t *testing.T) {
+	holes := map[string]int64{"arith_op_0": aludsl.ArithSub, "mux3_0": 0, "const_0": 0}
+	state := []phv.Value{100}
+	if got := exec(t, "sub", holes, []phv.Value{30, 0}, state); got != 70 {
+		t.Errorf("sub output = %d, want 70", got)
+	}
+}
+
+func TestPairUpdatesBothStates(t *testing.T) {
+	// Configure: if (state_0 == pkt_0) { state_0 = state_0 + 1; state_1 = state_1 + pkt_1 }
+	// else { state_0 = state_0 + 0; state_1 = state_1 + 0 }.
+	holes := map[string]int64{
+		// condition: state_0 == pkt_0
+		"rel_op_0": aludsl.RelEq,
+		"mux3_0":   0, "const_0": 0,
+		"mux3_1": 0, "const_1": 0,
+		// then-branch: state_0 += 1; state_1 += pkt_1
+		"opt_0": 0, "mux2_0": 0, "mux3_2": 2, "const_2": 1,
+		"opt_1": 0, "mux2_1": 1, "mux3_3": 1, "const_3": 0,
+		// else-branch: no-op updates
+		"opt_2": 0, "mux2_2": 0, "mux3_4": 2, "const_4": 0,
+		"opt_3": 0, "mux2_3": 1, "mux3_5": 2, "const_5": 0,
+		// output: state_1
+		"mux2_4": 1,
+	}
+	state := []phv.Value{5, 10}
+	got := exec(t, "pair", holes, []phv.Value{5, 7}, state)
+	if state[0] != 6 {
+		t.Errorf("state_0 = %d, want 6", state[0])
+	}
+	if state[1] != 17 {
+		t.Errorf("state_1 = %d, want 17", state[1])
+	}
+	if got != 17 {
+		t.Errorf("output = %d, want 17 (state_1 via output mux)", got)
+	}
+	// Non-matching packet leaves both unchanged (adds zero).
+	exec(t, "pair", holes, []phv.Value{99, 7}, state)
+	if state[0] != 6 || state[1] != 17 {
+		t.Errorf("state = (%d,%d), want (6,17) unchanged", state[0], state[1])
+	}
+}
+
+func TestStatelessFullOps(t *testing.T) {
+	cases := []struct {
+		op   int64
+		want phv.Value
+	}{
+		{aludsl.ALUOpAdd, 12},
+		{aludsl.ALUOpSub, 8},
+		{aludsl.ALUOpMul, 20},
+		{aludsl.ALUOpDiv, 5},
+		{aludsl.ALUOpEq, 0},
+		{aludsl.ALUOpGt, 1},
+	}
+	for _, tc := range cases {
+		holes := map[string]int64{
+			"alu_op_0": tc.op,
+			"mux3_0":   0, "const_0": 0, // operand a = pkt_0
+			"mux3_1": 1, "const_1": 0, // operand b = pkt_1
+		}
+		if got := exec(t, "stateless_full", holes, []phv.Value{10, 2}, nil); got != tc.want {
+			t.Errorf("alu_op %d: got %d, want %d", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestStatelessConstAndMux(t *testing.T) {
+	if got := exec(t, "stateless_const", map[string]int64{"const_0": 55}, []phv.Value{1}, nil); got != 55 {
+		t.Errorf("stateless_const = %d, want 55", got)
+	}
+	holes := map[string]int64{"mux3_0": 1, "const_0": 0}
+	if got := exec(t, "stateless_mux", holes, []phv.Value{8, 9}, nil); got != 9 {
+		t.Errorf("stateless_mux = %d, want 9", got)
+	}
+}
+
+func TestNestedIfsFourWay(t *testing.T) {
+	// Configure a 4-way dispatch on (state>=t1, state>=t2) adding different
+	// constants; verify each leaf is reachable.
+	holes := map[string]int64{
+		"rel_op_0": aludsl.RelGe, "opt_0": 0, "mux3_0": 2, "const_0": 10,
+		"rel_op_1": aludsl.RelGe, "opt_1": 0, "mux3_1": 2, "const_1": 20,
+		"opt_2": 0, "mux3_2": 2, "const_2": 1, // s>=10 && s>=20 -> +1
+		"opt_3": 0, "mux3_3": 2, "const_3": 2, // s>=10 && s<20  -> +2
+		"rel_op_2": aludsl.RelGe, "opt_4": 0, "mux3_4": 2, "const_4": 5,
+		"opt_5": 0, "mux3_5": 2, "const_5": 3, // s<10 && s>=5 -> +3
+		"opt_6": 0, "mux3_6": 2, "const_6": 4, // s<10 && s<5  -> +4
+	}
+	cases := []struct {
+		start, want phv.Value
+	}{
+		{25, 26}, // +1
+		{15, 17}, // +2
+		{7, 10},  // +3
+		{2, 6},   // +4
+	}
+	for _, tc := range cases {
+		state := []phv.Value{tc.start}
+		if got := exec(t, "nested_ifs", holes, []phv.Value{0, 0}, state); got != tc.want {
+			t.Errorf("nested_ifs from %d = %d, want %d", tc.start, got, tc.want)
+		}
+	}
+}

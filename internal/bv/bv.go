@@ -1,0 +1,371 @@
+// Package bv provides fixed-width bit-vector formulas over a SAT solver
+// (package sat). It is the middle layer of Druzhba's formal verifier: the
+// symbolic executor in package verify expresses PHV container and state
+// values as bit-vectors; this package bit-blasts the resulting word-level
+// operations into CNF with Tseitin encodings.
+//
+// A Vec is a little-endian vector of SAT literals (bit 0 is the least
+// significant). The Builder interns two constant literals so constant bits
+// never cost solver variables, and all gate constructors constant-fold, so
+// formulas with concrete subterms (the common case after SCC propagation)
+// stay small.
+//
+// Semantics mirror the Druzhba datapath (package phv): all values are
+// unsigned, arithmetic wraps modulo 2^width, division and modulo by zero
+// yield 0, comparisons are unsigned and produce 0/1.
+package bv
+
+import (
+	"fmt"
+
+	"druzhba/internal/sat"
+)
+
+// Vec is a bit-vector: a little-endian slice of literals.
+type Vec []sat.Lit
+
+// Width returns the vector's bit width.
+func (v Vec) Width() int { return len(v) }
+
+// Builder creates bit-vector terms over one SAT solver.
+type Builder struct {
+	S *sat.Solver
+
+	tru sat.Lit // literal constrained true
+}
+
+// NewBuilder wraps a solver. It allocates one variable constrained to
+// true, used to represent constant bits.
+func NewBuilder(s *sat.Solver) *Builder {
+	b := &Builder{S: s}
+	v := s.NewVar()
+	b.tru = sat.MkLit(v, false)
+	s.AddClause(b.tru)
+	return b
+}
+
+// True returns the constant-true literal.
+func (b *Builder) True() sat.Lit { return b.tru }
+
+// False returns the constant-false literal.
+func (b *Builder) False() sat.Lit { return b.tru.Not() }
+
+// isTrue reports whether l is the interned true literal.
+func (b *Builder) isTrue(l sat.Lit) bool { return l == b.tru }
+
+// isFalse reports whether l is the interned false literal.
+func (b *Builder) isFalse(l sat.Lit) bool { return l == b.tru.Not() }
+
+// Lit returns a constant literal for the given bool.
+func (b *Builder) Lit(v bool) sat.Lit {
+	if v {
+		return b.tru
+	}
+	return b.tru.Not()
+}
+
+// Const returns a width-w constant vector.
+func (b *Builder) Const(w int, v int64) Vec {
+	out := make(Vec, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.Lit(v&(1<<uint(i)) != 0)
+	}
+	return out
+}
+
+// Var returns a fresh width-w variable vector.
+func (b *Builder) Var(w int) Vec {
+	out := make(Vec, w)
+	for i := range out {
+		out[i] = sat.MkLit(b.S.NewVar(), false)
+	}
+	return out
+}
+
+// ConstValue reports whether v is entirely constant, and its value if so.
+func (b *Builder) ConstValue(v Vec) (int64, bool) {
+	var out int64
+	for i, l := range v {
+		switch {
+		case b.isTrue(l):
+			out |= 1 << uint(i)
+		case b.isFalse(l):
+		default:
+			return 0, false
+		}
+	}
+	return out, true
+}
+
+// --- Gate constructors (Tseitin with constant folding) ----------------------
+
+// Not returns ¬a.
+func (b *Builder) Not(a sat.Lit) sat.Lit { return a.Not() }
+
+// And returns a fresh literal equivalent to a ∧ b.
+func (b *Builder) And(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x) || b.isFalse(y):
+		return b.False()
+	case b.isTrue(x):
+		return y
+	case b.isTrue(y):
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return b.False()
+	}
+	o := sat.MkLit(b.S.NewVar(), false)
+	b.S.AddClause(o.Not(), x)
+	b.S.AddClause(o.Not(), y)
+	b.S.AddClause(o, x.Not(), y.Not())
+	return o
+}
+
+// Or returns a fresh literal equivalent to x ∨ y.
+func (b *Builder) Or(x, y sat.Lit) sat.Lit {
+	return b.And(x.Not(), y.Not()).Not()
+}
+
+// Xor returns a fresh literal equivalent to x ⊕ y.
+func (b *Builder) Xor(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x):
+		return y
+	case b.isFalse(y):
+		return x
+	case b.isTrue(x):
+		return y.Not()
+	case b.isTrue(y):
+		return x.Not()
+	case x == y:
+		return b.False()
+	case x == y.Not():
+		return b.True()
+	}
+	o := sat.MkLit(b.S.NewVar(), false)
+	b.S.AddClause(o.Not(), x, y)
+	b.S.AddClause(o.Not(), x.Not(), y.Not())
+	b.S.AddClause(o, x, y.Not())
+	b.S.AddClause(o, x.Not(), y)
+	return o
+}
+
+// IteLit returns c ? x : y as a literal.
+func (b *Builder) IteLit(c, x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isTrue(c):
+		return x
+	case b.isFalse(c):
+		return y
+	case x == y:
+		return x
+	}
+	// o ↔ (c∧x) ∨ (¬c∧y)
+	o := sat.MkLit(b.S.NewVar(), false)
+	b.S.AddClause(o.Not(), c.Not(), x)
+	b.S.AddClause(o.Not(), c, y)
+	b.S.AddClause(o, c.Not(), x.Not())
+	b.S.AddClause(o, c, y.Not())
+	return o
+}
+
+// --- Word-level operations ---------------------------------------------------
+
+func (b *Builder) checkSame(op string, x, y Vec) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("bv: %s: width mismatch %d vs %d", op, len(x), len(y)))
+	}
+}
+
+// Ite returns c ? x : y elementwise.
+func (b *Builder) Ite(c sat.Lit, x, y Vec) Vec {
+	b.checkSame("ite", x, y)
+	if b.isTrue(c) {
+		return x
+	}
+	if b.isFalse(c) {
+		return y
+	}
+	out := make(Vec, len(x))
+	for i := range x {
+		out[i] = b.IteLit(c, x[i], y[i])
+	}
+	return out
+}
+
+// Add returns (x+y) mod 2^w via a ripple-carry adder.
+func (b *Builder) Add(x, y Vec) Vec {
+	b.checkSame("add", x, y)
+	out := make(Vec, len(x))
+	carry := b.False()
+	for i := range x {
+		s := b.Xor(x[i], y[i])
+		out[i] = b.Xor(s, carry)
+		// carry' = (x∧y) ∨ (carry∧(x⊕y))
+		carry = b.Or(b.And(x[i], y[i]), b.And(carry, s))
+	}
+	return out
+}
+
+// NotVec returns the bitwise complement.
+func (b *Builder) NotVec(x Vec) Vec {
+	out := make(Vec, len(x))
+	for i := range x {
+		out[i] = x[i].Not()
+	}
+	return out
+}
+
+// Neg returns two's-complement negation.
+func (b *Builder) Neg(x Vec) Vec {
+	one := b.Const(len(x), 1)
+	return b.Add(b.NotVec(x), one)
+}
+
+// Sub returns (x-y) mod 2^w.
+func (b *Builder) Sub(x, y Vec) Vec {
+	b.checkSame("sub", x, y)
+	// x + ¬y + 1 via ripple carry with initial carry 1.
+	out := make(Vec, len(x))
+	carry := b.True()
+	for i := range x {
+		yi := y[i].Not()
+		s := b.Xor(x[i], yi)
+		out[i] = b.Xor(s, carry)
+		carry = b.Or(b.And(x[i], yi), b.And(carry, s))
+	}
+	return out
+}
+
+// Mul returns (x*y) mod 2^w via shift-and-add.
+func (b *Builder) Mul(x, y Vec) Vec {
+	b.checkSame("mul", x, y)
+	w := len(x)
+	acc := b.Const(w, 0)
+	for i := 0; i < w; i++ {
+		// partial = (x << i) masked by y[i]
+		partial := make(Vec, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				partial[j] = b.False()
+			} else {
+				partial[j] = b.And(x[j-i], y[i])
+			}
+		}
+		acc = b.Add(acc, partial)
+	}
+	return acc
+}
+
+// Eq returns the literal x == y.
+func (b *Builder) Eq(x, y Vec) sat.Lit {
+	b.checkSame("eq", x, y)
+	acc := b.True()
+	for i := range x {
+		acc = b.And(acc, b.Xor(x[i], y[i]).Not())
+	}
+	return acc
+}
+
+// Ne returns the literal x != y.
+func (b *Builder) Ne(x, y Vec) sat.Lit { return b.Eq(x, y).Not() }
+
+// Ult returns the literal x < y (unsigned).
+func (b *Builder) Ult(x, y Vec) sat.Lit {
+	b.checkSame("ult", x, y)
+	// From LSB to MSB: lt = (¬x∧y) ∨ ((x↔y) ∧ lt_prev)
+	lt := b.False()
+	for i := range x {
+		eqi := b.Xor(x[i], y[i]).Not()
+		lti := b.And(x[i].Not(), y[i])
+		lt = b.Or(lti, b.And(eqi, lt))
+	}
+	return lt
+}
+
+// Ule returns the literal x <= y (unsigned).
+func (b *Builder) Ule(x, y Vec) sat.Lit { return b.Ult(y, x).Not() }
+
+// IsZero returns the literal x == 0.
+func (b *Builder) IsZero(x Vec) sat.Lit {
+	acc := b.True()
+	for _, l := range x {
+		acc = b.And(acc, l.Not())
+	}
+	return acc
+}
+
+// Truthy returns the literal x != 0 (the DSL's boolean coercion).
+func (b *Builder) Truthy(x Vec) sat.Lit { return b.IsZero(x).Not() }
+
+// FromBool widens a boolean literal to a 0/1 vector of width w.
+func (b *Builder) FromBool(l sat.Lit, w int) Vec {
+	out := make(Vec, w)
+	out[0] = l
+	for i := 1; i < w; i++ {
+		out[i] = b.False()
+	}
+	return out
+}
+
+// DivMod returns x/y and x%y (unsigned), with the Druzhba convention that
+// both are 0 when y is 0. The circuit is restoring long division.
+func (b *Builder) DivMod(x, y Vec) (quo, rem Vec) {
+	b.checkSame("divmod", x, y)
+	w := len(x)
+	q := make(Vec, w)
+	r := b.Const(w, 0)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		r = append(Vec{x[i]}, r[:w-1]...)
+		// If r >= y: r -= y, q[i] = 1.
+		ge := b.Ult(r, y).Not()
+		r = b.Ite(ge, b.Sub(r, y), r)
+		q[i] = ge
+	}
+	zero := b.Const(w, 0)
+	yIsZero := b.IsZero(y)
+	quo = b.Ite(yIsZero, zero, q)
+	rem = b.Ite(yIsZero, zero, r)
+	return quo, rem
+}
+
+// Div returns x/y with div-by-zero = 0.
+func (b *Builder) Div(x, y Vec) Vec {
+	q, _ := b.DivMod(x, y)
+	return q
+}
+
+// Mod returns x%y with mod-by-zero = 0.
+func (b *Builder) Mod(x, y Vec) Vec {
+	_, r := b.DivMod(x, y)
+	return r
+}
+
+// --- Assertions and models ---------------------------------------------------
+
+// Assert adds the literal as a unit clause (it must hold).
+func (b *Builder) Assert(l sat.Lit) { b.S.AddClause(l) }
+
+// AssertEq constrains x == y.
+func (b *Builder) AssertEq(x, y Vec) {
+	b.checkSame("assert-eq", x, y)
+	for i := range x {
+		// xi ↔ yi
+		b.S.AddClause(x[i].Not(), y[i])
+		b.S.AddClause(x[i], y[i].Not())
+	}
+}
+
+// Value reads the vector's value from the solver's current model.
+func (b *Builder) Value(v Vec) int64 {
+	var out int64
+	for i, l := range v {
+		if b.S.ModelValue(l) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package casestudy
+
+import (
+	"strings"
+	"testing"
+
+	"druzhba/internal/domino"
+)
+
+func TestBatterySize(t *testing.T) {
+	cases := Battery()
+	// The paper tested over 120 Chipmunk machine code programs; the battery
+	// must be at least that large.
+	if len(cases) <= 120 {
+		t.Errorf("battery has %d programs, want > 120", len(cases))
+	}
+	limited := 0
+	names := map[string]bool{}
+	for _, c := range cases {
+		if names[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.ExpectLimited {
+			limited++
+		}
+	}
+	if limited != 6 {
+		t.Errorf("limited-range cases = %d, want 6 (the §5.2 count)", limited)
+	}
+}
+
+func TestBatteryProgramsParse(t *testing.T) {
+	for _, c := range Battery() {
+		prog, err := domino.Parse(c.Domino)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		for _, f := range prog.Fields() {
+			if _, ok := c.Fields[f]; !ok {
+				t.Errorf("%s: field %q unbound", c.Name, f)
+			}
+		}
+		if _, err := c.Spec(); err != nil {
+			t.Errorf("%s: Spec: %v", c.Name, err)
+		}
+	}
+}
+
+func TestBatteryCoversAllStatefulAtoms(t *testing.T) {
+	used := map[string]bool{}
+	for _, c := range Battery() {
+		used[c.Atom] = true
+	}
+	for _, atom := range []string{"raw", "sub", "pred_raw", "if_else_raw", "pair"} {
+		if !used[atom] {
+			t.Errorf("battery exercises no %s program", atom)
+		}
+	}
+}
+
+// TestRunSubset runs a small prefix of the battery end to end, checking
+// that the three §5.2 populations appear: correct programs, injected
+// missing-pair failures, and (with the limited-range spec appended) the
+// low-bit-width failure.
+func TestRunSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis battery is slow")
+	}
+	all := Battery()
+	subset := append([]*Case{}, all[:8]...)
+	// Append one limited-range case from the tail.
+	for _, c := range all {
+		if c.ExpectLimited {
+			subset = append(subset, c)
+			break
+		}
+	}
+	summary, err := Run(subset, Options{Seed: 2, MaxIters: 120000, InjectMissingPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Total != len(subset) {
+		t.Errorf("Total = %d, want %d", summary.Total, len(subset))
+	}
+	if summary.ByClass[MissingPairs] != 2 {
+		t.Errorf("missing-pair failures = %d, want 2", summary.ByClass[MissingPairs])
+	}
+	if summary.ByClass[LimitedRange] < 1 {
+		t.Errorf("limited-range failures = %d, want >= 1", summary.ByClass[LimitedRange])
+	}
+	if summary.ByClass[Correct] < len(subset)-2-summary.ByClass[LimitedRange]-summary.ByClass[SynthesisFailed] {
+		t.Errorf("class counts inconsistent: %v", summary.ByClass)
+	}
+	text := summary.Format(true)
+	for _, want := range []string{"correct:", "missing machine code pairs", "insufficient machine code values"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIters == 0 || o.VerifyBits != 10 || o.ValidateBits != 10 || o.Workers < 1 || o.InjectMissingPairs != 2 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestIsOutputMux(t *testing.T) {
+	if !isOutputMux("pipeline_stage_0_output_mux_phv_1") {
+		t.Error("output mux name not recognized")
+	}
+	if isOutputMux("pipeline_stage_0_stateful_alu_0_mux3_1") {
+		t.Error("ALU mux misclassified as output mux")
+	}
+}

@@ -1,0 +1,189 @@
+package codegen
+
+// Cross-validation of the emitted pipeline descriptions against the
+// in-process engines: the generated Go source is compiled into a real
+// binary that reads PHVs on stdin and prints the pipeline's outputs; the
+// same trace is run through core's interpreter and the outputs must match
+// exactly. This pins the code generator's semantics to the machine model's.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"druzhba/internal/atoms"
+	"druzhba/internal/core"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
+)
+
+// stdinDriver reads whitespace-separated container values, one PHV per
+// line, executes the pipeline and prints the resulting containers.
+const stdinDriver = `package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gen/pipeline"
+)
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		phv := make([]int64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			phv[i] = v
+		}
+		out := pipeline.Execute(phv)
+		for i, v := range out {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprint(w, v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+`
+
+func TestGeneratedMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	rng := rand.New(rand.NewSource(23))
+	grids := []struct {
+		depth, width int
+		atom         string
+	}{
+		{2, 2, "pred_raw"},
+		{1, 1, "pair"},
+		{3, 1, "if_else_raw"},
+	}
+	for _, g := range grids {
+		g := g
+		t.Run(fmt.Sprintf("%dx%d-%s", g.depth, g.width, g.atom), func(t *testing.T) {
+			spec := core.Spec{
+				Depth:        g.depth,
+				Width:        g.width,
+				StatelessALU: atoms.MustLoad("stateless_full"),
+				StatefulALU:  atoms.MustLoad(g.atom),
+			}
+			req, err := spec.RequiredPairs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			code := machinecode.New()
+			for _, h := range req {
+				if h.Domain > 0 {
+					code.Set(h.Name, int64(rng.Intn(h.Domain)))
+				} else {
+					code.Set(h.Name, int64(rng.Intn(10)))
+				}
+			}
+			// Random trace.
+			n := 200
+			var stdin bytes.Buffer
+			trace := phv.NewTrace()
+			phvLen := spec.PHVLen
+			if phvLen == 0 {
+				phvLen = spec.Width
+			}
+			for i := 0; i < n; i++ {
+				vals := make([]phv.Value, phvLen)
+				parts := make([]string, phvLen)
+				for c := range vals {
+					vals[c] = int64(rng.Intn(1 << 16))
+					parts[c] = fmt.Sprint(vals[c])
+				}
+				trace.Append(phv.FromValues(vals))
+				stdin.WriteString(strings.Join(parts, " ") + "\n")
+			}
+
+			// Interpreter reference (dataflow processing = per-PHV result).
+			interp, err := core.Build(spec, code, core.SCCInlining)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []string
+			for i := 0; i < trace.Len(); i++ {
+				out, err := interp.Process(trace.At(i).Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts := make([]string, out.Len())
+				for c := 0; c < out.Len(); c++ {
+					parts[c] = fmt.Sprint(out.Get(c))
+				}
+				want = append(want, strings.Join(parts, " "))
+			}
+
+			for _, level := range []core.OptLevel{core.SCCPropagation, core.SCCInlining} {
+				src, err := Generate(spec, code, Options{Level: level, Package: "pipeline"})
+				if err != nil {
+					t.Fatalf("Generate(%v): %v", level, err)
+				}
+				dir := t.TempDir()
+				for name, content := range map[string]string{
+					"go.mod":               "module gen\n\ngo 1.22\n",
+					"pipeline/pipeline.go": src,
+					"main.go":              stdinDriver,
+				} {
+					path := filepath.Join(dir, name)
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				bin := filepath.Join(dir, "simbin")
+				build := exec.Command("go", "build", "-o", bin, ".")
+				build.Dir = dir
+				if out, err := build.CombinedOutput(); err != nil {
+					t.Fatalf("compile %v: %v\n%s", level, err, out)
+				}
+				cmd := exec.Command(bin)
+				cmd.Stdin = bytes.NewReader(stdin.Bytes())
+				out, err := cmd.Output()
+				if err != nil {
+					t.Fatalf("run %v: %v", level, err)
+				}
+				sc := bufio.NewScanner(bytes.NewReader(out))
+				line := 0
+				for sc.Scan() {
+					if line >= len(want) {
+						t.Fatalf("%v: too many output lines", level)
+					}
+					if got := sc.Text(); got != want[line] {
+						t.Fatalf("%v: PHV %d: generated binary %q, interpreter %q", level, line, got, want[line])
+					}
+					line++
+				}
+				if line != len(want) {
+					t.Fatalf("%v: got %d output lines, want %d", level, line, len(want))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/phv"
+)
+
+// Compiled is an extension beyond the paper's three levels: after SCC
+// propagation and inlining, every ALU body is compiled into a tree of Go
+// closures, eliminating the AST interpreter's per-node dispatch. It plays
+// the role the Rust compiler plays for the paper's generated pipeline
+// descriptions, without leaving the process. The ablation bench
+// (BenchmarkClosureEngine) quantifies interpreter dispatch cost.
+const Compiled OptLevel = 3
+
+// AllLevels lists the paper's three levels plus the closure-compiled
+// extension.
+func AllLevels() []OptLevel {
+	return []OptLevel{Unoptimized, SCCPropagation, SCCInlining, Compiled}
+}
+
+// closureFunc evaluates one compiled expression. ops and state alias the
+// ALU's operand and state vectors.
+type closureFunc func(ops, state []phv.Value) phv.Value
+
+// compiledBody executes an ALU body and reports the output value.
+type compiledBody func(ops, state []phv.Value) phv.Value
+
+// compileALUBody compiles an inlined (hole-free, call-free) program body to
+// closures. The program must already be SCC-propagated and inlined.
+func compileALUBody(prog *aludsl.Program, w phv.Width) (compiledBody, error) {
+	type compiledStmt struct {
+		// assign
+		stateIndex int
+		rhs        closureFunc
+		// branch
+		cond      closureFunc
+		thenStmts []compiledStmt
+		elseStmts []compiledStmt
+		// return
+		ret closureFunc
+	}
+	var compileStmts func(stmts []aludsl.Stmt) ([]compiledStmt, error)
+	var compileExpr func(e aludsl.Expr) (closureFunc, error)
+
+	compileExpr = func(e aludsl.Expr) (closureFunc, error) {
+		switch e := e.(type) {
+		case *aludsl.Num:
+			v := w.Trunc(e.Value)
+			return func(_, _ []phv.Value) phv.Value { return v }, nil
+		case *aludsl.Ident:
+			idx := e.Index
+			switch e.Class {
+			case aludsl.VarState:
+				return func(_, state []phv.Value) phv.Value { return state[idx] }, nil
+			case aludsl.VarField:
+				return func(ops, _ []phv.Value) phv.Value { return ops[idx] }, nil
+			default:
+				return nil, fmt.Errorf("core: closure compile: unresolved identifier %q (program not fully inlined?)", e.Name)
+			}
+		case *aludsl.Unary:
+			x, err := compileExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if e.Op == aludsl.OpNeg {
+				return func(ops, state []phv.Value) phv.Value { return w.Trunc(-x(ops, state)) }, nil
+			}
+			return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) == 0) }, nil
+		case *aludsl.Binary:
+			x, err := compileExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			y, err := compileExpr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			switch e.Op {
+			case aludsl.OpAdd:
+				return func(ops, state []phv.Value) phv.Value { return w.Add(x(ops, state), y(ops, state)) }, nil
+			case aludsl.OpSub:
+				return func(ops, state []phv.Value) phv.Value { return w.Sub(x(ops, state), y(ops, state)) }, nil
+			case aludsl.OpMul:
+				return func(ops, state []phv.Value) phv.Value { return w.Mul(x(ops, state), y(ops, state)) }, nil
+			case aludsl.OpDiv:
+				return func(ops, state []phv.Value) phv.Value { return w.Div(x(ops, state), y(ops, state)) }, nil
+			case aludsl.OpMod:
+				return func(ops, state []phv.Value) phv.Value { return w.Mod(x(ops, state), y(ops, state)) }, nil
+			case aludsl.OpEq:
+				return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) == y(ops, state)) }, nil
+			case aludsl.OpNeq:
+				return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) != y(ops, state)) }, nil
+			case aludsl.OpLt:
+				return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) < y(ops, state)) }, nil
+			case aludsl.OpGt:
+				return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) > y(ops, state)) }, nil
+			case aludsl.OpLe:
+				return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) <= y(ops, state)) }, nil
+			case aludsl.OpGe:
+				return func(ops, state []phv.Value) phv.Value { return phv.Bool(x(ops, state) >= y(ops, state)) }, nil
+			case aludsl.OpAnd:
+				return func(ops, state []phv.Value) phv.Value {
+					if !phv.Truthy(x(ops, state)) {
+						return 0
+					}
+					return phv.Bool(phv.Truthy(y(ops, state)))
+				}, nil
+			case aludsl.OpOr:
+				return func(ops, state []phv.Value) phv.Value {
+					if phv.Truthy(x(ops, state)) {
+						return 1
+					}
+					return phv.Bool(phv.Truthy(y(ops, state)))
+				}, nil
+			}
+			return nil, fmt.Errorf("core: closure compile: unknown operator %v", e.Op)
+		default:
+			return nil, fmt.Errorf("core: closure compile: unexpected node %T (program not fully inlined?)", e)
+		}
+	}
+
+	compileStmts = func(stmts []aludsl.Stmt) ([]compiledStmt, error) {
+		var out []compiledStmt
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *aludsl.Assign:
+				rhs, err := compileExpr(s.RHS)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, compiledStmt{stateIndex: s.LHS.Index, rhs: rhs})
+			case *aludsl.Return:
+				ret, err := compileExpr(s.Value)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, compiledStmt{ret: ret})
+			case *aludsl.If:
+				cond, err := compileExpr(s.Cond)
+				if err != nil {
+					return nil, err
+				}
+				thenStmts, err := compileStmts(s.Then)
+				if err != nil {
+					return nil, err
+				}
+				var elseStmts []compiledStmt
+				if s.Else != nil {
+					elseStmts, err = compileStmts(s.Else)
+					if err != nil {
+						return nil, err
+					}
+				}
+				out = append(out, compiledStmt{cond: cond, thenStmts: thenStmts, elseStmts: elseStmts})
+			default:
+				return nil, fmt.Errorf("core: closure compile: unknown statement %T", s)
+			}
+		}
+		return out, nil
+	}
+
+	body, err := compileStmts(prog.Body)
+	if err != nil {
+		return nil, err
+	}
+	implicitState := prog.Kind == aludsl.Stateful && prog.NumState() > 0
+
+	var exec func(stmts []compiledStmt, ops, state []phv.Value) (phv.Value, bool)
+	exec = func(stmts []compiledStmt, ops, state []phv.Value) (phv.Value, bool) {
+		for i := range stmts {
+			st := &stmts[i]
+			switch {
+			case st.rhs != nil:
+				state[st.stateIndex] = st.rhs(ops, state)
+			case st.ret != nil:
+				return st.ret(ops, state), true
+			case st.cond != nil:
+				if phv.Truthy(st.cond(ops, state)) {
+					if v, ok := exec(st.thenStmts, ops, state); ok {
+						return v, true
+					}
+				} else if st.elseStmts != nil {
+					if v, ok := exec(st.elseStmts, ops, state); ok {
+						return v, true
+					}
+				}
+			}
+		}
+		return 0, false
+	}
+
+	return func(ops, state []phv.Value) phv.Value {
+		if v, ok := exec(body, ops, state); ok {
+			return v
+		}
+		if implicitState {
+			return state[0]
+		}
+		return 0
+	}, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"druzhba/internal/phv"
+)
+
+func TestCompiledLevelString(t *testing.T) {
+	if Compiled.String() != "compiled" {
+		t.Errorf("Compiled.String() = %q", Compiled.String())
+	}
+	if got := len(AllLevels()); got != 4 {
+		t.Errorf("AllLevels() has %d entries, want 4", got)
+	}
+}
+
+// TestCompiledEngineEquivalence: the closure engine must agree with the
+// inlined interpreter on random machine code, inputs and state, across
+// every atom.
+func TestCompiledEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	grids := []struct {
+		depth, width int
+		atom         string
+	}{
+		{1, 1, "raw"},
+		{2, 1, "if_else_raw"},
+		{2, 2, "pair"},
+		{3, 2, "nested_ifs"},
+		{2, 3, "sub"},
+		{4, 2, "pred_raw"},
+	}
+	for _, g := range grids {
+		s := testSpec(t, g.depth, g.width, g.atom)
+		for trial := 0; trial < 6; trial++ {
+			code := randomValidCode(t, &s, rng)
+			interp, err := Build(s, code, SCCInlining)
+			if err != nil {
+				t.Fatalf("%s: %v", g.atom, err)
+			}
+			compiled, err := Build(s, code, Compiled)
+			if err != nil {
+				t.Fatalf("%s: Build(Compiled): %v", g.atom, err)
+			}
+			for step := 0; step < 16; step++ {
+				vals := make([]phv.Value, interp.PHVLen())
+				for i := range vals {
+					vals[i] = int64(rng.Intn(1 << 14))
+				}
+				in := phv.FromValues(vals)
+				a, err1 := interp.Process(in.Clone())
+				b, err2 := compiled.Process(in.Clone())
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: %v / %v", g.atom, err1, err2)
+				}
+				if !a.Equal(b) {
+					t.Fatalf("%s trial %d step %d: interp %s vs compiled %s (in %s)",
+						g.atom, trial, step, a, b, in)
+				}
+			}
+			if !interp.StateSnapshot().Equal(compiled.StateSnapshot()) {
+				t.Fatalf("%s trial %d: state diverges", g.atom, trial)
+			}
+		}
+	}
+}
+
+func TestCompiledShortCircuit(t *testing.T) {
+	// The closure engine must preserve &&/|| short-circuit semantics.
+	s := testSpec(t, 1, 2, "")
+	code := identityCode(t, &s)
+	// allow = (c0 && c1) via the full stateless ALU.
+	set := func(hole string, v int64) {
+		code.Set("pipeline_stage_0_stateless_alu_0_"+hole, v)
+	}
+	code.Set("pipeline_stage_0_stateless_alu_0_operand_mux_0", 0)
+	code.Set("pipeline_stage_0_stateless_alu_0_operand_mux_1", 1)
+	set("alu_op_0", 11) // logical and
+	set("mux3_0", 0)
+	set("mux3_1", 1)
+	code.Set("pipeline_stage_0_output_mux_phv_0", 1)
+	p, err := Build(s, code, Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ a, b, want phv.Value }{
+		{0, 5, 0}, {5, 0, 0}, {5, 7, 1}, {0, 0, 0},
+	} {
+		out, err := p.Process(phv.FromValues([]phv.Value{tc.a, tc.b}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Get(0) != tc.want {
+			t.Errorf("%d && %d = %d, want %d", tc.a, tc.b, out.Get(0), tc.want)
+		}
+	}
+}
+
+func TestCompiledRejectsBadCode(t *testing.T) {
+	s := testSpec(t, 1, 1, "raw")
+	code := identityCode(t, &s)
+	code.Delete("pipeline_stage_0_output_mux_phv_0")
+	if _, err := Build(s, code, Compiled); err == nil {
+		t.Error("Build(Compiled) accepted missing pair")
+	}
+}

@@ -1,0 +1,541 @@
+// Package core implements Druzhba's RMT machine model (§2.3 of the paper):
+// a feedforward pipeline of stages, each containing stateless and stateful
+// ALUs, input multiplexers that feed PHV container values to ALU operands,
+// and output multiplexers that select one result per PHV container.
+//
+// A Pipeline is built from a hardware Spec (pipeline depth and width plus
+// ALU descriptions in the ALU DSL) and a machine code program, at one of
+// three optimization levels mirroring Fig. 6 of the paper:
+//
+//   - Unoptimized: machine code values are looked up in a hash table and
+//     dispatched on at every execution (version 1);
+//   - SCCPropagation: sparse conditional constant propagation specializes
+//     every helper to its machine code value (version 2);
+//   - SCCInlining: helper calls are additionally inlined (version 3).
+//
+// The package executes one PHV through the dataflow of the pipeline; the
+// tick-accurate simulation loop (read/write PHV halves, one stage per tick)
+// lives in package sim.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/opt"
+	"druzhba/internal/phv"
+)
+
+// OptLevel selects the pipeline-generation optimization level.
+type OptLevel int
+
+const (
+	// Unoptimized treats machine code as runtime variables (Fig. 6 v1).
+	Unoptimized OptLevel = iota
+	// SCCPropagation applies sparse conditional constant propagation (v2).
+	SCCPropagation
+	// SCCInlining applies SCC propagation then function inlining (v3).
+	SCCInlining
+)
+
+func (l OptLevel) String() string {
+	switch l {
+	case Unoptimized:
+		return "unoptimized"
+	case SCCPropagation:
+		return "scc"
+	case SCCInlining:
+		return "scc+inline"
+	case Compiled:
+		return "compiled"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(l))
+	}
+}
+
+// Levels lists all optimization levels in increasing order.
+func Levels() []OptLevel { return []OptLevel{Unoptimized, SCCPropagation, SCCInlining} }
+
+// Spec describes the hardware configuration handed to dgen: the pipeline
+// dimensions and the ALU descriptions (§3.1, "the depth and width of the
+// pipeline, a high-level representation of the ALU structure").
+type Spec struct {
+	Depth int // number of pipeline stages
+	Width int // ALUs of each kind per stage
+
+	// PHVLen is the number of PHV containers; 0 means Width.
+	PHVLen int
+
+	// Bits is the datapath width; the zero value means 32 bits.
+	Bits phv.Width
+
+	// StatefulALU and StatelessALU are the ALU DSL programs instantiated in
+	// every stage. StatefulALU may be nil for a stateless-only pipeline.
+	StatefulALU  *aludsl.Program
+	StatelessALU *aludsl.Program
+}
+
+func (s *Spec) normalize() (Spec, error) {
+	n := *s
+	if n.Depth < 1 {
+		return n, fmt.Errorf("core: pipeline depth %d < 1", n.Depth)
+	}
+	if n.Width < 1 {
+		return n, fmt.Errorf("core: pipeline width %d < 1", n.Width)
+	}
+	if n.PHVLen == 0 {
+		n.PHVLen = n.Width
+	}
+	if n.PHVLen < 1 {
+		return n, fmt.Errorf("core: PHV length %d < 1", n.PHVLen)
+	}
+	if !n.Bits.Valid() {
+		n.Bits = phv.Default32
+	}
+	if n.StatelessALU == nil {
+		return n, errors.New("core: Spec.StatelessALU is required")
+	}
+	if n.StatelessALU.Kind != aludsl.Stateless {
+		return n, fmt.Errorf("core: Spec.StatelessALU %q is not stateless", n.StatelessALU.Name)
+	}
+	if n.StatefulALU != nil && n.StatefulALU.Kind != aludsl.Stateful {
+		return n, fmt.Errorf("core: Spec.StatefulALU %q is not stateful", n.StatefulALU.Name)
+	}
+	return n, nil
+}
+
+// HoleSpec describes one machine code pair the pipeline requires.
+type HoleSpec struct {
+	Name   string
+	Domain int // number of valid values; 0 means unbounded (immediates)
+}
+
+// RequiredPairs enumerates every machine code pair a pipeline built from the
+// spec consumes, in a deterministic order (stage-major, stateless before
+// stateful, operand muxes before ALU holes, output muxes last per stage).
+func (s *Spec) RequiredPairs() ([]HoleSpec, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	var out []HoleSpec
+	addALU := func(stage, slot int, p *aludsl.Program, stateful bool) {
+		for op := 0; op < p.NumOperands(); op++ {
+			out = append(out, HoleSpec{
+				Name:   machinecode.OperandMuxName(stage, stateful, slot, op),
+				Domain: n.PHVLen,
+			})
+		}
+		for _, h := range p.Holes {
+			out = append(out, HoleSpec{
+				Name:   machinecode.ALUHoleName(stage, stateful, slot, h.Name),
+				Domain: h.Domain,
+			})
+		}
+	}
+	for stage := 0; stage < n.Depth; stage++ {
+		for slot := 0; slot < n.Width; slot++ {
+			addALU(stage, slot, n.StatelessALU, false)
+		}
+		if n.StatefulALU != nil {
+			for slot := 0; slot < n.Width; slot++ {
+				addALU(stage, slot, n.StatefulALU, true)
+			}
+		}
+		for c := 0; c < n.PHVLen; c++ {
+			out = append(out, HoleSpec{
+				Name:   machinecode.OutputMuxName(stage, c),
+				Domain: s.outputMuxDomain(n),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (s *Spec) outputMuxDomain(n Spec) int {
+	// 0 = pass-through, 1..Width = stateless outputs,
+	// Width+1..2*Width = stateful outputs (when present).
+	if n.StatefulALU != nil {
+		return 2*n.Width + 1
+	}
+	return n.Width + 1
+}
+
+// Validate checks a machine code program against the spec, returning one
+// error per missing pair or out-of-range value. A nil slice means the code
+// is compatible with the pipeline.
+func (s *Spec) Validate(code *machinecode.Program) []error {
+	req, err := s.RequiredPairs()
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, h := range req {
+		v, ok := code.Get(h.Name)
+		if !ok {
+			errs = append(errs, fmt.Errorf("core: missing machine code pair %q", h.Name))
+			continue
+		}
+		if h.Domain > 0 && (v < 0 || v >= int64(h.Domain)) {
+			errs = append(errs, fmt.Errorf("core: machine code pair %q = %d out of range [0,%d)", h.Name, v, h.Domain))
+		}
+	}
+	return errs
+}
+
+// compiledALU is one ALU instance placed at (stage, slot).
+type compiledALU struct {
+	prog     *aludsl.Program
+	stage    int
+	slot     int
+	stateful bool
+	numOps   int
+
+	// Unoptimized engine: names resolved through the machine code map at
+	// every execution.
+	operandMuxNames []string
+	localToGlobal   map[string]string
+
+	// Optimized engines: selections baked at build time.
+	operandMux []int
+
+	// closure is non-nil for the Compiled engine: the ALU body as a tree
+	// of Go closures instead of an interpreted AST.
+	closure compiledBody
+
+	state []phv.Value
+	env   aludsl.Env
+}
+
+type stage struct {
+	stateless []*compiledALU
+	stateful  []*compiledALU
+
+	outputMuxNames []string // unoptimized
+	outputMux      []int    // optimized
+
+	statelessOut []phv.Value
+	statefulOut  []phv.Value
+}
+
+// Pipeline is an executable pipeline description: the output of dgen, ready
+// for simulation by dsim.
+type Pipeline struct {
+	spec   Spec
+	level  OptLevel
+	code   *machinecode.Program
+	stages []*stage
+}
+
+// Build compiles a spec and machine code into an executable pipeline at the
+// given optimization level. The machine code is validated first; incompatible
+// machine code (missing pairs, out-of-range values) fails the build.
+func Build(s Spec, code *machinecode.Program, level OptLevel) (*Pipeline, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if errs := (&n).Validate(code); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return build(n, code, level)
+}
+
+// BuildUnchecked is Build without machine code validation: missing pairs
+// surface as runtime execution errors instead (the behaviour of the paper's
+// original dsim, which consumed machine code at runtime; the §5.2 case study
+// hit exactly this failure class). Only the Unoptimized level can be built
+// unchecked, since SCC propagation needs every value at generation time.
+func BuildUnchecked(s Spec, code *machinecode.Program) (*Pipeline, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return build(n, code, Unoptimized)
+}
+
+func build(n Spec, code *machinecode.Program, level OptLevel) (*Pipeline, error) {
+	p := &Pipeline{spec: n, level: level, code: code}
+	for si := 0; si < n.Depth; si++ {
+		st := &stage{
+			statelessOut: make([]phv.Value, n.Width),
+			statefulOut:  make([]phv.Value, n.Width),
+		}
+		for slot := 0; slot < n.Width; slot++ {
+			alu, err := newALU(n, code, level, si, slot, n.StatelessALU, false)
+			if err != nil {
+				return nil, err
+			}
+			st.stateless = append(st.stateless, alu)
+		}
+		if n.StatefulALU != nil {
+			for slot := 0; slot < n.Width; slot++ {
+				alu, err := newALU(n, code, level, si, slot, n.StatefulALU, true)
+				if err != nil {
+					return nil, err
+				}
+				st.stateful = append(st.stateful, alu)
+			}
+		}
+		if level == Unoptimized {
+			st.outputMuxNames = make([]string, n.PHVLen)
+			for c := 0; c < n.PHVLen; c++ {
+				st.outputMuxNames[c] = machinecode.OutputMuxName(si, c)
+			}
+		} else {
+			st.outputMux = make([]int, n.PHVLen)
+			for c := 0; c < n.PHVLen; c++ {
+				name := machinecode.OutputMuxName(si, c)
+				v, ok := code.Get(name)
+				if !ok {
+					return nil, fmt.Errorf("core: missing machine code pair %q", name)
+				}
+				st.outputMux[c] = int(v)
+			}
+		}
+		p.stages = append(p.stages, st)
+	}
+	return p, nil
+}
+
+func newALU(n Spec, code *machinecode.Program, level OptLevel, si, slot int, prog *aludsl.Program, stateful bool) (*compiledALU, error) {
+	a := &compiledALU{
+		stage:    si,
+		slot:     slot,
+		stateful: stateful,
+		numOps:   prog.NumOperands(),
+	}
+	if stateful {
+		a.state = make([]phv.Value, prog.NumState())
+	}
+	a.env = aludsl.Env{
+		Width:    n.Bits,
+		Operands: make([]phv.Value, a.numOps),
+		State:    a.state,
+	}
+	scopedName := func(hole string) string {
+		return machinecode.ALUHoleName(si, stateful, slot, hole)
+	}
+	switch level {
+	case Unoptimized:
+		a.prog = prog
+		a.operandMuxNames = make([]string, a.numOps)
+		for op := 0; op < a.numOps; op++ {
+			a.operandMuxNames[op] = machinecode.OperandMuxName(si, stateful, slot, op)
+		}
+		a.localToGlobal = make(map[string]string, len(prog.Holes))
+		for _, h := range prog.Holes {
+			a.localToGlobal[h.Name] = scopedName(h.Name)
+		}
+		// Version-1 semantics: every hole reference performs hash lookups
+		// at execution time.
+		a.env.Holes = func(local string) (int64, bool) {
+			global, ok := a.localToGlobal[local]
+			if !ok {
+				return 0, false
+			}
+			return code.Get(global)
+		}
+	case SCCPropagation, SCCInlining, Compiled:
+		lookup := func(local string) (int64, bool) {
+			return code.Get(scopedName(local))
+		}
+		optimized, err := opt.SCC(prog, lookup, n.Bits)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %d %s ALU %d: %w", si, machinecode.KindName(stateful), slot, err)
+		}
+		if level == SCCInlining || level == Compiled {
+			optimized = opt.Inline(optimized, n.Bits)
+		}
+		a.prog = optimized
+		if level == Compiled {
+			body, err := compileALUBody(optimized, n.Bits)
+			if err != nil {
+				return nil, fmt.Errorf("core: stage %d %s ALU %d: %w", si, machinecode.KindName(stateful), slot, err)
+			}
+			a.closure = body
+		}
+		a.operandMux = make([]int, a.numOps)
+		for op := 0; op < a.numOps; op++ {
+			name := machinecode.OperandMuxName(si, stateful, slot, op)
+			v, ok := code.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("core: missing machine code pair %q", name)
+			}
+			if v < 0 || int(v) >= n.PHVLen {
+				return nil, fmt.Errorf("core: %q = %d out of range [0,%d)", name, v, n.PHVLen)
+			}
+			a.operandMux[op] = int(v)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown optimization level %v", level)
+	}
+	return a, nil
+}
+
+// Spec returns the (normalized) spec the pipeline was built from.
+func (p *Pipeline) Spec() Spec { return p.spec }
+
+// Level returns the pipeline's optimization level.
+func (p *Pipeline) Level() OptLevel { return p.level }
+
+// Depth returns the number of stages.
+func (p *Pipeline) Depth() int { return p.spec.Depth }
+
+// PHVLen returns the number of PHV containers the pipeline expects.
+func (p *Pipeline) PHVLen() int { return p.spec.PHVLen }
+
+// Bits returns the datapath width.
+func (p *Pipeline) Bits() phv.Width { return p.spec.Bits }
+
+// ResetState zeroes every stateful ALU's state vector.
+func (p *Pipeline) ResetState() {
+	for _, st := range p.stages {
+		for _, a := range st.stateful {
+			for i := range a.state {
+				a.state[i] = 0
+			}
+		}
+	}
+}
+
+// SetState overwrites the state vector of the stateful ALU at (stage, slot).
+func (p *Pipeline) SetState(stageIdx, slot int, vals []phv.Value) error {
+	if stageIdx < 0 || stageIdx >= len(p.stages) {
+		return fmt.Errorf("core: stage %d out of range", stageIdx)
+	}
+	st := p.stages[stageIdx]
+	if slot < 0 || slot >= len(st.stateful) {
+		return fmt.Errorf("core: stateful ALU %d out of range in stage %d", slot, stageIdx)
+	}
+	a := st.stateful[slot]
+	if len(vals) != len(a.state) {
+		return fmt.Errorf("core: state length %d != %d", len(vals), len(a.state))
+	}
+	for i, v := range vals {
+		a.state[i] = p.spec.Bits.Trunc(v)
+	}
+	return nil
+}
+
+// StateSnapshot copies every stateful ALU's state, indexed
+// [stage][slot][state variable].
+func (p *Pipeline) StateSnapshot() phv.StateSnapshot {
+	snap := make(phv.StateSnapshot, len(p.stages))
+	for i, st := range p.stages {
+		snap[i] = make([][]phv.Value, len(st.stateful))
+		for j, a := range st.stateful {
+			snap[i][j] = append([]phv.Value(nil), a.state...)
+		}
+	}
+	return snap
+}
+
+// ExecuteStage runs stage si on the input container values, writing the
+// stage's result into out (len(in) == len(out) == PHVLen). Stateful ALU
+// state is mutated.
+func (p *Pipeline) ExecuteStage(si int, in, out []phv.Value) error {
+	if si < 0 || si >= len(p.stages) {
+		return fmt.Errorf("core: stage %d out of range", si)
+	}
+	st := p.stages[si]
+	for k, a := range st.stateless {
+		v, err := p.runALU(a, in)
+		if err != nil {
+			return err
+		}
+		st.statelessOut[k] = v
+	}
+	for k, a := range st.stateful {
+		v, err := p.runALU(a, in)
+		if err != nil {
+			return err
+		}
+		st.statefulOut[k] = v
+	}
+	w := p.spec.Width
+	for c := 0; c < p.spec.PHVLen; c++ {
+		var sel int
+		if p.level == Unoptimized {
+			v, ok := p.code.Get(st.outputMuxNames[c])
+			if !ok {
+				return fmt.Errorf("core: missing machine code pair %q", st.outputMuxNames[c])
+			}
+			sel = int(v)
+		} else {
+			sel = st.outputMux[c]
+		}
+		switch {
+		case sel == 0:
+			out[c] = in[c]
+		case sel >= 1 && sel <= w:
+			out[c] = st.statelessOut[sel-1]
+		case sel >= w+1 && sel <= 2*w && len(st.stateful) > 0:
+			out[c] = st.statefulOut[sel-w-1]
+		default:
+			return fmt.Errorf("core: output mux for stage %d container %d selects %d, out of range", si, c, sel)
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) runALU(a *compiledALU, in []phv.Value) (phv.Value, error) {
+	if a.operandMux != nil {
+		for op, idx := range a.operandMux {
+			a.env.Operands[op] = in[idx]
+		}
+	} else {
+		for op, name := range a.operandMuxNames {
+			v, ok := p.code.Get(name)
+			if !ok {
+				return 0, fmt.Errorf("core: missing machine code pair %q", name)
+			}
+			if v < 0 || int(v) >= len(in) {
+				return 0, fmt.Errorf("core: %q = %d out of range [0,%d)", name, v, len(in))
+			}
+			a.env.Operands[op] = in[v]
+		}
+	}
+	if a.closure != nil {
+		return a.closure(a.env.Operands, a.state), nil
+	}
+	return aludsl.Run(a.prog, &a.env)
+}
+
+// Process runs one PHV through every stage in dataflow order, returning the
+// transformed PHV values. This is equivalent to the tick-accurate simulation
+// for a single PHV (state updates commit between stages either way); package
+// sim provides the tick-level loop for full traces.
+func (p *Pipeline) Process(in *phv.PHV) (*phv.PHV, error) {
+	if in.Len() != p.spec.PHVLen {
+		return nil, fmt.Errorf("core: PHV has %d containers, pipeline expects %d", in.Len(), p.spec.PHVLen)
+	}
+	cur := in.Values()
+	next := make([]phv.Value, len(cur))
+	for si := range p.stages {
+		if err := p.ExecuteStage(si, cur, next); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	return phv.FromValues(cur), nil
+}
+
+// ALUProgram returns the (possibly optimized) program of the ALU at
+// (stage, slot); used by the code generator and by tests.
+func (p *Pipeline) ALUProgram(stageIdx int, stateful bool, slot int) (*aludsl.Program, error) {
+	if stageIdx < 0 || stageIdx >= len(p.stages) {
+		return nil, fmt.Errorf("core: stage %d out of range", stageIdx)
+	}
+	st := p.stages[stageIdx]
+	alus := st.stateless
+	if stateful {
+		alus = st.stateful
+	}
+	if slot < 0 || slot >= len(alus) {
+		return nil, fmt.Errorf("core: ALU %d out of range", slot)
+	}
+	return alus[slot].prog, nil
+}

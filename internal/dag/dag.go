@@ -1,0 +1,228 @@
+// Package dag provides the table dependency graph used by dRMT
+// preprocessing (§4.1 of the paper): nodes are match+action tables and
+// typed edges capture match, action and control (successor) dependencies,
+// following the classification of the RMT and dRMT papers.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DepKind classifies a dependency edge.
+type DepKind int
+
+const (
+	// MatchDep: an earlier table writes a field the later table matches on.
+	MatchDep DepKind = iota
+	// ActionDep: an earlier table writes a field the later table's actions
+	// read or write.
+	ActionDep
+	// ControlDep: tables are ordered by the control flow but share no data.
+	ControlDep
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case MatchDep:
+		return "match"
+	case ActionDep:
+		return "action"
+	case ControlDep:
+		return "control"
+	default:
+		return fmt.Sprintf("DepKind(%d)", int(k))
+	}
+}
+
+// Edge is one dependency from From to To (From must execute first).
+type Edge struct {
+	From, To string
+	Kind     DepKind
+}
+
+// Graph is a table dependency DAG.
+type Graph struct {
+	nodes []string
+	index map[string]int
+	out   map[string][]Edge
+	in    map[string][]Edge
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		index: map[string]int{},
+		out:   map[string][]Edge{},
+		in:    map[string][]Edge{},
+	}
+}
+
+// AddNode adds a node; adding an existing node is a no-op.
+func (g *Graph) AddNode(name string) {
+	if _, ok := g.index[name]; ok {
+		return
+	}
+	g.index[name] = len(g.nodes)
+	g.nodes = append(g.nodes, name)
+}
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// AddEdge adds a typed dependency edge; both endpoints must exist. Duplicate
+// (From, To) pairs keep the strongest kind (match > action > control).
+func (g *Graph) AddEdge(from, to string, kind DepKind) error {
+	if !g.HasNode(from) {
+		return fmt.Errorf("dag: unknown node %q", from)
+	}
+	if !g.HasNode(to) {
+		return fmt.Errorf("dag: unknown node %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-edge on %q", from)
+	}
+	for i, e := range g.out[from] {
+		if e.To == to {
+			if strength(kind) > strength(e.Kind) {
+				g.out[from][i].Kind = kind
+				for j, ie := range g.in[to] {
+					if ie.From == from {
+						g.in[to][j].Kind = kind
+					}
+				}
+			}
+			return nil
+		}
+	}
+	e := Edge{From: from, To: to, Kind: kind}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return nil
+}
+
+// strength orders dependency kinds: match dependencies impose the longest
+// stalls, control the shortest.
+func strength(k DepKind) int {
+	switch k {
+	case MatchDep:
+		return 3
+	case ActionDep:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Nodes returns the node names in insertion order.
+func (g *Graph) Nodes() []string { return append([]string(nil), g.nodes...) }
+
+// Len reports the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Out returns the outgoing edges of a node, sorted by target.
+func (g *Graph) Out(name string) []Edge {
+	es := append([]Edge(nil), g.out[name]...)
+	sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+	return es
+}
+
+// In returns the incoming edges of a node, sorted by source.
+func (g *Graph) In(name string) []Edge {
+	es := append([]Edge(nil), g.in[name]...)
+	sort.Slice(es, func(i, j int) bool { return es[i].From < es[j].From })
+	return es
+}
+
+// Edges returns every edge, sorted (From, To).
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for _, n := range g.nodes {
+		es = append(es, g.out[n]...)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// TopoSort returns a topological order of the nodes, preferring insertion
+// order among ready nodes (stable). It fails on cycles.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = len(g.in[n])
+	}
+	var ready []string
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, e := range g.out[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				// keep insertion order: insert by node index
+				pos := len(ready)
+				for i, r := range ready {
+					if g.index[e.To] < g.index[r] {
+						pos = i
+						break
+					}
+				}
+				ready = append(ready[:pos], append([]string{e.To}, ready[pos:]...)...)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: cycle among %d nodes", len(g.nodes)-len(order))
+	}
+	return order, nil
+}
+
+// CriticalPathLen returns the number of nodes on the longest dependency
+// chain (1 for a single node, 0 for an empty graph).
+func (g *Graph) CriticalPathLen() (int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	depth := map[string]int{}
+	best := 0
+	for _, n := range order {
+		d := 1
+		for _, e := range g.in[n] {
+			if depth[e.From]+1 > d {
+				d = depth[e.From] + 1
+			}
+		}
+		depth[n] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// String renders the graph in a dot-like form.
+func (g *Graph) String() string {
+	s := "digraph {\n"
+	for _, n := range g.nodes {
+		s += fmt.Sprintf("  %s\n", n)
+	}
+	for _, e := range g.Edges() {
+		s += fmt.Sprintf("  %s -> %s [%s]\n", e.From, e.To, e.Kind)
+	}
+	return s + "}\n"
+}

@@ -1,0 +1,187 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func chain(t *testing.T, names ...string) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range names {
+		g.AddNode(n)
+	}
+	for i := 0; i+1 < len(names); i++ {
+		if err := g.AddEdge(names[i], names[i+1], MatchDep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	g.AddNode("a")
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	if err := g.AddEdge("a", "b", MatchDep); err == nil {
+		t.Error("edge to unknown node accepted")
+	}
+	if err := g.AddEdge("b", "a", MatchDep); err == nil {
+		t.Error("edge from unknown node accepted")
+	}
+	if err := g.AddEdge("a", "a", MatchDep); err == nil {
+		t.Error("self-edge accepted")
+	}
+}
+
+func TestDuplicateEdgeKeepsStrongest(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	g.AddNode("b")
+	if err := g.AddEdge("a", "b", ControlDep); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b", MatchDep); err != nil {
+		t.Fatal(err)
+	}
+	es := g.Out("a")
+	if len(es) != 1 {
+		t.Fatalf("edge count = %d, want 1", len(es))
+	}
+	if es[0].Kind != MatchDep {
+		t.Errorf("kind = %v, want match (strongest)", es[0].Kind)
+	}
+	// Weaker duplicates do not downgrade.
+	if err := g.AddEdge("a", "b", ActionDep); err != nil {
+		t.Fatal(err)
+	}
+	if g.Out("a")[0].Kind != MatchDep {
+		t.Error("weaker duplicate downgraded the edge")
+	}
+	if g.In("b")[0].Kind != MatchDep {
+		t.Error("incoming mirror not upgraded")
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(t, "t1", "t2", "t3", "t4")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t1", "t2", "t3", "t4"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortStable(t *testing.T) {
+	// Independent nodes keep insertion order.
+	g := New()
+	for _, n := range []string{"c", "a", "b"} {
+		g.AddNode(n)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "c" || order[1] != "a" || order[2] != "b" {
+		t.Errorf("order = %v, want insertion order [c a b]", order)
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := New()
+	for _, n := range []string{"s", "l", "r", "t"} {
+		g.AddNode(n)
+	}
+	mustEdge := func(a, b string) {
+		t.Helper()
+		if err := g.AddEdge(a, b, ActionDep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge("s", "l")
+	mustEdge("s", "r")
+	mustEdge("l", "t")
+	mustEdge("r", "t")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos["s"] < pos["l"] && pos["s"] < pos["r"] && pos["l"] < pos["t"] && pos["r"] < pos["t"]) {
+		t.Errorf("order %v violates diamond dependencies", order)
+	}
+	cp, err := g.CriticalPathLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 3 {
+		t.Errorf("critical path = %d, want 3", cp)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	g.AddNode("b")
+	if err := g.AddEdge("a", "b", MatchDep); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "a", MatchDep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("TopoSort succeeded on a cycle")
+	}
+	if _, err := g.CriticalPathLen(); err == nil {
+		t.Error("CriticalPathLen succeeded on a cycle")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New()
+	order, err := g.TopoSort()
+	if err != nil || len(order) != 0 {
+		t.Errorf("TopoSort empty = %v, %v", order, err)
+	}
+	cp, err := g.CriticalPathLen()
+	if err != nil || cp != 0 {
+		t.Errorf("CriticalPathLen empty = %d, %v", cp, err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := chain(t, "x", "y")
+	s := g.String()
+	if !strings.Contains(s, "x -> y [match]") {
+		t.Errorf("String output missing edge: %s", s)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New()
+	for _, n := range []string{"b", "a", "c"} {
+		g.AddNode(n)
+	}
+	_ = g.AddEdge("b", "c", ControlDep)
+	_ = g.AddEdge("a", "c", ControlDep)
+	es := g.Edges()
+	if es[0].From != "a" || es[1].From != "b" {
+		t.Errorf("Edges not sorted: %v", es)
+	}
+}

@@ -1,0 +1,262 @@
+// Package debug is the time-travel debugger sketched in §7 of the paper:
+// "Bi-directional traveling ... can allow testers to rewind pipeline
+// simulation ticks to past pipeline states to trace origins of erroneous
+// behavior." A Session records the complete simulation history — per-tick
+// state snapshots and per-tick pipeline slot occupancy — and a small REPL
+// steps forward and backward through it, sets breakpoints on state values
+// and inspects PHVs.
+package debug
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+	"druzhba/internal/sim"
+)
+
+// Session is a recorded simulation that can be navigated in both
+// directions.
+type Session struct {
+	pipeline *core.Pipeline
+	input    *phv.Trace
+	result   *sim.Result
+	tick     int
+}
+
+// NewSession runs the pipeline over the input trace with full history
+// recording and returns a session positioned at tick 0.
+func NewSession(p *core.Pipeline, input *phv.Trace) (*Session, error) {
+	p.ResetState()
+	res, err := sim.RunOpts(p, input, sim.RunOptions{RecordStates: true, RecordSlots: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{pipeline: p, input: input, result: res}, nil
+}
+
+// Ticks reports the total number of recorded ticks.
+func (s *Session) Ticks() int { return s.result.Ticks }
+
+// Tick reports the current position.
+func (s *Session) Tick() int { return s.tick }
+
+// Goto jumps to an absolute tick.
+func (s *Session) Goto(t int) error {
+	if t < 0 || t >= s.result.Ticks {
+		return fmt.Errorf("debug: tick %d out of range [0,%d)", t, s.result.Ticks)
+	}
+	s.tick = t
+	return nil
+}
+
+// Step moves forward one tick.
+func (s *Session) Step() error { return s.Goto(s.tick + 1) }
+
+// Back rewinds one tick (the bi-directional travel of §7).
+func (s *Session) Back() error { return s.Goto(s.tick - 1) }
+
+// State returns the state snapshot after the current tick.
+func (s *Session) State() phv.StateSnapshot {
+	return s.result.StateHistory[s.tick]
+}
+
+// StateValue reads one state variable at the current tick.
+func (s *Session) StateValue(stage, slot, index int) (phv.Value, error) {
+	snap := s.State()
+	if stage < 0 || stage >= len(snap) {
+		return 0, fmt.Errorf("debug: stage %d out of range", stage)
+	}
+	if slot < 0 || slot >= len(snap[stage]) {
+		return 0, fmt.Errorf("debug: stateful ALU %d out of range in stage %d", slot, stage)
+	}
+	if index < 0 || index >= len(snap[stage][slot]) {
+		return 0, fmt.Errorf("debug: state variable %d out of range", index)
+	}
+	return snap[stage][slot][index], nil
+}
+
+// Slots returns the pipeline slot occupancy at the current tick: slot i is
+// the PHV that just left stage i-1 and will execute stage i next tick (slot
+// 0 holds the newly admitted PHV; the last slot holds a completed PHV).
+// Empty slots are nil.
+func (s *Session) Slots() [][]phv.Value {
+	return s.result.SlotHistory[s.tick]
+}
+
+// Watch traces one state variable across every tick.
+func (s *Session) Watch(stage, slot, index int) ([]phv.Value, error) {
+	if _, err := s.StateValue(stage, slot, index); err != nil {
+		return nil, err
+	}
+	out := make([]phv.Value, s.result.Ticks)
+	for t := 0; t < s.result.Ticks; t++ {
+		out[t] = s.result.StateHistory[t][stage][slot][index]
+	}
+	return out, nil
+}
+
+// BreakOnState finds the first tick at or after from where the state
+// variable equals value, returning the tick or -1.
+func (s *Session) BreakOnState(stage, slot, index int, value phv.Value, from int) (int, error) {
+	if _, err := s.StateValue(stage, slot, index); err != nil {
+		return -1, err
+	}
+	for t := from; t < s.result.Ticks; t++ {
+		if s.result.StateHistory[t][stage][slot][index] == value {
+			return t, nil
+		}
+	}
+	return -1, nil
+}
+
+// Output returns the simulation's output trace.
+func (s *Session) Output() *phv.Trace { return s.result.Output }
+
+// REPL drives a session from a command stream. Commands:
+//
+//	next | n             advance one tick
+//	back | b             rewind one tick
+//	goto <t>             jump to tick t
+//	state                print the full state snapshot
+//	slots                print pipeline slot occupancy
+//	watch <st> <alu> <i> print a state variable across all ticks
+//	break <st> <alu> <i> <v>  run forward to the first tick where the
+//	                     state variable equals v
+//	phv <i>              print input/output PHV i
+//	quit | q             exit
+func REPL(s *Session, r io.Reader, w io.Writer) error {
+	fmt.Fprintf(w, "druzhba time-travel debugger: %d ticks recorded, %d PHVs\n", s.Ticks(), s.input.Len())
+	prompt := func() {
+		fmt.Fprintf(w, "tick %d> ", s.Tick())
+	}
+	prompt()
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			prompt()
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		var err error
+		switch cmd {
+		case "quit", "q", "exit":
+			return nil
+		case "next", "n":
+			err = s.Step()
+		case "back", "b":
+			err = s.Back()
+		case "goto":
+			err = withInts(args, 1, func(v []int) error { return s.Goto(v[0]) })
+		case "state":
+			fmt.Fprintln(w, s.State())
+		case "slots":
+			printSlots(w, s)
+		case "watch":
+			err = withInts(args, 3, func(v []int) error {
+				vals, werr := s.Watch(v[0], v[1], v[2])
+				if werr != nil {
+					return werr
+				}
+				printWatch(w, vals)
+				return nil
+			})
+		case "break":
+			err = withInts(args, 4, func(v []int) error {
+				t, berr := s.BreakOnState(v[0], v[1], v[2], int64(v[3]), s.Tick())
+				if berr != nil {
+					return berr
+				}
+				if t < 0 {
+					fmt.Fprintln(w, "no tick matches")
+					return nil
+				}
+				if gerr := s.Goto(t); gerr != nil {
+					return gerr
+				}
+				fmt.Fprintf(w, "hit at tick %d\n", t)
+				return nil
+			})
+		case "phv":
+			err = withInts(args, 1, func(v []int) error {
+				i := v[0]
+				if i < 0 || i >= s.input.Len() {
+					return fmt.Errorf("PHV %d out of range", i)
+				}
+				fmt.Fprintf(w, "in  %s\n", s.input.At(i))
+				if i < s.Output().Len() {
+					fmt.Fprintf(w, "out %s\n", s.Output().At(i))
+				}
+				return nil
+			})
+		default:
+			err = fmt.Errorf("unknown command %q", cmd)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+func withInts(args []string, n int, f func([]int) error) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d argument(s), got %d", n, len(args))
+	}
+	vals := make([]int, n)
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return fmt.Errorf("bad argument %q", a)
+		}
+		vals[i] = v
+	}
+	return f(vals)
+}
+
+func printSlots(w io.Writer, s *Session) {
+	slots := s.Slots()
+	for i, vals := range slots {
+		label := fmt.Sprintf("stage %d", i)
+		if i == len(slots)-1 {
+			label = "done   "
+		}
+		if vals == nil {
+			fmt.Fprintf(w, "  %s: (empty)\n", label)
+			continue
+		}
+		fmt.Fprintf(w, "  %s: %s\n", label, phv.FromValues(vals))
+	}
+}
+
+func printWatch(w io.Writer, vals []phv.Value) {
+	// Compress runs of equal values.
+	type run struct {
+		from, to int
+		v        phv.Value
+	}
+	var runs []run
+	for t, v := range vals {
+		if len(runs) > 0 && runs[len(runs)-1].v == v {
+			runs[len(runs)-1].to = t
+			continue
+		}
+		runs = append(runs, run{from: t, to: t, v: v})
+	}
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].from < runs[j].from })
+	for _, r := range runs {
+		if r.from == r.to {
+			fmt.Fprintf(w, "  tick %d: %d\n", r.from, r.v)
+		} else {
+			fmt.Fprintf(w, "  tick %d-%d: %d\n", r.from, r.to, r.v)
+		}
+	}
+}

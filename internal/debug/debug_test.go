@@ -1,0 +1,172 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"druzhba/internal/atoms"
+	"druzhba/internal/core"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
+)
+
+// counterSession builds a 1x1 raw-atom accumulator over a fixed trace.
+func counterSession(t *testing.T, inputs []phv.Value) *Session {
+	t.Helper()
+	s := core.Spec{Depth: 1, Width: 1, StatelessALU: atoms.MustLoad("stateless_full"), StatefulALU: atoms.MustLoad("raw")}
+	req, err := s.RequiredPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := machinecode.New()
+	for _, h := range req {
+		code.Set(h.Name, 0)
+	}
+	code.Set(machinecode.ALUHoleName(0, true, 0, "mux2_0"), 0) // state += pkt
+	code.Set(machinecode.OutputMuxName(0, 0), 2)               // container <- stateful
+	p, err := core.Build(s, code, core.SCCInlining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := phv.NewTrace()
+	for _, v := range inputs {
+		trace.Append(phv.FromValues([]phv.Value{v}))
+	}
+	sess, err := NewSession(p, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSessionNavigation(t *testing.T) {
+	s := counterSession(t, []phv.Value{5, 10, 20})
+	if s.Ticks() != 3 { // 3 PHVs, depth 1
+		t.Fatalf("ticks = %d, want 3", s.Ticks())
+	}
+	if s.Tick() != 0 {
+		t.Errorf("initial tick = %d", s.Tick())
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tick() != 1 {
+		t.Errorf("tick after Step = %d", s.Tick())
+	}
+	if err := s.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tick() != 0 {
+		t.Errorf("tick after Back = %d", s.Tick())
+	}
+	if err := s.Back(); err == nil {
+		t.Error("Back before tick 0 succeeded")
+	}
+	if err := s.Goto(99); err == nil {
+		t.Error("Goto out of range succeeded")
+	}
+}
+
+func TestSessionStateHistory(t *testing.T) {
+	s := counterSession(t, []phv.Value{5, 10, 20})
+	// The accumulator state after each tick: 5, 15, 35.
+	want := []phv.Value{5, 15, 35}
+	for tk, wv := range want {
+		if err := s.Goto(tk); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.StateValue(0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != wv {
+			t.Errorf("tick %d: state = %d, want %d", tk, v, wv)
+		}
+	}
+	// Rewinding must show the old state again (time travel).
+	if err := s.Goto(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.StateValue(0, 0, 0); v != 5 {
+		t.Errorf("rewound state = %d, want 5", v)
+	}
+}
+
+func TestSessionWatchAndBreak(t *testing.T) {
+	s := counterSession(t, []phv.Value{1, 1, 1, 1})
+	vals, err := s.Watch(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != int64(i+1) {
+			t.Errorf("watch[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	tk, err := s.BreakOnState(0, 0, 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk != 2 {
+		t.Errorf("break tick = %d, want 2", tk)
+	}
+	tk, err = s.BreakOnState(0, 0, 0, 99, 0)
+	if err != nil || tk != -1 {
+		t.Errorf("missing value: tick = %d, err %v; want -1, nil", tk, err)
+	}
+	if _, err := s.Watch(5, 0, 0); err == nil {
+		t.Error("Watch accepted bad stage")
+	}
+}
+
+func TestSessionSlots(t *testing.T) {
+	s := counterSession(t, []phv.Value{7})
+	if err := s.Goto(0); err != nil {
+		t.Fatal(err)
+	}
+	slots := s.Slots()
+	// Depth 1: slots [stage0, done]; after tick 0 the PHV finished stage 0
+	// and waits in the completion slot.
+	if slots[0] != nil {
+		t.Errorf("slot 0 = %v, want empty", slots[0])
+	}
+	if slots[1] == nil || slots[1][0] != 7 {
+		t.Errorf("completion slot = %v, want [7]", slots[1])
+	}
+}
+
+func TestREPLScript(t *testing.T) {
+	s := counterSession(t, []phv.Value{5, 10, 20})
+	script := strings.Join([]string{
+		"state",
+		"next",
+		"state",
+		"back",
+		"slots",
+		"watch 0 0 0",
+		"break 0 0 0 35",
+		"phv 1",
+		"goto 0",
+		"bogus",
+		"goto 99",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	if err := REPL(s, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"3 ticks recorded",
+		"stage0:[[5]]",           // state at tick 0
+		"stage0:[[15]]",          // state at tick 1
+		"hit at tick 2",          // breakpoint
+		"in  [10]",               // phv 1 input
+		"error: unknown command", // bogus
+		"error: debug: tick 99 out of range",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package domino implements a small packet-transaction language modelled on
+// Domino ("Packet Transactions", SIGCOMM 2016), the language the Chipmunk
+// compiler of the paper's case study consumes. A program declares persistent
+// state variables and a transaction body executed once per packet:
+//
+//	state count = 0;
+//
+//	transaction {
+//	    if (count == 9) {
+//	        count = 0;
+//	        pkt.sample = 1;
+//	    } else {
+//	        count = count + 1;
+//	        pkt.sample = 0;
+//	    }
+//	}
+//
+// Programs are interpreted directly and double as the high-level
+// specifications of Fig. 5: bound to a PHV field layout they implement
+// sim.Spec, producing the expected output trace for an input trace.
+package domino
+
+import (
+	"fmt"
+	"sort"
+
+	"druzhba/internal/phv"
+)
+
+// Program is a parsed Domino program.
+type Program struct {
+	Name   string
+	States []StateDecl
+	Body   []Stmt
+
+	fields []string // pkt fields referenced, in first-use order
+}
+
+// StateDecl declares one persistent state variable with its initial value.
+type StateDecl struct {
+	Name string
+	Init int64
+}
+
+// Fields returns the packet fields the program reads or writes, in first-use
+// order.
+func (p *Program) Fields() []string { return append([]string(nil), p.fields...) }
+
+// WrittenFields returns the packet fields the transaction assigns to,
+// sorted. These are the fields a compiled pipeline must reproduce.
+func (p *Program) WrittenFields() []string {
+	set := map[string]bool{}
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Assign:
+				if s.Target.Kind == TargetField {
+					set[s.Target.Name] = true
+				}
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			}
+		}
+	}
+	walk(p.Body)
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StateNames returns the declared state variable names in order.
+func (p *Program) StateNames() []string {
+	out := make([]string, len(p.States))
+	for i, s := range p.States {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TargetKind classifies assignment targets.
+type TargetKind int
+
+const (
+	TargetState TargetKind = iota
+	TargetField            // pkt.<name>
+	TargetLocal
+)
+
+// Target is an assignable location.
+type Target struct {
+	Kind TargetKind
+	Name string
+}
+
+// Stmt is a transaction statement.
+type Stmt interface{ stmtNode() }
+
+// Assign stores Expr into Target. A local is declared on first assignment.
+type Assign struct {
+	Target Target
+	Expr   Expr
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*Assign) stmtNode() {}
+func (*If) stmtNode()     {}
+
+// Expr is a transaction expression.
+type Expr interface{ exprNode() }
+
+// Lit is an integer literal.
+type Lit struct{ Value int64 }
+
+// RefKind classifies variable references.
+type RefKind int
+
+const (
+	RefState RefKind = iota
+	RefField
+	RefLocal
+)
+
+// Ref reads a state variable, packet field or local.
+type Ref struct {
+	Kind RefKind
+	Name string
+}
+
+// BinKind enumerates binary operators.
+type BinKind int
+
+const (
+	BAdd BinKind = iota
+	BSub
+	BMul
+	BDiv
+	BMod
+	BEq
+	BNeq
+	BLt
+	BGt
+	BLe
+	BGe
+	BAnd
+	BOr
+)
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   BinKind
+	X, Y Expr
+}
+
+// Un is a unary operation (negation or logical not).
+type Un struct {
+	Neg bool // true: -x, false: !x
+	X   Expr
+}
+
+func (*Lit) exprNode() {}
+func (*Ref) exprNode() {}
+func (*Bin) exprNode() {}
+func (*Un) exprNode()  {}
+
+// --- Interpreter -------------------------------------------------------------
+
+// Machine executes a program packet by packet, maintaining state across
+// packets. It is the reference semantics ("program spec" of Fig. 5).
+type Machine struct {
+	prog  *Program
+	w     phv.Width
+	state map[string]int64
+}
+
+// NewMachine returns a machine with freshly initialized state.
+func NewMachine(p *Program, w phv.Width) *Machine {
+	m := &Machine{prog: p, w: w}
+	m.Reset()
+	return m
+}
+
+// Reset restores every state variable to its declared initial value.
+func (m *Machine) Reset() {
+	m.state = make(map[string]int64, len(m.prog.States))
+	for _, s := range m.prog.States {
+		m.state[s.Name] = m.w.Trunc(s.Init)
+	}
+}
+
+// State returns the current value of a state variable.
+func (m *Machine) State(name string) (int64, bool) {
+	v, ok := m.state[name]
+	return v, ok
+}
+
+// Step executes the transaction on one packet. fields maps packet field
+// names to values; the map is mutated in place with the transaction's
+// writes.
+func (m *Machine) Step(fields map[string]int64) error {
+	locals := map[string]int64{}
+	return m.exec(m.prog.Body, fields, locals)
+}
+
+func (m *Machine) exec(stmts []Stmt, fields, locals map[string]int64) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			v, err := m.eval(s.Expr, fields, locals)
+			if err != nil {
+				return err
+			}
+			switch s.Target.Kind {
+			case TargetState:
+				m.state[s.Target.Name] = v
+			case TargetField:
+				fields[s.Target.Name] = v
+			case TargetLocal:
+				locals[s.Target.Name] = v
+			}
+		case *If:
+			c, err := m.eval(s.Cond, fields, locals)
+			if err != nil {
+				return err
+			}
+			if phv.Truthy(c) {
+				if err := m.exec(s.Then, fields, locals); err != nil {
+					return err
+				}
+			} else if s.Else != nil {
+				if err := m.exec(s.Else, fields, locals); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("domino: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) eval(e Expr, fields, locals map[string]int64) (int64, error) {
+	switch e := e.(type) {
+	case *Lit:
+		return m.w.Trunc(e.Value), nil
+	case *Ref:
+		switch e.Kind {
+		case RefState:
+			return m.state[e.Name], nil
+		case RefField:
+			v, ok := fields[e.Name]
+			if !ok {
+				return 0, fmt.Errorf("domino: packet has no field %q", e.Name)
+			}
+			return v, nil
+		case RefLocal:
+			v, ok := locals[e.Name]
+			if !ok {
+				return 0, fmt.Errorf("domino: local %q read before assignment", e.Name)
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("domino: bad reference kind %d", e.Kind)
+	case *Un:
+		x, err := m.eval(e.X, fields, locals)
+		if err != nil {
+			return 0, err
+		}
+		if e.Neg {
+			return m.w.Trunc(-x), nil
+		}
+		return phv.Bool(x == 0), nil
+	case *Bin:
+		// Short-circuit logicals.
+		switch e.Op {
+		case BAnd:
+			x, err := m.eval(e.X, fields, locals)
+			if err != nil {
+				return 0, err
+			}
+			if !phv.Truthy(x) {
+				return 0, nil
+			}
+			y, err := m.eval(e.Y, fields, locals)
+			if err != nil {
+				return 0, err
+			}
+			return phv.Bool(phv.Truthy(y)), nil
+		case BOr:
+			x, err := m.eval(e.X, fields, locals)
+			if err != nil {
+				return 0, err
+			}
+			if phv.Truthy(x) {
+				return 1, nil
+			}
+			y, err := m.eval(e.Y, fields, locals)
+			if err != nil {
+				return 0, err
+			}
+			return phv.Bool(phv.Truthy(y)), nil
+		}
+		x, err := m.eval(e.X, fields, locals)
+		if err != nil {
+			return 0, err
+		}
+		y, err := m.eval(e.Y, fields, locals)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case BAdd:
+			return m.w.Add(x, y), nil
+		case BSub:
+			return m.w.Sub(x, y), nil
+		case BMul:
+			return m.w.Mul(x, y), nil
+		case BDiv:
+			return m.w.Div(x, y), nil
+		case BMod:
+			return m.w.Mod(x, y), nil
+		case BEq:
+			return phv.Bool(x == y), nil
+		case BNeq:
+			return phv.Bool(x != y), nil
+		case BLt:
+			return phv.Bool(x < y), nil
+		case BGt:
+			return phv.Bool(x > y), nil
+		case BLe:
+			return phv.Bool(x <= y), nil
+		case BGe:
+			return phv.Bool(x >= y), nil
+		}
+		return 0, fmt.Errorf("domino: unknown operator %d", e.Op)
+	default:
+		return 0, fmt.Errorf("domino: unknown expression %T", e)
+	}
+}

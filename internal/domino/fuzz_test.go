@@ -1,0 +1,62 @@
+package domino
+
+import (
+	"testing"
+
+	"druzhba/internal/phv"
+)
+
+// FuzzParse: the Domino parser must never panic, and accepted programs must
+// render to source that reparses to the same shape.
+func FuzzParse(f *testing.F) {
+	f.Add(samplingSrc)
+	f.Add("state x = -3;\ntransaction { int t = pkt.a * 2; x = x + t; pkt.a = x; }")
+	f.Add("transaction { if (pkt.a < 3 && pkt.b != 0) { pkt.a = pkt.a / pkt.b; } }")
+	f.Add("transaction")
+	f.Add("state transaction = 0;")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted program fails to reparse: %v\n%s", err, rendered)
+		}
+		if len(q.States) != len(p.States) || len(q.Fields()) != len(p.Fields()) {
+			t.Fatal("program shape changed across render round trip")
+		}
+	})
+}
+
+// FuzzStep: interpreting accepted programs on arbitrary field values must
+// never panic and must keep values in the datapath range.
+func FuzzStep(f *testing.F) {
+	f.Add(samplingSrc, int64(5), int64(10))
+	f.Fuzz(func(t *testing.T, src string, a, b int64) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		m := NewMachine(p, phv.Default32)
+		fields := map[string]int64{}
+		for i, name := range p.Fields() {
+			if i%2 == 0 {
+				fields[name] = phv.Default32.Trunc(a)
+			} else {
+				fields[name] = phv.Default32.Trunc(b)
+			}
+		}
+		for step := 0; step < 3; step++ {
+			if err := m.Step(fields); err != nil {
+				return
+			}
+			for name, v := range fields {
+				if v < 0 || v > phv.Default32.Mask() {
+					t.Fatalf("field %s = %d outside datapath range", name, v)
+				}
+			}
+		}
+	})
+}

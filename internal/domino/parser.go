@@ -1,0 +1,589 @@
+package domino
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with its position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("domino: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type dtoken struct {
+	kind string // "ident", "num", or the literal punctuation/keyword
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+func dlex(src string) ([]dtoken, error) {
+	var toks []dtoken
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	fail := func(format string, args ...any) error {
+		return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			start, l0, c0 := i, line, col
+			for i < len(src) && (src[i] == '_' || (src[i] >= 'a' && src[i] <= 'z') || (src[i] >= 'A' && src[i] <= 'Z') || (src[i] >= '0' && src[i] <= '9')) {
+				adv(1)
+			}
+			text := src[start:i]
+			kind := "ident"
+			switch text {
+			case "state", "transaction", "if", "else", "int", "pkt":
+				kind = text
+			}
+			toks = append(toks, dtoken{kind: kind, text: text, line: l0, col: c0})
+		case c >= '0' && c <= '9':
+			start, l0, c0 := i, line, col
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				adv(1)
+			}
+			n, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, fail("bad number %q", src[start:i])
+			}
+			toks = append(toks, dtoken{kind: "num", text: src[start:i], num: n, line: l0, col: c0})
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			l0, c0 := line, col
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, dtoken{kind: two, line: l0, col: c0})
+				adv(2)
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', ';', '=', '+', '-', '*', '/', '%', '<', '>', '!', '.', ',':
+				toks = append(toks, dtoken{kind: string(c), line: l0, col: c0})
+				adv(1)
+			default:
+				return nil, fail("unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, dtoken{kind: "eof", line: line, col: col})
+	return toks, nil
+}
+
+// Parse parses a Domino program.
+func Parse(src string) (*Program, error) {
+	toks, err := dlex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dparser{toks: toks, prog: &Program{}, fieldsSeen: map[string]bool{}, states: map[string]bool{}, locals: map[string]bool{}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type dparser struct {
+	toks       []dtoken
+	pos        int
+	prog       *Program
+	fieldsSeen map[string]bool
+	states     map[string]bool
+	locals     map[string]bool
+}
+
+func (p *dparser) cur() dtoken { return p.toks[p.pos] }
+
+func (p *dparser) advance() dtoken {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *dparser) errf(t dtoken, format string, args ...any) error {
+	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *dparser) expect(kind string) (dtoken, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %q, found %q", kind, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func describe(t dtoken) string {
+	if t.kind == "ident" || t.kind == "num" {
+		return t.text
+	}
+	return t.kind
+}
+
+func (p *dparser) noteField(name string) {
+	if !p.fieldsSeen[name] {
+		p.fieldsSeen[name] = true
+		p.prog.fields = append(p.prog.fields, name)
+	}
+}
+
+func (p *dparser) parse() error {
+	// state declarations
+	for p.cur().kind == "state" {
+		p.advance()
+		name, err := p.expect("ident")
+		if err != nil {
+			return err
+		}
+		if p.states[name.text] {
+			return p.errf(name, "duplicate state variable %q", name.text)
+		}
+		if _, err := p.expect("="); err != nil {
+			return err
+		}
+		neg := false
+		if p.cur().kind == "-" {
+			neg = true
+			p.advance()
+		}
+		val, err := p.expect("num")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return err
+		}
+		init := val.num
+		if neg {
+			init = -init
+		}
+		p.states[name.text] = true
+		p.prog.States = append(p.prog.States, StateDecl{Name: name.text, Init: init})
+	}
+	if _, err := p.expect("transaction"); err != nil {
+		return err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return err
+	}
+	body, err := p.stmts()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect("}"); err != nil {
+		return err
+	}
+	if _, err := p.expect("eof"); err != nil {
+		return err
+	}
+	p.prog.Body = body
+	return nil
+}
+
+func (p *dparser) stmts() ([]Stmt, error) {
+	var out []Stmt
+	for p.cur().kind != "}" && p.cur().kind != "eof" {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *dparser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.kind {
+	case "if":
+		return p.ifStmt()
+	case "int":
+		// local declaration: int x = expr;
+		p.advance()
+		name, err := p.expect("ident")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		p.locals[name.text] = true
+		return &Assign{Target: Target{Kind: TargetLocal, Name: name.text}, Expr: e}, nil
+	case "pkt":
+		p.advance()
+		if _, err := p.expect("."); err != nil {
+			return nil, err
+		}
+		name, err := p.expect("ident")
+		if err != nil {
+			return nil, err
+		}
+		p.noteField(name.text)
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Assign{Target: Target{Kind: TargetField, Name: name.text}, Expr: e}, nil
+	case "ident":
+		p.advance()
+		kind := TargetLocal
+		switch {
+		case p.states[t.text]:
+			kind = TargetState
+		case p.locals[t.text]:
+			kind = TargetLocal
+		default:
+			return nil, p.errf(t, "assignment to undeclared variable %q (declare with 'int %s = ...' or 'state %s = ...')", t.text, t.text, t.text)
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Assign{Target: Target{Kind: kind, Name: t.text}, Expr: e}, nil
+	default:
+		return nil, p.errf(t, "expected statement, found %q", describe(t))
+	}
+}
+
+func (p *dparser) ifStmt() (Stmt, error) {
+	p.advance() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.stmts()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: thenStmts}
+	if p.cur().kind == "else" {
+		p.advance()
+		if p.cur().kind == "if" {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{nested}
+			return node, nil
+		}
+		if _, err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		elseStmts, err := p.stmts()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		node.Else = elseStmts
+	}
+	return node, nil
+}
+
+var dbinops = map[string]BinKind{
+	"==": BEq, "!=": BNeq, "<": BLt, ">": BGt, "<=": BLe, ">=": BGe,
+}
+
+func (p *dparser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *dparser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "||" {
+		p.advance()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: BOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *dparser) andExpr() (Expr, error) {
+	x, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "&&" {
+		p.advance()
+		y, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: BAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *dparser) relExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := dbinops[p.cur().kind]; ok {
+		p.advance()
+		y, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: op, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *dparser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case "+":
+			p.advance()
+			y, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			x = &Bin{Op: BAdd, X: x, Y: y}
+		case "-":
+			p.advance()
+			y, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			x = &Bin{Op: BSub, X: x, Y: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *dparser) mulExpr() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinKind
+		switch p.cur().kind {
+		case "*":
+			op = BMul
+		case "/":
+			op = BDiv
+		case "%":
+			op = BMod
+		default:
+			return x, nil
+		}
+		p.advance()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *dparser) unary() (Expr, error) {
+	switch p.cur().kind {
+	case "-":
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Neg: true, X: x}, nil
+	case "!":
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Neg: false, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *dparser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case "num":
+		p.advance()
+		return &Lit{Value: t.num}, nil
+	case "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "pkt":
+		p.advance()
+		if _, err := p.expect("."); err != nil {
+			return nil, err
+		}
+		name, err := p.expect("ident")
+		if err != nil {
+			return nil, err
+		}
+		p.noteField(name.text)
+		return &Ref{Kind: RefField, Name: name.text}, nil
+	case "ident":
+		p.advance()
+		switch {
+		case p.states[t.text]:
+			return &Ref{Kind: RefState, Name: t.text}, nil
+		case p.locals[t.text]:
+			return &Ref{Kind: RefLocal, Name: t.text}, nil
+		default:
+			return nil, p.errf(t, "undeclared identifier %q", t.text)
+		}
+	default:
+		return nil, p.errf(t, "expected expression, found %q", describe(t))
+	}
+}
+
+// String renders the program back to source (not used for round-tripping in
+// tests of exactness, but handy for debugging).
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, s := range p.States {
+		fmt.Fprintf(&b, "state %s = %d;\n", s.Name, s.Init)
+	}
+	b.WriteString("transaction {\n")
+	writeStmts(&b, p.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			switch s.Target.Kind {
+			case TargetField:
+				fmt.Fprintf(b, "%spkt.%s = %s;\n", ind, s.Target.Name, exprString(s.Expr))
+			case TargetLocal:
+				fmt.Fprintf(b, "%sint %s = %s;\n", ind, s.Target.Name, exprString(s.Expr))
+			default:
+				fmt.Fprintf(b, "%s%s = %s;\n", ind, s.Target.Name, exprString(s.Expr))
+			}
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, exprString(s.Cond))
+			writeStmts(b, s.Then, depth+1)
+			if s.Else != nil {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				writeStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		}
+	}
+}
+
+var binNames = map[BinKind]string{
+	BAdd: "+", BSub: "-", BMul: "*", BDiv: "/", BMod: "%",
+	BEq: "==", BNeq: "!=", BLt: "<", BGt: ">", BLe: "<=", BGe: ">=",
+	BAnd: "&&", BOr: "||",
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *Lit:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ref:
+		if e.Kind == RefField {
+			return "pkt." + e.Name
+		}
+		return e.Name
+	case *Un:
+		if e.Neg {
+			return "-" + exprString(e.X)
+		}
+		return "!" + exprString(e.X)
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), binNames[e.Op], exprString(e.Y))
+	default:
+		return "?"
+	}
+}

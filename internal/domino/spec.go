@@ -1,0 +1,93 @@
+package domino
+
+import (
+	"fmt"
+	"sort"
+
+	"druzhba/internal/phv"
+)
+
+// FieldMap binds packet field names to PHV container indices, defining how a
+// Domino program's packet view lays out in the pipeline's PHV.
+type FieldMap map[string]int
+
+// Containers returns the container indices in the map, sorted. These are the
+// containers a fuzzing comparison should inspect when the spec is the
+// source of truth for them.
+func (f FieldMap) Containers() []int {
+	out := make([]int, 0, len(f))
+	for _, c := range f {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WrittenContainers returns the containers bound to fields the program
+// writes.
+func WrittenContainers(p *Program, f FieldMap) ([]int, error) {
+	var out []int
+	for _, name := range p.WrittenFields() {
+		c, ok := f[name]
+		if !ok {
+			return nil, fmt.Errorf("domino: written field %q is not bound to a container", name)
+		}
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// PHVSpec adapts a Domino program to sim.Spec: inputs are PHVs whose
+// containers are mapped to packet fields through a FieldMap.
+type PHVSpec struct {
+	prog    *Program
+	machine *Machine
+	fields  FieldMap
+}
+
+// NewPHVSpec validates that every field the program uses is bound and
+// returns the adapter.
+func NewPHVSpec(p *Program, fields FieldMap, w phv.Width) (*PHVSpec, error) {
+	for _, name := range p.Fields() {
+		if _, ok := fields[name]; !ok {
+			return nil, fmt.Errorf("domino: field %q is not bound to a container", name)
+		}
+	}
+	return &PHVSpec{prog: p, machine: NewMachine(p, w), fields: fields}, nil
+}
+
+// Name implements sim.Spec.
+func (s *PHVSpec) Name() string {
+	if s.prog.Name != "" {
+		return s.prog.Name
+	}
+	return "domino"
+}
+
+// Reset implements sim.Spec.
+func (s *PHVSpec) Reset() { s.machine.Reset() }
+
+// Process implements sim.Spec: the input PHV's bound containers become
+// packet fields, the transaction runs, and written fields are copied back
+// to their containers (other containers pass through unchanged).
+func (s *PHVSpec) Process(in *phv.PHV) (*phv.PHV, error) {
+	fields := make(map[string]int64, len(s.fields))
+	for name, c := range s.fields {
+		if c < 0 || c >= in.Len() {
+			return nil, fmt.Errorf("domino: field %q bound to container %d, PHV has %d", name, c, in.Len())
+		}
+		fields[name] = in.Get(c)
+	}
+	if err := s.machine.Step(fields); err != nil {
+		return nil, err
+	}
+	out := in.Clone()
+	for name, c := range s.fields {
+		out.Set(c, fields[name])
+	}
+	return out, nil
+}
+
+// Machine exposes the underlying interpreter (for state inspection).
+func (s *PHVSpec) Machine() *Machine { return s.machine }

@@ -1,0 +1,84 @@
+package drmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCycleAccurateBasics(t *testing.T) {
+	m := newRouterMachine(t)
+	stats, err := m.CycleAccurate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets != 100 {
+		t.Errorf("Packets = %d", stats.Packets)
+	}
+	// Last packet arrives at cycle 99; completion is at least 99 + makespan
+	// of the last action... the last action issue is 99 + max(ActionStart),
+	// and Cycles = that + DeltaAction = 99 + Makespan.
+	if want := 99 + m.sched.Makespan; stats.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", stats.Cycles, want)
+	}
+	hw := m.hw
+	if stats.MaxMatchIssues > hw.MatchCapacity {
+		t.Errorf("match capacity exceeded: %d > %d", stats.MaxMatchIssues, hw.MatchCapacity)
+	}
+	if stats.MaxActionIssues > hw.ActionCapacity {
+		t.Errorf("action capacity exceeded: %d > %d", stats.MaxActionIssues, hw.ActionCapacity)
+	}
+	if stats.Utilization <= 0 || stats.Utilization > 1 {
+		t.Errorf("Utilization = %f", stats.Utilization)
+	}
+	// Every table's crossbar peak is bounded by the processor count: at
+	// most one match per table per packet, one packet in flight per
+	// processor phase.
+	for table, peak := range stats.ClusterPeak {
+		if peak < 1 || peak > hw.Processors {
+			t.Errorf("cluster peak[%s] = %d, want in [1,%d]", table, peak, hw.Processors)
+		}
+	}
+}
+
+func TestCycleAccurateClusterContention(t *testing.T) {
+	// With one processor there can never be concurrent cluster access.
+	prog := routerProg(t)
+	set, err := ParseEntriesString(routerEntries, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(prog, set, HWConfig{Processors: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.CycleAccurate(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for table, peak := range stats.ClusterPeak {
+		if peak != 1 {
+			t.Errorf("single processor: cluster peak[%s] = %d, want 1", table, peak)
+		}
+	}
+}
+
+func TestCycleAccurateRejectsBadN(t *testing.T) {
+	m := newRouterMachine(t)
+	if _, err := m.CycleAccurate(0); err == nil {
+		t.Error("CycleAccurate(0) succeeded")
+	}
+}
+
+func TestFormatCycleStats(t *testing.T) {
+	m := newRouterMachine(t)
+	stats, err := m.CycleAccurate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCycleStats(stats)
+	for _, want := range []string{"cycle-accurate replay", "peak issues", "crossbar peak[route]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,799 @@
+// isa.go implements §7's second future-work direction: "modeling dRMT to
+// the same low level granularity as our RMT model by designing a new
+// instruction set with similar properties to our RMT instruction set."
+//
+// The dRMT ISA is a register-machine instruction set executed by every
+// match+action processor. It shares the RMT instruction set's hardware
+// properties:
+//
+//   - feedforward control flow: branch targets are strictly forward, the
+//     ISA analogue of a pipeline's inability to send a PHV backwards
+//     (Verify rejects programs with backward edges);
+//   - total, fixed-width arithmetic: every ALU instruction carries a bit
+//     width, results wrap modulo 2^width, division by zero yields 0;
+//   - configuration through opcodes and immediates, with match units
+//     delivering action-select values and action-data parameters into
+//     registers, the way RMT match units drive action-unit inputs.
+//
+// Assemble lowers a mini-P4 program to one ISA program; ISAMachine runs it
+// over the same centralized table entries and register arrays as the
+// table-level Machine, so the two execution models can be differentially
+// tested against each other.
+package drmt
+
+import (
+	"fmt"
+	"strings"
+
+	"druzhba/internal/p4"
+	"druzhba/internal/phv"
+)
+
+// ALUOp enumerates ISA ALU operations.
+type ALUOp uint8
+
+const (
+	ALUAdd ALUOp = iota
+	ALUSub
+	ALUMul
+	ALUDiv
+	ALUMod
+	ALUEq
+	ALUNeq
+	ALULt
+	ALULe
+	ALUAnd
+	ALUOr
+)
+
+var aluOpNames = [...]string{
+	ALUAdd: "add", ALUSub: "sub", ALUMul: "mul", ALUDiv: "div", ALUMod: "mod",
+	ALUEq: "eq", ALUNeq: "neq", ALULt: "lt", ALULe: "le", ALUAnd: "and", ALUOr: "or",
+}
+
+func (o ALUOp) String() string { return aluOpNames[o] }
+
+// Op enumerates ISA instructions.
+type Op uint8
+
+const (
+	// OpLoadImm: R[Dst] = Imm.
+	OpLoadImm Op = iota
+	// OpLoadField: R[Dst] = F[Sym].
+	OpLoadField
+	// OpStoreField: F[Sym] = R[A], truncated to the field's width.
+	OpStoreField
+	// OpALU: R[Dst] = AOp(R[A], R[B]) at width Bits.
+	OpALU
+	// OpLoadReg: R[Dst] = S[Sym][wrap(R[A])] — a crossbar read of a
+	// centralized register array cell.
+	OpLoadReg
+	// OpStoreReg: S[Sym][wrap(R[A])] = R[B], truncated to the array's
+	// width — a crossbar write.
+	OpStoreReg
+	// OpMatch: consult table Sym with the packet's current fields;
+	// R[Dst] = 1-based index of the selected action in the table's
+	// dispatch list (0 = miss with no default) and the action-data
+	// parameters land in the param registers.
+	OpMatch
+	// OpBZ: if R[A] == 0, jump to Target (forward only).
+	OpBZ
+	// OpBNZ: if R[A] != 0, jump to Target (forward only).
+	OpBNZ
+	// OpJmp: jump to Target (forward only).
+	OpJmp
+	// OpDrop: mark the packet dropped (sets the drop register to 1).
+	OpDrop
+	// OpHalt: stop executing the program.
+	OpHalt
+)
+
+var opNames = [...]string{
+	OpLoadImm: "loadi", OpLoadField: "loadf", OpStoreField: "storef",
+	OpALU: "alu", OpLoadReg: "loadr", OpStoreReg: "storer",
+	OpMatch: "match", OpBZ: "bz", OpBNZ: "bnz", OpJmp: "jmp",
+	OpDrop: "drop", OpHalt: "halt",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Instr is one ISA instruction.
+type Instr struct {
+	Op     Op
+	Dst    int   // destination register
+	A, B   int   // source registers
+	Imm    int64 // OpLoadImm immediate
+	AOp    ALUOp // OpALU operation
+	Bits   int   // OpALU width
+	Sym    int   // field / register-array / table symbol index
+	Target int   // absolute jump target (OpBZ, OpBNZ, OpJmp)
+}
+
+// Reserved register indices.
+const (
+	RegZero = 0 // always 0
+	RegDrop = 1 // drop flag (OpDrop sets it to 1)
+	RegSel  = 2 // match action-select result
+	// RegParam0 is the first action-data parameter register.
+	RegParam0 = 3
+)
+
+// ISAProgram is an assembled dRMT processor program plus its symbol
+// tables.
+type ISAProgram struct {
+	Instrs []Instr
+
+	Fields    []string // field symbol index -> "header.field"
+	RegArrays []string // register-array symbol index -> register name
+	Tables    []string // table symbol index -> table name
+
+	// Dispatch[tableIdx] lists the action names a match on that table can
+	// select, in dispatch order: R[RegSel] = position+1.
+	Dispatch [][]string
+
+	// NumRegs is the register file size the program requires.
+	NumRegs int
+	// NumParams is the number of action-data parameter registers
+	// (RegParam0 .. RegParam0+NumParams-1).
+	NumParams int
+
+	fieldBits map[int]int // field symbol -> declared width
+	regBits   map[int]int // array symbol -> declared width
+}
+
+// Verify checks the ISA's hardware invariants: every register index is in
+// range and every control transfer is strictly forward (the feedforward
+// property the RMT pipeline has by construction).
+func (p *ISAProgram) Verify() error {
+	for pc, in := range p.Instrs {
+		bad := func(format string, args ...any) error {
+			return fmt.Errorf("drmt isa: instr %d (%s): %s", pc, in.Op, fmt.Sprintf(format, args...))
+		}
+		checkReg := func(r int) error {
+			if r < 0 || r >= p.NumRegs {
+				return bad("register %d out of range [0,%d)", r, p.NumRegs)
+			}
+			return nil
+		}
+		switch in.Op {
+		case OpLoadImm:
+			if err := checkReg(in.Dst); err != nil {
+				return err
+			}
+		case OpLoadField, OpStoreField:
+			if in.Sym < 0 || in.Sym >= len(p.Fields) {
+				return bad("field symbol %d out of range", in.Sym)
+			}
+			if err := checkReg(in.Dst); err != nil {
+				return err
+			}
+			if err := checkReg(in.A); err != nil {
+				return err
+			}
+		case OpALU:
+			for _, r := range []int{in.Dst, in.A, in.B} {
+				if err := checkReg(r); err != nil {
+					return err
+				}
+			}
+			if in.Bits < 1 || in.Bits > 62 {
+				return bad("width %d out of range", in.Bits)
+			}
+		case OpLoadReg, OpStoreReg:
+			if in.Sym < 0 || in.Sym >= len(p.RegArrays) {
+				return bad("register-array symbol %d out of range", in.Sym)
+			}
+			for _, r := range []int{in.Dst, in.A, in.B} {
+				if err := checkReg(r); err != nil {
+					return err
+				}
+			}
+		case OpMatch:
+			if in.Sym < 0 || in.Sym >= len(p.Tables) {
+				return bad("table symbol %d out of range", in.Sym)
+			}
+			if err := checkReg(in.Dst); err != nil {
+				return err
+			}
+		case OpBZ, OpBNZ, OpJmp:
+			if in.Target <= pc {
+				return bad("backward jump to %d (feedforward violation)", in.Target)
+			}
+			if in.Target > len(p.Instrs) {
+				return bad("jump target %d beyond program end", in.Target)
+			}
+			if in.Op != OpJmp {
+				if err := checkReg(in.A); err != nil {
+					return err
+				}
+			}
+		case OpDrop, OpHalt:
+		default:
+			return bad("unknown opcode %d", in.Op)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the program as readable assembly.
+func (p *ISAProgram) Disassemble() string {
+	var b strings.Builder
+	for pc, in := range p.Instrs {
+		fmt.Fprintf(&b, "%4d: ", pc)
+		switch in.Op {
+		case OpLoadImm:
+			fmt.Fprintf(&b, "loadi  r%d, %d", in.Dst, in.Imm)
+		case OpLoadField:
+			fmt.Fprintf(&b, "loadf  r%d, %s", in.Dst, p.Fields[in.Sym])
+		case OpStoreField:
+			fmt.Fprintf(&b, "storef %s, r%d", p.Fields[in.Sym], in.A)
+		case OpALU:
+			fmt.Fprintf(&b, "alu.%s/%d r%d, r%d, r%d", in.AOp, in.Bits, in.Dst, in.A, in.B)
+		case OpLoadReg:
+			fmt.Fprintf(&b, "loadr  r%d, %s[r%d]", in.Dst, p.RegArrays[in.Sym], in.A)
+		case OpStoreReg:
+			fmt.Fprintf(&b, "storer %s[r%d], r%d", p.RegArrays[in.Sym], in.A, in.B)
+		case OpMatch:
+			fmt.Fprintf(&b, "match  r%d, %s", in.Dst, p.Tables[in.Sym])
+		case OpBZ:
+			fmt.Fprintf(&b, "bz     r%d, %d", in.A, in.Target)
+		case OpBNZ:
+			fmt.Fprintf(&b, "bnz    r%d, %d", in.A, in.Target)
+		case OpJmp:
+			fmt.Fprintf(&b, "jmp    %d", in.Target)
+		case OpDrop:
+			fmt.Fprintf(&b, "drop")
+		case OpHalt:
+			fmt.Fprintf(&b, "halt")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- Assembler ----------------------------------------------------------------
+
+// asm is the assembler's working state.
+type asm struct {
+	prog *p4.Program
+	out  *ISAProgram
+
+	fieldIdx map[string]int
+	arrayIdx map[string]int
+	tableIdx map[string]int
+
+	nextReg int // next free temporary register
+}
+
+// Assemble lowers a mini-P4 program to a dRMT ISA program: one MATCH per
+// table in control order, a branch-dispatched action body per selectable
+// action, and register/field micro-ops for every action primitive.
+func Assemble(prog *p4.Program) (*ISAProgram, error) {
+	a := &asm{
+		prog:     prog,
+		out:      &ISAProgram{fieldBits: map[int]int{}, regBits: map[int]int{}},
+		fieldIdx: map[string]int{},
+		arrayIdx: map[string]int{},
+		tableIdx: map[string]int{},
+	}
+	for _, f := range prog.FieldNames() {
+		bits, err := prog.FieldBits(f)
+		if err != nil {
+			return nil, err
+		}
+		a.fieldIdx[f] = len(a.out.Fields)
+		a.out.fieldBits[len(a.out.Fields)] = bits
+		a.out.Fields = append(a.out.Fields, f)
+	}
+	for _, r := range prog.Registers {
+		a.arrayIdx[r.Name] = len(a.out.RegArrays)
+		a.out.regBits[len(a.out.RegArrays)] = r.Bits
+		a.out.RegArrays = append(a.out.RegArrays, r.Name)
+	}
+
+	maxParams := 0
+	for _, act := range prog.Actions {
+		if len(act.Params) > maxParams {
+			maxParams = len(act.Params)
+		}
+	}
+	a.out.NumParams = maxParams
+	a.nextReg = RegParam0 + maxParams
+
+	for _, name := range prog.Control {
+		t := prog.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("drmt isa: control applies unknown table %q", name)
+		}
+		if err := a.table(t); err != nil {
+			return nil, err
+		}
+	}
+	a.emit(Instr{Op: OpHalt})
+	a.out.NumRegs = a.nextReg
+	if err := a.out.Verify(); err != nil {
+		return nil, fmt.Errorf("drmt isa: assembler produced invalid program: %w", err)
+	}
+	return a.out, nil
+}
+
+func (a *asm) emit(in Instr) int {
+	a.out.Instrs = append(a.out.Instrs, in)
+	return len(a.out.Instrs) - 1
+}
+
+// patch sets the target of a previously emitted branch.
+func (a *asm) patch(pc int) { a.out.Instrs[pc].Target = len(a.out.Instrs) }
+
+// temp allocates a scratch register.
+func (a *asm) temp() int {
+	r := a.nextReg
+	a.nextReg++
+	return r
+}
+
+// dispatchList returns the actions a match on t can select: the table's
+// declared actions, plus the default action when it is not declared.
+func dispatchList(t *p4.Table) []string {
+	out := append([]string(nil), t.Actions...)
+	if t.Default != nil {
+		found := false
+		for _, n := range out {
+			if n == t.Default.Name {
+				found = true
+			}
+		}
+		if !found {
+			out = append(out, t.Default.Name)
+		}
+	}
+	return out
+}
+
+// table emits the MATCH + dispatch + action bodies for one table.
+func (a *asm) table(t *p4.Table) error {
+	tIdx := len(a.out.Tables)
+	a.tableIdx[t.Name] = tIdx
+	a.out.Tables = append(a.out.Tables, t.Name)
+	dispatch := dispatchList(t)
+	a.out.Dispatch = append(a.out.Dispatch, dispatch)
+
+	// Dropped packets skip every later table (Machine.process checks the
+	// flag before each lookup).
+	skipTable := a.emit(Instr{Op: OpBNZ, A: RegDrop})
+
+	a.emit(Instr{Op: OpMatch, Dst: RegSel, Sym: tIdx})
+
+	// Dispatch: compare RegSel against each action's 1-based position.
+	rImm := a.temp()
+	rCmp := a.temp()
+	var endJumps []int
+	for i, actName := range dispatch {
+		act := a.prog.Action(actName)
+		if act == nil {
+			return fmt.Errorf("drmt isa: table %q selects unknown action %q", t.Name, actName)
+		}
+		a.emit(Instr{Op: OpLoadImm, Dst: rImm, Imm: int64(i + 1)})
+		a.emit(Instr{Op: OpALU, AOp: ALUEq, Bits: 62, Dst: rCmp, A: RegSel, B: rImm})
+		skipBody := a.emit(Instr{Op: OpBZ, A: rCmp})
+		if err := a.action(act); err != nil {
+			return err
+		}
+		endJumps = append(endJumps, a.emit(Instr{Op: OpJmp}))
+		a.patch(skipBody)
+	}
+	for _, pc := range endJumps {
+		a.patch(pc)
+	}
+	a.patch(skipTable)
+	return nil
+}
+
+// materialize loads an operand's value into a register and returns it.
+// Parameters live in their dedicated registers; literals and fields use a
+// scratch register.
+func (a *asm) materialize(act *p4.Action, o p4.Operand) (int, error) {
+	switch o.Kind {
+	case p4.OpLiteral:
+		r := a.temp()
+		a.emit(Instr{Op: OpLoadImm, Dst: r, Imm: o.Value})
+		return r, nil
+	case p4.OpField:
+		idx, ok := a.fieldIdx[o.Name]
+		if !ok {
+			return 0, fmt.Errorf("drmt isa: unknown field %q", o.Name)
+		}
+		r := a.temp()
+		a.emit(Instr{Op: OpLoadField, Dst: r, Sym: idx})
+		return r, nil
+	case p4.OpParam:
+		for i, p := range act.Params {
+			if p == o.Name {
+				return RegParam0 + i, nil
+			}
+		}
+		return 0, fmt.Errorf("drmt isa: action %q has no parameter %q", act.Name, o.Name)
+	}
+	return 0, fmt.Errorf("drmt isa: bad operand kind %d", o.Kind)
+}
+
+// action lowers one action body.
+func (a *asm) action(act *p4.Action) error {
+	for _, pr := range act.Prims {
+		if err := a.prim(act, pr); err != nil {
+			return fmt.Errorf("action %q: %w", act.Name, err)
+		}
+	}
+	return nil
+}
+
+func (a *asm) prim(act *p4.Action, pr p4.Primitive) error {
+	fieldSym := func(name string) (int, error) {
+		idx, ok := a.fieldIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("drmt isa: unknown field %q", name)
+		}
+		return idx, nil
+	}
+	arraySym := func(name string) (int, error) {
+		idx, ok := a.arrayIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("drmt isa: unknown register %q", name)
+		}
+		return idx, nil
+	}
+	switch pr.Op {
+	case p4.PrimModifyField:
+		f, err := fieldSym(pr.Field)
+		if err != nil {
+			return err
+		}
+		r, err := a.materialize(act, pr.Args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(Instr{Op: OpStoreField, Sym: f, A: r})
+	case p4.PrimAddToField:
+		f, err := fieldSym(pr.Field)
+		if err != nil {
+			return err
+		}
+		rv, err := a.materialize(act, pr.Args[0])
+		if err != nil {
+			return err
+		}
+		rf := a.temp()
+		a.emit(Instr{Op: OpLoadField, Dst: rf, Sym: f})
+		rsum := a.temp()
+		a.emit(Instr{Op: OpALU, AOp: ALUAdd, Bits: a.out.fieldBits[f], Dst: rsum, A: rf, B: rv})
+		a.emit(Instr{Op: OpStoreField, Sym: f, A: rsum})
+	case p4.PrimRegWrite:
+		arr, err := arraySym(pr.Reg)
+		if err != nil {
+			return err
+		}
+		ri, err := a.materialize(act, pr.Args[0])
+		if err != nil {
+			return err
+		}
+		rv, err := a.materialize(act, pr.Args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Instr{Op: OpStoreReg, Sym: arr, A: ri, B: rv})
+	case p4.PrimRegAdd:
+		arr, err := arraySym(pr.Reg)
+		if err != nil {
+			return err
+		}
+		ri, err := a.materialize(act, pr.Args[0])
+		if err != nil {
+			return err
+		}
+		rv, err := a.materialize(act, pr.Args[1])
+		if err != nil {
+			return err
+		}
+		rc := a.temp()
+		a.emit(Instr{Op: OpLoadReg, Dst: rc, Sym: arr, A: ri})
+		rsum := a.temp()
+		a.emit(Instr{Op: OpALU, AOp: ALUAdd, Bits: a.out.regBits[arr], Dst: rsum, A: rc, B: rv})
+		a.emit(Instr{Op: OpStoreReg, Sym: arr, A: ri, B: rsum})
+	case p4.PrimRegRead:
+		arr, err := arraySym(pr.Reg)
+		if err != nil {
+			return err
+		}
+		f, err := fieldSym(pr.Field)
+		if err != nil {
+			return err
+		}
+		ri, err := a.materialize(act, pr.Args[0])
+		if err != nil {
+			return err
+		}
+		rc := a.temp()
+		a.emit(Instr{Op: OpLoadReg, Dst: rc, Sym: arr, A: ri})
+		a.emit(Instr{Op: OpStoreField, Sym: f, A: rc})
+	case p4.PrimDrop:
+		a.emit(Instr{Op: OpDrop})
+	case p4.PrimNoOp:
+	default:
+		return fmt.Errorf("drmt isa: unknown primitive %v", pr.Op)
+	}
+	return nil
+}
+
+// --- Executor -----------------------------------------------------------------
+
+// ISAStats extends the run statistics with instruction-level counts.
+type ISAStats struct {
+	Stats
+	// Instructions is the total number of instructions executed.
+	Instructions int64
+	// MatchOps is the total number of MATCH instructions executed (each
+	// is one crossbar access).
+	MatchOps int64
+}
+
+// ISAMachine executes an assembled ISA program over the same centralized
+// state (match table entries, register arrays) as the table-level Machine.
+type ISAMachine struct {
+	prog    *p4.Program
+	isa     *ISAProgram
+	entries *EntrySet
+	hw      HWConfig
+
+	fieldW    []phv.Width
+	regW      []phv.Width
+	registers map[string][]int64
+}
+
+// NewISAMachine builds an executor. When isa is nil the program is
+// assembled from the P4 source.
+func NewISAMachine(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWConfig) (*ISAMachine, error) {
+	var err error
+	if isa == nil {
+		isa, err = Assemble(prog)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := isa.Verify(); err != nil {
+		return nil, err
+	}
+	m := &ISAMachine{
+		prog:      prog,
+		isa:       isa,
+		entries:   entries,
+		hw:        hw.Defaults(),
+		registers: map[string][]int64{},
+	}
+	m.fieldW = make([]phv.Width, len(isa.Fields))
+	for i := range isa.Fields {
+		m.fieldW[i], err = phv.NewWidth(isa.fieldBits[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.regW = make([]phv.Width, len(isa.RegArrays))
+	for i, name := range isa.RegArrays {
+		r := prog.Register(name)
+		if r == nil {
+			return nil, fmt.Errorf("drmt isa: program has no register %q", name)
+		}
+		m.regW[i], err = phv.NewWidth(r.Bits)
+		if err != nil {
+			return nil, err
+		}
+		m.registers[name] = make([]int64, r.Count)
+	}
+	return m, nil
+}
+
+// Program returns the ISA program under execution.
+func (m *ISAMachine) Program() *ISAProgram { return m.isa }
+
+// Register returns a copy of a register array's cells.
+func (m *ISAMachine) Register(name string) ([]int64, bool) {
+	r, ok := m.registers[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]int64(nil), r...), true
+}
+
+// ResetState zeroes all register arrays.
+func (m *ISAMachine) ResetState() {
+	for _, r := range m.registers {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+}
+
+// Run executes the ISA program for every packet, dispatching packets to
+// processors round-robin like the table-level machine. Per-packet latency
+// is the executed instruction count (one instruction per cycle).
+func (m *ISAMachine) Run(packets []*Packet) (*ISAStats, error) {
+	stats := &ISAStats{Stats: Stats{
+		Packets:        len(packets),
+		MemoryAccesses: map[string]int{},
+		PerProcessor:   make([]int, m.hw.Processors),
+	}}
+	for i, pkt := range packets {
+		pkt.Processor = i % m.hw.Processors
+		pkt.ArriveAt = i
+		stats.PerProcessor[pkt.Processor]++
+		executed, err := m.exec(pkt, stats)
+		if err != nil {
+			return nil, fmt.Errorf("drmt isa: packet %d: %w", pkt.ID, err)
+		}
+		pkt.CompleteAt = pkt.ArriveAt + executed
+		if pkt.Dropped {
+			stats.Dropped++
+		}
+		if executed > stats.Makespan {
+			stats.Makespan = executed
+		}
+		if pkt.CompleteAt > stats.TotalCycles {
+			stats.TotalCycles = pkt.CompleteAt
+		}
+	}
+	if stats.TotalCycles > 0 {
+		stats.Throughput = float64(stats.Packets) / float64(stats.TotalCycles)
+	}
+	return stats, nil
+}
+
+// exec runs the program on one packet and returns the executed
+// instruction count.
+func (m *ISAMachine) exec(pkt *Packet, stats *ISAStats) (int, error) {
+	regs := make([]int64, m.isa.NumRegs)
+	executed := 0
+	pc := 0
+	for pc < len(m.isa.Instrs) {
+		in := m.isa.Instrs[pc]
+		executed++
+		stats.Instructions++
+		next := pc + 1
+		switch in.Op {
+		case OpLoadImm:
+			regs[in.Dst] = in.Imm
+		case OpLoadField:
+			v, ok := pkt.Fields[m.isa.Fields[in.Sym]]
+			if !ok {
+				return executed, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym])
+			}
+			regs[in.Dst] = v
+		case OpStoreField:
+			name := m.isa.Fields[in.Sym]
+			if _, ok := pkt.Fields[name]; !ok {
+				return executed, fmt.Errorf("packet lacks field %q", name)
+			}
+			pkt.Fields[name] = m.fieldW[in.Sym].Trunc(regs[in.A])
+		case OpALU:
+			regs[in.Dst] = aluEval(in.AOp, in.Bits, regs[in.A], regs[in.B])
+		case OpLoadReg:
+			cells := m.registers[m.isa.RegArrays[in.Sym]]
+			regs[in.Dst] = cells[wrapIndex(regs[in.A], len(cells))]
+		case OpStoreReg:
+			cells := m.registers[m.isa.RegArrays[in.Sym]]
+			cells[wrapIndex(regs[in.A], len(cells))] = m.regW[in.Sym].Trunc(regs[in.B])
+		case OpMatch:
+			stats.MatchOps++
+			table := m.isa.Tables[in.Sym]
+			stats.MemoryAccesses[table]++
+			sel, args, err := m.match(in.Sym, pkt)
+			if err != nil {
+				return executed, err
+			}
+			regs[in.Dst] = int64(sel)
+			for i := 0; i < m.isa.NumParams; i++ {
+				regs[RegParam0+i] = 0
+			}
+			for i, v := range args {
+				regs[RegParam0+i] = v
+			}
+		case OpBZ:
+			if regs[in.A] == 0 {
+				next = in.Target
+			}
+		case OpBNZ:
+			if regs[in.A] != 0 {
+				next = in.Target
+			}
+		case OpJmp:
+			next = in.Target
+		case OpDrop:
+			pkt.Dropped = true
+			regs[RegDrop] = 1
+		case OpHalt:
+			return executed, nil
+		default:
+			return executed, fmt.Errorf("unknown opcode %d at pc %d", in.Op, pc)
+		}
+		regs[RegZero] = 0 // the zero register is immutable
+		pc = next
+	}
+	return executed, nil
+}
+
+// match performs the table lookup: highest-priority matching entry first,
+// then the table default. It returns the 1-based dispatch index and the
+// bound action arguments (0 = miss with no default).
+func (m *ISAMachine) match(tableSym int, pkt *Packet) (int, []int64, error) {
+	name := m.isa.Tables[tableSym]
+	t := m.prog.Table(name)
+	if t == nil {
+		return 0, nil, fmt.Errorf("unknown table %q", name)
+	}
+	var call *p4.ActionCall
+	for _, e := range m.entries.ForTable(name) {
+		v, ok := pkt.Fields[e.Field]
+		if !ok {
+			continue
+		}
+		if e.Matches(v) {
+			c := e.Action
+			call = &c
+			break
+		}
+	}
+	if call == nil && t.Default != nil {
+		c := *t.Default
+		call = &c
+	}
+	if call == nil {
+		return 0, nil, nil
+	}
+	for i, actName := range m.isa.Dispatch[tableSym] {
+		if actName == call.Name {
+			return i + 1, call.Args, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("table %q selected action %q outside its dispatch list", name, call.Name)
+}
+
+// wrapIndex wraps a register-array index like the table-level machine
+// (hash-indexed register array semantics).
+func wrapIndex(idx int64, n int) int {
+	if n == 0 {
+		return 0
+	}
+	return int(((idx % int64(n)) + int64(n)) % int64(n))
+}
+
+// aluEval applies an ISA ALU operation at the given width.
+func aluEval(op ALUOp, bits int, a, b int64) int64 {
+	w, err := phv.NewWidth(bits)
+	if err != nil {
+		w = phv.Default32
+	}
+	a, b = w.Trunc(a), w.Trunc(b)
+	switch op {
+	case ALUAdd:
+		return w.Add(a, b)
+	case ALUSub:
+		return w.Sub(a, b)
+	case ALUMul:
+		return w.Mul(a, b)
+	case ALUDiv:
+		return w.Div(a, b)
+	case ALUMod:
+		return w.Mod(a, b)
+	case ALUEq:
+		return phv.Bool(a == b)
+	case ALUNeq:
+		return phv.Bool(a != b)
+	case ALULt:
+		return phv.Bool(a < b)
+	case ALULe:
+		return phv.Bool(a <= b)
+	case ALUAnd:
+		return phv.Bool(phv.Truthy(a) && phv.Truthy(b))
+	case ALUOr:
+		return phv.Bool(phv.Truthy(a) || phv.Truthy(b))
+	}
+	return 0
+}

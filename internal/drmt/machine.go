@@ -1,0 +1,369 @@
+package drmt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"druzhba/internal/dag"
+	"druzhba/internal/p4"
+	"druzhba/internal/phv"
+)
+
+// Packet is one packet flowing through the dRMT machine: a bag of header
+// field values plus bookkeeping.
+type Packet struct {
+	ID      int
+	Fields  map[string]int64
+	Dropped bool
+
+	// Timing, filled by the simulator.
+	Processor  int
+	ArriveAt   int // cycle the packet enters its processor
+	CompleteAt int // cycle the program finishes for this packet
+}
+
+// Clone deep-copies the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Fields = make(map[string]int64, len(p.Fields))
+	for k, v := range p.Fields {
+		q.Fields[k] = v
+	}
+	return &q
+}
+
+// TrafficGen generates packets "with randomly initialized packet field
+// values based on the fields specified in the P4 file" (§4.2).
+type TrafficGen struct {
+	rng    *rand.Rand
+	fields []string
+	bits   map[string]int
+	max    int64
+}
+
+// NewTrafficGen builds a generator for the program's fields. max bounds the
+// generated values (0 = each field's full declared width).
+func NewTrafficGen(seed int64, prog *p4.Program, max int64) (*TrafficGen, error) {
+	g := &TrafficGen{rng: rand.New(rand.NewSource(seed)), max: max, bits: map[string]int{}}
+	g.fields = prog.FieldNames()
+	for _, f := range g.fields {
+		b, err := prog.FieldBits(f)
+		if err != nil {
+			return nil, err
+		}
+		g.bits[f] = b
+	}
+	return g, nil
+}
+
+// Next generates one packet.
+func (g *TrafficGen) Next(id int) *Packet {
+	p := &Packet{ID: id, Fields: make(map[string]int64, len(g.fields))}
+	for _, f := range g.fields {
+		limit := int64(1) << uint(g.bits[f])
+		if g.max > 0 && g.max < limit {
+			limit = g.max
+		}
+		p.Fields[f] = g.rng.Int63n(limit)
+	}
+	return p
+}
+
+// Batch generates n packets.
+func (g *TrafficGen) Batch(n int) []*Packet {
+	out := make([]*Packet, n)
+	for i := range out {
+		out[i] = g.Next(i)
+	}
+	return out
+}
+
+// Stats aggregates a simulation run.
+type Stats struct {
+	Packets     int
+	Dropped     int
+	TotalCycles int     // cycle the last packet completed
+	Throughput  float64 // packets per cycle
+	Makespan    int     // per-packet latency in cycles
+
+	// MemoryAccesses counts crossbar accesses per table (one per lookup).
+	MemoryAccesses map[string]int
+	// PerProcessor counts packets handled by each processor.
+	PerProcessor []int
+}
+
+// Machine is an executable dRMT configuration: program, schedule, hardware
+// parameters, table entries and register state.
+type Machine struct {
+	prog    *p4.Program
+	graph   *dag.Graph
+	sched   *Schedule
+	hw      HWConfig
+	entries *EntrySet
+
+	widths    map[string]phv.Width
+	registers map[string][]int64
+}
+
+// NewMachine assembles a machine. When sched is nil a greedy schedule is
+// computed from the program's dependency DAG.
+func NewMachine(prog *p4.Program, entries *EntrySet, hw HWConfig, sched *Schedule) (*Machine, error) {
+	hw = hw.Defaults()
+	g, err := p4.BuildDAG(prog)
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		sched, err = ListSchedule(g, DefaultCosts(g), hw)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.Validate(g, DefaultCosts(g), hw); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		prog:      prog,
+		graph:     g,
+		sched:     sched,
+		hw:        hw,
+		entries:   entries,
+		widths:    map[string]phv.Width{},
+		registers: map[string][]int64{},
+	}
+	for _, f := range prog.FieldNames() {
+		bits, err := prog.FieldBits(f)
+		if err != nil {
+			return nil, err
+		}
+		m.widths[f], err = phv.NewWidth(bits)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range prog.Registers {
+		m.registers[r.Name] = make([]int64, r.Count)
+	}
+	return m, nil
+}
+
+// Schedule returns the machine's schedule.
+func (m *Machine) Schedule() *Schedule { return m.sched }
+
+// Graph returns the table dependency DAG.
+func (m *Machine) Graph() *dag.Graph { return m.graph }
+
+// Register returns a copy of a register's cells.
+func (m *Machine) Register(name string) ([]int64, bool) {
+	r, ok := m.registers[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]int64(nil), r...), true
+}
+
+// ResetState zeroes all registers.
+func (m *Machine) ResetState() {
+	for _, r := range m.registers {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+}
+
+// Run executes the program on every packet. Packets are dispatched to
+// processors round-robin, one packet per cycle (§4.2); each packet runs to
+// completion on its processor per the schedule. Logical effects follow the
+// control order packet by packet (the schedule satisfies all data
+// dependencies, so timing and logical order agree).
+func (m *Machine) Run(packets []*Packet) (*Stats, error) {
+	stats := &Stats{
+		Packets:        len(packets),
+		Makespan:       m.sched.Makespan,
+		MemoryAccesses: map[string]int{},
+		PerProcessor:   make([]int, m.hw.Processors),
+	}
+	for i, pkt := range packets {
+		pkt.Processor = i % m.hw.Processors
+		pkt.ArriveAt = i
+		pkt.CompleteAt = i + m.sched.Makespan
+		stats.PerProcessor[pkt.Processor]++
+		if err := m.process(pkt, stats); err != nil {
+			return nil, fmt.Errorf("drmt: packet %d: %w", pkt.ID, err)
+		}
+		if pkt.Dropped {
+			stats.Dropped++
+		}
+		if pkt.CompleteAt > stats.TotalCycles {
+			stats.TotalCycles = pkt.CompleteAt
+		}
+	}
+	if stats.TotalCycles > 0 {
+		stats.Throughput = float64(stats.Packets) / float64(stats.TotalCycles)
+	}
+	return stats, nil
+}
+
+func (m *Machine) process(pkt *Packet, stats *Stats) error {
+	for _, name := range m.prog.Control {
+		if pkt.Dropped {
+			return nil
+		}
+		t := m.prog.Table(name)
+		stats.MemoryAccesses[name]++
+		call := m.lookup(t, pkt)
+		if call == nil {
+			continue // miss with no default: no-op
+		}
+		if err := m.apply(*call, pkt); err != nil {
+			return fmt.Errorf("table %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// lookup finds the highest-priority matching entry, falling back to the
+// table's default action.
+func (m *Machine) lookup(t *p4.Table, pkt *Packet) *p4.ActionCall {
+	for _, e := range m.entries.ForTable(t.Name) {
+		v, ok := pkt.Fields[e.Field]
+		if !ok {
+			continue
+		}
+		if e.Matches(v) {
+			call := e.Action
+			return &call
+		}
+	}
+	if t.Default != nil {
+		call := *t.Default
+		return &call
+	}
+	return nil
+}
+
+// apply executes an action's primitives on the packet.
+func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
+	act := m.prog.Action(call.Name)
+	if act == nil {
+		return fmt.Errorf("unknown action %q", call.Name)
+	}
+	if len(call.Args) != len(act.Params) {
+		return fmt.Errorf("action %q takes %d args, got %d", call.Name, len(act.Params), len(call.Args))
+	}
+	params := map[string]int64{}
+	for i, p := range act.Params {
+		params[p] = call.Args[i]
+	}
+	evalOp := func(o p4.Operand) (int64, error) {
+		switch o.Kind {
+		case p4.OpLiteral:
+			return o.Value, nil
+		case p4.OpField:
+			v, ok := pkt.Fields[o.Name]
+			if !ok {
+				return 0, fmt.Errorf("packet lacks field %q", o.Name)
+			}
+			return v, nil
+		case p4.OpParam:
+			return params[o.Name], nil
+		}
+		return 0, fmt.Errorf("bad operand kind %d", o.Kind)
+	}
+	regIndex := func(reg string, idxOp p4.Operand) (int, error) {
+		cells, ok := m.registers[reg]
+		if !ok {
+			return 0, fmt.Errorf("unknown register %q", reg)
+		}
+		idx, err := evalOp(idxOp)
+		if err != nil {
+			return 0, err
+		}
+		if len(cells) == 0 {
+			return 0, fmt.Errorf("register %q has no cells", reg)
+		}
+		// Index wraps like a hash-indexed register array.
+		return int(((idx % int64(len(cells))) + int64(len(cells))) % int64(len(cells))), nil
+	}
+
+	for _, pr := range act.Prims {
+		switch pr.Op {
+		case p4.PrimModifyField:
+			v, err := evalOp(pr.Args[0])
+			if err != nil {
+				return err
+			}
+			pkt.Fields[pr.Field] = m.widths[pr.Field].Trunc(v)
+		case p4.PrimAddToField:
+			v, err := evalOp(pr.Args[0])
+			if err != nil {
+				return err
+			}
+			w := m.widths[pr.Field]
+			pkt.Fields[pr.Field] = w.Add(pkt.Fields[pr.Field], w.Trunc(v))
+		case p4.PrimRegWrite:
+			i, err := regIndex(pr.Reg, pr.Args[0])
+			if err != nil {
+				return err
+			}
+			v, err := evalOp(pr.Args[1])
+			if err != nil {
+				return err
+			}
+			m.registers[pr.Reg][i] = m.regWidth(pr.Reg).Trunc(v)
+		case p4.PrimRegAdd:
+			i, err := regIndex(pr.Reg, pr.Args[0])
+			if err != nil {
+				return err
+			}
+			v, err := evalOp(pr.Args[1])
+			if err != nil {
+				return err
+			}
+			w := m.regWidth(pr.Reg)
+			m.registers[pr.Reg][i] = w.Add(m.registers[pr.Reg][i], w.Trunc(v))
+		case p4.PrimRegRead:
+			i, err := regIndex(pr.Reg, pr.Args[0])
+			if err != nil {
+				return err
+			}
+			pkt.Fields[pr.Field] = m.widths[pr.Field].Trunc(m.registers[pr.Reg][i])
+		case p4.PrimDrop:
+			pkt.Dropped = true
+		case p4.PrimNoOp:
+		}
+	}
+	return nil
+}
+
+func (m *Machine) regWidth(name string) phv.Width {
+	r := m.prog.Register(name)
+	if r == nil {
+		return phv.Default32
+	}
+	w, err := phv.NewWidth(r.Bits)
+	if err != nil {
+		return phv.Default32
+	}
+	return w
+}
+
+// FormatStats renders run statistics.
+func FormatStats(s *Stats) string {
+	out := fmt.Sprintf("packets: %d (dropped %d)\n", s.Packets, s.Dropped)
+	out += fmt.Sprintf("per-packet latency: %d cycles\n", s.Makespan)
+	out += fmt.Sprintf("total cycles: %d (throughput %.3f pkt/cycle)\n", s.TotalCycles, s.Throughput)
+	var tables []string
+	for t := range s.MemoryAccesses {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		out += fmt.Sprintf("crossbar accesses[%s]: %d\n", t, s.MemoryAccesses[t])
+	}
+	for i, n := range s.PerProcessor {
+		out += fmt.Sprintf("processor %d: %d packets\n", i, n)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package drmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"druzhba/internal/dag"
+)
+
+// randomDAG generates an acyclic dependency graph: edges only point from
+// lower to higher node indices, with random dependency kinds.
+func randomDAG(rng *rand.Rand, nodes int, edgeProb float64) *dag.Graph {
+	g := dag.New()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		g.AddNode(names[i])
+	}
+	kinds := []dag.DepKind{dag.MatchDep, dag.ActionDep, dag.ControlDep}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			if rng.Float64() < edgeProb {
+				_ = g.AddEdge(names[i], names[j], kinds[rng.Intn(len(kinds))])
+			}
+		}
+	}
+	return g
+}
+
+// TestListScheduleRandomDAGs: for random DAGs and hardware configurations,
+// the greedy scheduler either produces a schedule that passes the
+// independent validator, or reports the program does not fit at line rate.
+func TestListScheduleRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		nodes := 1 + rng.Intn(10)
+		g := randomDAG(rng, nodes, 0.3)
+		hw := HWConfig{
+			Processors:     1 + rng.Intn(6),
+			DeltaMatch:     1 + rng.Intn(20),
+			DeltaAction:    1 + rng.Intn(5),
+			MatchCapacity:  1 + rng.Intn(4),
+			ActionCapacity: 1 + rng.Intn(4),
+		}
+		costs := DefaultCosts(g)
+		s, err := ListSchedule(g, costs, hw)
+		if err != nil {
+			// Must be the capacity error, and the instance must actually be
+			// infeasible: total demand exceeds period * capacity.
+			demand := g.Len()
+			if demand <= hw.Processors*hw.MatchCapacity && demand <= hw.Processors*hw.ActionCapacity {
+				t.Fatalf("trial %d: scheduler rejected a feasible instance (%d tables, period %d, capacities %d/%d): %v",
+					trial, demand, hw.Processors, hw.MatchCapacity, hw.ActionCapacity, err)
+			}
+			continue
+		}
+		if err := s.Validate(g, costs, hw); err != nil {
+			t.Fatalf("trial %d: greedy schedule invalid: %v\n%s\n%s", trial, err, g, FormatSchedule(s))
+		}
+	}
+}
+
+// TestOptimalScheduleRandomDAGs: branch and bound never does worse than
+// greedy and always validates.
+func TestOptimalScheduleRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		g := randomDAG(rng, 1+rng.Intn(6), 0.4)
+		hw := HWConfig{
+			Processors:     2 + rng.Intn(3),
+			DeltaMatch:     2 + rng.Intn(10),
+			DeltaAction:    1 + rng.Intn(3),
+			MatchCapacity:  1 + rng.Intn(3),
+			ActionCapacity: 1 + rng.Intn(3),
+		}
+		costs := DefaultCosts(g)
+		greedy, err := ListSchedule(g, costs, hw)
+		if err != nil {
+			continue
+		}
+		opt, err := OptimalSchedule(g, costs, hw)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if opt.Makespan > greedy.Makespan {
+			t.Errorf("trial %d: optimal %d > greedy %d", trial, opt.Makespan, greedy.Makespan)
+		}
+		if err := opt.Validate(g, costs, hw); err != nil {
+			t.Errorf("trial %d: optimal schedule invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestCriticalPathLowerBound: no schedule can finish faster than the
+// dependency chain latency forces.
+func TestCriticalPathLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(6), 0.5)
+		hw := HWConfig{Processors: 8, DeltaMatch: 10, DeltaAction: 3, MatchCapacity: 8, ActionCapacity: 8}
+		s, err := ListSchedule(g, DefaultCosts(g), hw)
+		if err != nil {
+			continue
+		}
+		// Even a single table needs match + action latency.
+		if s.Makespan < hw.DeltaMatch+hw.DeltaAction {
+			t.Errorf("trial %d: makespan %d below single-table latency", trial, s.Makespan)
+		}
+		cp, err := g.CriticalPathLen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A chain of k match-dependent tables needs at least
+		// k*(DeltaMatch+DeltaAction) in the worst kind; we only assert the
+		// weakest sound bound (every chain node adds at least one cycle).
+		if s.Makespan < cp {
+			t.Errorf("trial %d: makespan %d below critical path %d", trial, s.Makespan, cp)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package machinecode represents Druzhba machine code: "a list of string and
+// integer pairs that specify ALUs' control flow and computational behavior"
+// (§3.1). Each pair's string names one hardware primitive — an ALU-internal
+// hole, an operand (input) mux, or an output mux — and encodes the
+// primitive's position within the pipeline; the integer determines the
+// primitive's behaviour.
+package machinecode
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Pair is one machine code entry.
+type Pair struct {
+	Name  string
+	Value int64
+}
+
+// Program is an ordered collection of machine code pairs. The order is the
+// order pairs were added (or appeared in the input file); lookup is by name.
+type Program struct {
+	pairs []Pair
+	index map[string]int
+}
+
+// New returns an empty machine code program.
+func New() *Program {
+	return &Program{index: map[string]int{}}
+}
+
+// FromMap builds a program from a map (pairs sorted by name for determinism).
+func FromMap(m map[string]int64) *Program {
+	p := New()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p.Set(n, m[n])
+	}
+	return p
+}
+
+// Set adds or replaces the pair for name.
+func (p *Program) Set(name string, value int64) {
+	if i, ok := p.index[name]; ok {
+		p.pairs[i].Value = value
+		return
+	}
+	p.index[name] = len(p.pairs)
+	p.pairs = append(p.pairs, Pair{Name: name, Value: value})
+}
+
+// Get returns the value for name and whether it exists.
+func (p *Program) Get(name string) (int64, bool) {
+	i, ok := p.index[name]
+	if !ok {
+		return 0, false
+	}
+	return p.pairs[i].Value, true
+}
+
+// Delete removes the pair for name if present. It reports whether a pair
+// was removed. (Used by the case-study harness to reproduce the
+// missing-output-mux failure class of §5.2.)
+func (p *Program) Delete(name string) bool {
+	i, ok := p.index[name]
+	if !ok {
+		return false
+	}
+	p.pairs = append(p.pairs[:i], p.pairs[i+1:]...)
+	delete(p.index, name)
+	for j := i; j < len(p.pairs); j++ {
+		p.index[p.pairs[j].Name] = j
+	}
+	return true
+}
+
+// Has reports whether a pair for name exists.
+func (p *Program) Has(name string) bool {
+	_, ok := p.index[name]
+	return ok
+}
+
+// Len reports the number of pairs.
+func (p *Program) Len() int { return len(p.pairs) }
+
+// Pairs returns a copy of the pairs in insertion order.
+func (p *Program) Pairs() []Pair {
+	return append([]Pair(nil), p.pairs...)
+}
+
+// Names returns the pair names in insertion order.
+func (p *Program) Names() []string {
+	out := make([]string, len(p.pairs))
+	for i, pr := range p.pairs {
+		out[i] = pr.Name
+	}
+	return out
+}
+
+// Map returns the pairs as a fresh map.
+func (p *Program) Map() map[string]int64 {
+	m := make(map[string]int64, len(p.pairs))
+	for _, pr := range p.pairs {
+		m[pr.Name] = pr.Value
+	}
+	return m
+}
+
+// Lookup returns a lookup function over the program, suitable for
+// aludsl.Env.Holes.
+func (p *Program) Lookup() func(string) (int64, bool) {
+	return p.Get
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	q := New()
+	for _, pr := range p.pairs {
+		q.Set(pr.Name, pr.Value)
+	}
+	return q
+}
+
+// Merge copies every pair of other into p, overwriting duplicates.
+func (p *Program) Merge(other *Program) {
+	for _, pr := range other.pairs {
+		p.Set(pr.Name, pr.Value)
+	}
+}
+
+// String renders the program in the text file format.
+func (p *Program) String() string {
+	var b strings.Builder
+	p.Write(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Write serializes the program, one "name = value" line per pair.
+func (p *Program) Write(w io.Writer) error {
+	for _, pr := range p.pairs {
+		if _, err := fmt.Fprintf(w, "%s = %d\n", pr.Name, pr.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads the text format: one "name = value" pair per line, '#' or
+// "//" comments, blank lines ignored. A bare "name,value" form is accepted
+// too.
+func Parse(r io.Reader) (*Program, error) {
+	p := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var name, val string
+		switch {
+		case strings.Contains(line, "="):
+			parts := strings.SplitN(line, "=", 2)
+			name, val = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		case strings.Contains(line, ","):
+			parts := strings.SplitN(line, ",", 2)
+			name, val = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		default:
+			return nil, fmt.Errorf("machinecode: line %d: want \"name = value\", got %q", lineNo, line)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("machinecode: line %d: empty name", lineNo)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("machinecode: line %d: bad value %q: %v", lineNo, val, err)
+		}
+		p.Set(name, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("machinecode: %v", err)
+	}
+	return p, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// --- Naming convention -------------------------------------------------------
+//
+// §3.2: "our actual machine code strings also indicate the pipeline stage and
+// the position within that stage the hardware primitive for that string
+// resides in". These helpers are the single source of truth for that
+// convention.
+
+// KindName is the stateful/stateless segment used in primitive names.
+func KindName(stateful bool) string {
+	if stateful {
+		return "stateful"
+	}
+	return "stateless"
+}
+
+// ALUHoleName names an ALU-internal hole (a builtin call site or a declared
+// hole variable) for the ALU at (stage, slot).
+func ALUHoleName(stage int, stateful bool, slot int, hole string) string {
+	return fmt.Sprintf("pipeline_stage_%d_%s_alu_%d_%s", stage, KindName(stateful), slot, hole)
+}
+
+// OperandMuxName names the input mux feeding operand index op of the ALU at
+// (stage, slot). Its value selects a PHV container.
+func OperandMuxName(stage int, stateful bool, slot int, op int) string {
+	return fmt.Sprintf("pipeline_stage_%d_%s_alu_%d_operand_mux_%d", stage, KindName(stateful), slot, op)
+}
+
+// OutputMuxName names the output mux that writes PHV container c at the end
+// of a stage. Value 0 keeps the container's old value; values 1..width pick
+// a stateless ALU output; values width+1..2*width pick a stateful ALU output.
+func OutputMuxName(stage, container int) string {
+	return fmt.Sprintf("pipeline_stage_%d_output_mux_phv_%d", stage, container)
+}

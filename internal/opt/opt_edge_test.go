@@ -1,0 +1,134 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/phv"
+)
+
+func TestSCCShortCircuitFoldingAnd(t *testing.T) {
+	// A constant-false left operand folds the whole && away even though the
+	// right side is dynamic.
+	src := `
+type: stateless
+packet fields: {p}
+hole variables: {flag}
+if (flag && p > 3) {
+    return 1;
+}
+return 0;
+`
+	prog := aludsl.MustParse(src)
+	q, err := SCC(prog, aludsl.MapLookup(map[string]int64{"flag": 0}), phv.Default32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With flag == 0 the branch is dead: body is just "return 0".
+	if len(q.Body) != 1 {
+		t.Fatalf("body = %d stmts, want 1:\n%s", len(q.Body), q.Format())
+	}
+	ret, ok := q.Body[0].(*aludsl.Return)
+	if !ok {
+		t.Fatalf("Body[0] = %T", q.Body[0])
+	}
+	if n, ok := ret.Value.(*aludsl.Num); !ok || n.Value != 0 {
+		t.Errorf("return = %v, want 0", ret.Value)
+	}
+}
+
+func TestSCCShortCircuitFoldingOr(t *testing.T) {
+	src := `
+type: stateless
+packet fields: {p}
+hole variables: {flag}
+if (flag || p > 3) {
+    return 1;
+}
+return 0;
+`
+	prog := aludsl.MustParse(src)
+	q, err := SCC(prog, aludsl.MapLookup(map[string]int64{"flag": 7}), phv.Default32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flag truthy: condition constant-true, else path dead.
+	ret, ok := q.Body[0].(*aludsl.Return)
+	if !ok {
+		t.Fatalf("Body[0] = %T:\n%s", q.Body[0], q.Format())
+	}
+	if n, ok := ret.Value.(*aludsl.Num); !ok || n.Value != 1 {
+		t.Errorf("return = %v, want 1", ret.Value)
+	}
+}
+
+func TestInlineWithoutSCCKeepsHoleCalls(t *testing.T) {
+	prog := aludsl.MustParse(figure6Src)
+	q := Inline(prog, phv.Default32)
+	// Inlining before SCC has nothing to inline: hole calls survive.
+	if !strings.Contains(q.Format(), "arith_op(") {
+		t.Errorf("hole calls lost by Inline without SCC:\n%s", q.Format())
+	}
+}
+
+func TestSCCUnaryFolding(t *testing.T) {
+	src := `
+type: stateless
+packet fields: {p}
+return -C() + !C();
+`
+	prog := aludsl.MustParse(src)
+	q, err := SCC(prog, aludsl.MapLookup(map[string]int64{"const_0": 1, "const_1": 0}), phv.Default32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := q.Body[0].(*aludsl.Return)
+	// -1 + !0 = (2^32-1) + 1 = 2^32 -> wraps to 0.
+	if n, ok := ret.Value.(*aludsl.Num); !ok || n.Value != 0 {
+		t.Errorf("folded value = %v, want 0", ret.Value)
+	}
+}
+
+func TestSCCNestedIfFolding(t *testing.T) {
+	// Both levels of a nested constant conditional fold away.
+	src := `
+type: stateful
+state variables: {s}
+hole variables: {a, b}
+packet fields: {p}
+if (a == 1) {
+    if (b == 1) {
+        s = s + 1;
+    } else {
+        s = s + 2;
+    }
+} else {
+    s = s + 3;
+}
+return s;
+`
+	prog := aludsl.MustParse(src)
+	q, err := SCC(prog, aludsl.MapLookup(map[string]int64{"a": 1, "b": 0}), phv.Default32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 2 {
+		t.Fatalf("body = %d stmts, want 2 (assign + return):\n%s", len(q.Body), q.Format())
+	}
+	assign := q.Body[0].(*aludsl.Assign)
+	bin := assign.RHS.(*aludsl.Binary)
+	if n, ok := bin.Y.(*aludsl.Num); !ok || n.Value != 2 {
+		t.Errorf("kept branch adds %v, want 2", bin.Y)
+	}
+}
+
+func TestConfigErrorMessage(t *testing.T) {
+	e := &ConfigError{ALU: "raw", Hole: "mux2_0", Msg: "missing machine code pair"}
+	msg := e.Error()
+	for _, want := range []string{"raw", "mux2_0", "missing"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

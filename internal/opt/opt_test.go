@@ -1,0 +1,284 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/atoms"
+	"druzhba/internal/phv"
+)
+
+// figure6Src is the running example of Fig. 6: a stateful ALU whose helpers
+// are an arith_op and two 2-to-1 muxes.
+const figure6Src = `
+type: stateful
+state variables: {state_0}
+packet fields: {pkt_0, pkt_1}
+state_0 = arith_op(Mux2(pkt_0, pkt_1), Mux2(pkt_0, pkt_1));
+`
+
+// figure6Code: arith opcode 0 (add), op0 mux 0 (pkt_0), op1 mux 1 (pkt_1).
+var figure6Code = map[string]int64{
+	"arith_op_0": 0,
+	"mux2_0":     0,
+	"mux2_1":     1,
+}
+
+func TestSCCFigure6(t *testing.T) {
+	p := aludsl.MustParse(figure6Src)
+	q, err := SCC(p, aludsl.MapLookup(figure6Code), phv.Default32)
+	if err != nil {
+		t.Fatalf("SCC: %v", err)
+	}
+	// Version 2: the assignment is a call to a specialized arith helper
+	// whose body is op0 + op1; the mux helpers' bodies are single params.
+	assign, ok := q.Body[0].(*aludsl.Assign)
+	if !ok {
+		t.Fatalf("Body[0] = %T, want *Assign", q.Body[0])
+	}
+	call, ok := assign.RHS.(*aludsl.Call)
+	if !ok {
+		t.Fatalf("RHS = %T, want *Call (helpers remain after SCC)", assign.RHS)
+	}
+	bin, ok := call.Func.Body.(*aludsl.Binary)
+	if !ok || bin.Op != aludsl.OpAdd {
+		t.Fatalf("arith helper body = %v, want op0 + op1", call.Func.Body)
+	}
+	mux0, ok := call.Args[0].(*aludsl.Call)
+	if !ok {
+		t.Fatalf("arg0 = %T, want mux helper call", call.Args[0])
+	}
+	id, ok := mux0.Func.Body.(*aludsl.Ident)
+	if !ok || id.Class != aludsl.VarParam || id.Index != 0 {
+		t.Fatalf("mux2_0 body = %v, want param op0", mux0.Func.Body)
+	}
+	mux1 := call.Args[1].(*aludsl.Call)
+	id1 := mux1.Func.Body.(*aludsl.Ident)
+	if id1.Index != 1 {
+		t.Fatalf("mux2_1 body selects param %d, want 1", id1.Index)
+	}
+	// No hole references remain.
+	if strings.Contains(q.Format(), "C(") || len(q.Holes) != 0 {
+		t.Errorf("holes remain after SCC: %s", q.Format())
+	}
+}
+
+func TestInlineFigure6(t *testing.T) {
+	p := aludsl.MustParse(figure6Src)
+	q, err := SCC(p, aludsl.MapLookup(figure6Code), phv.Default32)
+	if err != nil {
+		t.Fatalf("SCC: %v", err)
+	}
+	r := Inline(q, phv.Default32)
+	// Version 3: state_0 = pkt_0 + pkt_1, no calls at all.
+	assign := r.Body[0].(*aludsl.Assign)
+	bin, ok := assign.RHS.(*aludsl.Binary)
+	if !ok || bin.Op != aludsl.OpAdd {
+		t.Fatalf("inlined RHS = %v, want pkt_0 + pkt_1", assign.RHS)
+	}
+	x, ok := bin.X.(*aludsl.Ident)
+	if !ok || x.Name != "pkt_0" {
+		t.Errorf("lhs of + = %v, want pkt_0", bin.X)
+	}
+	y, ok := bin.Y.(*aludsl.Ident)
+	if !ok || y.Name != "pkt_1" {
+		t.Errorf("rhs of + = %v, want pkt_1", bin.Y)
+	}
+}
+
+func TestSCCDeadBranchElimination(t *testing.T) {
+	src := `
+type: stateful
+state variables: {s}
+hole variables: {mode}
+packet fields: {p}
+if (mode == 1) {
+    s = s + p;
+}
+else {
+    s = s - p;
+}
+return s;
+`
+	p := aludsl.MustParse(src)
+	q, err := SCC(p, aludsl.MapLookup(map[string]int64{"mode": 1}), phv.Default32)
+	if err != nil {
+		t.Fatalf("SCC: %v", err)
+	}
+	// The if must be gone: only "s = s + p" and the return remain.
+	if len(q.Body) != 2 {
+		t.Fatalf("body has %d stmts, want 2 (dead branch eliminated): %s", len(q.Body), q.Format())
+	}
+	assign, ok := q.Body[0].(*aludsl.Assign)
+	if !ok {
+		t.Fatalf("Body[0] = %T, want *Assign", q.Body[0])
+	}
+	bin := assign.RHS.(*aludsl.Binary)
+	if bin.Op != aludsl.OpAdd {
+		t.Errorf("kept branch op = %v, want + (mode==1)", bin.Op)
+	}
+}
+
+func TestSCCConstantFolding(t *testing.T) {
+	src := `
+type: stateless
+packet fields: {p}
+return p + (C() * 2 + 1);
+`
+	p := aludsl.MustParse(src)
+	q, err := SCC(p, aludsl.MapLookup(map[string]int64{"const_0": 10}), phv.Default32)
+	if err != nil {
+		t.Fatalf("SCC: %v", err)
+	}
+	ret := q.Body[0].(*aludsl.Return)
+	bin := ret.Value.(*aludsl.Binary)
+	n, ok := bin.Y.(*aludsl.Num)
+	if !ok || n.Value != 21 {
+		t.Errorf("folded constant = %v, want 21", bin.Y)
+	}
+}
+
+func TestSCCMissingPair(t *testing.T) {
+	p := aludsl.MustParse(figure6Src)
+	_, err := SCC(p, aludsl.MapLookup(map[string]int64{"arith_op_0": 0, "mux2_0": 0}), phv.Default32)
+	if err == nil {
+		t.Fatal("SCC succeeded with a missing pair")
+	}
+	var ce *ConfigError
+	if !asConfigError(err, &ce) {
+		t.Fatalf("error type = %T, want *ConfigError", err)
+	}
+	if ce.Hole != "mux2_1" {
+		t.Errorf("ConfigError.Hole = %q, want mux2_1", ce.Hole)
+	}
+}
+
+func TestSCCOutOfRange(t *testing.T) {
+	p := aludsl.MustParse(figure6Src)
+	code := map[string]int64{"arith_op_0": 7, "mux2_0": 0, "mux2_1": 1}
+	_, err := SCC(p, aludsl.MapLookup(code), phv.Default32)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range ConfigError", err)
+	}
+}
+
+func asConfigError(err error, target **ConfigError) bool {
+	ce, ok := err.(*ConfigError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+// randomCode assigns uniformly random in-domain values to every hole of a
+// program, using small constants for immediates.
+func randomCode(p *aludsl.Program, rng *rand.Rand) map[string]int64 {
+	code := make(map[string]int64, len(p.Holes))
+	for _, h := range p.Holes {
+		if h.Domain > 0 {
+			code[h.Name] = int64(rng.Intn(h.Domain))
+		} else {
+			code[h.Name] = int64(rng.Intn(16))
+		}
+	}
+	return code
+}
+
+// TestOptimizationPreservesSemantics is the central property: for every atom
+// in the library, random machine code and random inputs, the unoptimized
+// program, the SCC-propagated program and the inlined program compute
+// identical outputs and identical state updates.
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := phv.Default32
+	for _, name := range atoms.Names() {
+		prog := atoms.MustLoad(name)
+		for trial := 0; trial < 60; trial++ {
+			code := randomCode(prog, rng)
+			sccProg, err := SCC(prog, aludsl.MapLookup(code), w)
+			if err != nil {
+				t.Fatalf("%s trial %d: SCC: %v", name, trial, err)
+			}
+			inlProg := Inline(sccProg, w)
+
+			stateLen := prog.NumState()
+			st1 := make([]phv.Value, stateLen)
+			st2 := make([]phv.Value, stateLen)
+			st3 := make([]phv.Value, stateLen)
+			for i := range st1 {
+				v := int64(rng.Intn(1 << 10))
+				st1[i], st2[i], st3[i] = v, v, v
+			}
+			// Run a short trace so state evolution is also compared.
+			for step := 0; step < 5; step++ {
+				ops := make([]phv.Value, prog.NumOperands())
+				for i := range ops {
+					ops[i] = int64(rng.Intn(1 << 10))
+				}
+				v1, err1 := aludsl.Run(prog, &aludsl.Env{Width: w, Operands: ops, State: st1, Holes: aludsl.MapLookup(code)})
+				v2, err2 := aludsl.Run(sccProg, &aludsl.Env{Width: w, Operands: ops, State: st2})
+				v3, err3 := aludsl.Run(inlProg, &aludsl.Env{Width: w, Operands: ops, State: st3})
+				if err1 != nil || err2 != nil || err3 != nil {
+					t.Fatalf("%s trial %d: run errors: %v / %v / %v", name, trial, err1, err2, err3)
+				}
+				if v1 != v2 || v2 != v3 {
+					t.Fatalf("%s trial %d step %d: outputs diverge: v1=%d v2=%d v3=%d\ncode=%v",
+						name, trial, step, v1, v2, v3, code)
+				}
+				for i := range st1 {
+					if st1[i] != st2[i] || st2[i] != st3[i] {
+						t.Fatalf("%s trial %d step %d: state %d diverges: %d/%d/%d",
+							name, trial, step, i, st1[i], st2[i], st3[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSCCIdempotent: applying SCC to an already-optimized program is a no-op
+// semantically (and must not error).
+func TestSCCIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prog := atoms.MustLoad("if_else_raw")
+	code := randomCode(prog, rng)
+	q, err := SCC(prog, aludsl.MapLookup(code), phv.Default32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := SCC(q, aludsl.MapLookup(nil), phv.Default32)
+	if err != nil {
+		t.Fatalf("second SCC: %v", err)
+	}
+	st1 := []phv.Value{5}
+	st2 := []phv.Value{5}
+	ops := []phv.Value{3, 4}
+	v1, _ := aludsl.Run(q, &aludsl.Env{Width: phv.Default32, Operands: ops, State: st1})
+	v2, _ := aludsl.Run(q2, &aludsl.Env{Width: phv.Default32, Operands: ops, State: st2})
+	if v1 != v2 || st1[0] != st2[0] {
+		t.Error("second SCC changed semantics")
+	}
+}
+
+// TestInlineSharesNoNodes: inlining an argument used twice must clone it.
+func TestInlineClonesSharedArgs(t *testing.T) {
+	src := `
+type: stateless
+packet fields: {p}
+return arith_op(Mux2(p, p), Mux2(p, p));
+`
+	prog := aludsl.MustParse(src)
+	code := map[string]int64{"arith_op_0": 0, "mux2_0": 0, "mux2_1": 1}
+	q, err := SCC(prog, aludsl.MapLookup(code), phv.Default32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Inline(q, phv.Default32)
+	ret := r.Body[0].(*aludsl.Return)
+	bin := ret.Value.(*aludsl.Binary)
+	if bin.X == bin.Y {
+		t.Error("inlined tree shares nodes between operands")
+	}
+}

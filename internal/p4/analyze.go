@@ -1,0 +1,132 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+
+	"druzhba/internal/dag"
+)
+
+// ReadWriteSets summarizes what a table touches: the fields it matches on,
+// the fields its actions read and write, and the registers its actions
+// touch (registers appear as pseudo-resources "register:<name>").
+type ReadWriteSets struct {
+	MatchFields map[string]bool
+	Reads       map[string]bool
+	Writes      map[string]bool
+}
+
+// TableSets computes the read/write sets of one table across all of its
+// actions (and its default action).
+func TableSets(prog *Program, t *Table) (*ReadWriteSets, error) {
+	s := &ReadWriteSets{
+		MatchFields: map[string]bool{},
+		Reads:       map[string]bool{},
+		Writes:      map[string]bool{},
+	}
+	for _, m := range t.Reads {
+		s.MatchFields[m.Field] = true
+		s.Reads[m.Field] = true
+	}
+	actionNames := append([]string(nil), t.Actions...)
+	if t.Default != nil {
+		actionNames = append(actionNames, t.Default.Name)
+	}
+	for _, name := range actionNames {
+		a := prog.Action(name)
+		if a == nil {
+			return nil, fmt.Errorf("p4: table %q: unknown action %q", t.Name, name)
+		}
+		for _, pr := range a.Prims {
+			for _, o := range pr.Args {
+				if o.Kind == OpField {
+					s.Reads[o.Name] = true
+				}
+			}
+			switch pr.Op {
+			case PrimModifyField:
+				s.Writes[pr.Field] = true
+			case PrimAddToField:
+				s.Writes[pr.Field] = true
+				s.Reads[pr.Field] = true
+			case PrimRegWrite:
+				s.Writes["register:"+pr.Reg] = true
+			case PrimRegAdd:
+				s.Writes["register:"+pr.Reg] = true
+				s.Reads["register:"+pr.Reg] = true
+			case PrimRegRead:
+				s.Writes[pr.Field] = true
+				s.Reads["register:"+pr.Reg] = true
+			}
+		}
+	}
+	return s, nil
+}
+
+// BuildDAG converts the control apply sequence into a table dependency DAG
+// (the preprocessing dgen performs before calling the dRMT scheduler, §4.1):
+//
+//   - a match dependency when an earlier table writes a field a later table
+//     matches on;
+//   - an action dependency when an earlier table's writes intersect a later
+//     table's reads or writes (including registers), or its reads intersect
+//     the later table's writes (anti-dependency);
+//   - a control dependency between consecutive tables with no data
+//     dependency, preserving the apply order.
+func BuildDAG(prog *Program) (*dag.Graph, error) {
+	g := dag.New()
+	for _, name := range prog.Control {
+		g.AddNode(name)
+	}
+	sets := map[string]*ReadWriteSets{}
+	for _, name := range prog.Control {
+		t := prog.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("p4: control applies unknown table %q", name)
+		}
+		s, err := TableSets(prog, t)
+		if err != nil {
+			return nil, err
+		}
+		sets[name] = s
+	}
+	intersects := func(a, b map[string]bool) bool {
+		for k := range a {
+			if b[k] {
+				return true
+			}
+		}
+		return false
+	}
+	for i, from := range prog.Control {
+		for j := i + 1; j < len(prog.Control); j++ {
+			to := prog.Control[j]
+			sf, st := sets[from], sets[to]
+			switch {
+			case intersects(sf.Writes, st.MatchFields):
+				if err := g.AddEdge(from, to, dag.MatchDep); err != nil {
+					return nil, err
+				}
+			case intersects(sf.Writes, st.Reads) || intersects(sf.Writes, st.Writes) || intersects(sf.Reads, st.Writes):
+				if err := g.AddEdge(from, to, dag.ActionDep); err != nil {
+					return nil, err
+				}
+			case j == i+1:
+				if err := g.AddEdge(from, to, dag.ControlDep); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// SortedSet renders a set as a sorted slice (for deterministic output).
+func SortedSet(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

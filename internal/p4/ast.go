@@ -1,0 +1,234 @@
+// Package p4 implements a compact P4-14-like language: the subset dRMT
+// simulation consumes (§4 of the paper) — header types and fields, header
+// instances, registers, actions built from primitive operations, tables with
+// exact/ternary reads, and an ingress control apply sequence.
+//
+//	header_type ipv4_t {
+//	    fields {
+//	        dstAddr : 32;
+//	        ttl : 8;
+//	    }
+//	}
+//	header ipv4_t ipv4;
+//
+//	register r_count {
+//	    width : 32;
+//	    instance_count : 16;
+//	}
+//
+//	action set_ttl(v) {
+//	    modify_field(ipv4.ttl, v);
+//	}
+//
+//	table route {
+//	    reads { ipv4.dstAddr : exact; }
+//	    actions { set_ttl; }
+//	}
+//
+//	control ingress {
+//	    apply(route);
+//	}
+package p4
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FieldDecl is one field of a header type.
+type FieldDecl struct {
+	Name string
+	Bits int
+}
+
+// HeaderType declares a header layout.
+type HeaderType struct {
+	Name   string
+	Fields []FieldDecl
+}
+
+// Header instantiates a header type under an instance name.
+type Header struct {
+	Name     string
+	TypeName string
+}
+
+// Register is a stateful memory: Count cells of Bits width.
+type Register struct {
+	Name  string
+	Bits  int
+	Count int
+}
+
+// PrimOp enumerates action primitives.
+type PrimOp int
+
+const (
+	PrimModifyField PrimOp = iota // modify_field(field, val)
+	PrimAddToField                // add_to_field(field, val)
+	PrimRegWrite                  // register_write(reg, idx, val)
+	PrimRegAdd                    // register_add(reg, idx, val)
+	PrimRegRead                   // register_read(field, reg, idx)
+	PrimDrop                      // drop()
+	PrimNoOp                      // no_op()
+)
+
+var primNames = map[PrimOp]string{
+	PrimModifyField: "modify_field",
+	PrimAddToField:  "add_to_field",
+	PrimRegWrite:    "register_write",
+	PrimRegAdd:      "register_add",
+	PrimRegRead:     "register_read",
+	PrimDrop:        "drop",
+	PrimNoOp:        "no_op",
+}
+
+func (p PrimOp) String() string { return primNames[p] }
+
+// OperandKind classifies primitive operands.
+type OperandKind int
+
+const (
+	OpLiteral OperandKind = iota
+	OpField               // "hdr.field"
+	OpParam               // action parameter
+)
+
+// Operand is a primitive argument.
+type Operand struct {
+	Kind  OperandKind
+	Value int64  // OpLiteral
+	Name  string // OpField ("ipv4.ttl") or OpParam
+}
+
+// Primitive is one operation inside an action.
+type Primitive struct {
+	Op    PrimOp
+	Field string // target field (modify/add/register_read)
+	Reg   string // register name (register ops)
+	Args  []Operand
+}
+
+// Action is a named sequence of primitives with parameters.
+type Action struct {
+	Name   string
+	Params []string
+	Prims  []Primitive
+}
+
+// MatchKind is the paper's "type of match to perform".
+type MatchKind int
+
+const (
+	MatchExact MatchKind = iota
+	MatchTernary
+)
+
+func (k MatchKind) String() string {
+	if k == MatchTernary {
+		return "ternary"
+	}
+	return "exact"
+}
+
+// Match is one read of a table.
+type Match struct {
+	Field string
+	Kind  MatchKind
+}
+
+// ActionCall is an action with bound literal arguments (table defaults).
+type ActionCall struct {
+	Name string
+	Args []int64
+}
+
+// Table is a match+action table.
+type Table struct {
+	Name    string
+	Reads   []Match
+	Actions []string
+	Default *ActionCall // nil means no_op on miss
+}
+
+// Program is a parsed mini-P4 program.
+type Program struct {
+	HeaderTypes []*HeaderType
+	Headers     []*Header
+	Registers   []*Register
+	Actions     []*Action
+	Tables      []*Table
+	Control     []string // apply order
+}
+
+// HeaderType looks up a header type by name.
+func (p *Program) HeaderType(name string) *HeaderType {
+	for _, h := range p.HeaderTypes {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Table looks up a table by name.
+func (p *Program) Table(name string) *Table {
+	for _, t := range p.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Action looks up an action by name.
+func (p *Program) Action(name string) *Action {
+	for _, a := range p.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Register looks up a register by name.
+func (p *Program) Register(name string) *Register {
+	for _, r := range p.Registers {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// FieldNames returns every instantiated "header.field" name, sorted.
+func (p *Program) FieldNames() []string {
+	var out []string
+	for _, h := range p.Headers {
+		ht := p.HeaderType(h.TypeName)
+		if ht == nil {
+			continue
+		}
+		for _, f := range ht.Fields {
+			out = append(out, h.Name+"."+f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FieldBits returns the declared width of a "header.field" name.
+func (p *Program) FieldBits(name string) (int, error) {
+	for _, h := range p.Headers {
+		ht := p.HeaderType(h.TypeName)
+		if ht == nil {
+			continue
+		}
+		for _, f := range ht.Fields {
+			if h.Name+"."+f.Name == name {
+				return f.Bits, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("p4: unknown field %q", name)
+}

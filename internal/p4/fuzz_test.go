@@ -1,0 +1,29 @@
+package p4
+
+import "testing"
+
+// FuzzParse: the mini-P4 parser must never panic; accepted programs must
+// pass Check and build an acyclic DAG.
+func FuzzParse(f *testing.F) {
+	f.Add(routerSrc)
+	f.Add("header_type h { fields { f : 8; } }")
+	f.Add("table t { }")
+	f.Add("control ingress { apply(x); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parse runs Check internally; re-running must agree.
+		if err := Check(prog); err != nil {
+			t.Fatalf("accepted program fails re-Check: %v", err)
+		}
+		g, err := BuildDAG(prog)
+		if err != nil {
+			t.Fatalf("accepted program fails DAG build: %v", err)
+		}
+		if _, err := g.TopoSort(); err != nil {
+			t.Fatalf("control order produced a cyclic DAG: %v", err)
+		}
+	})
+}

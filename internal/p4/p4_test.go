@@ -1,0 +1,259 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+
+	"druzhba/internal/dag"
+)
+
+const routerSrc = `
+header_type ipv4_t {
+    fields {
+        srcAddr : 32;
+        dstAddr : 32;
+        ttl : 8;
+        tos : 8;
+    }
+}
+header ipv4_t ipv4;
+
+register r_count {
+    width : 32;
+    instance_count : 16;
+}
+
+action set_tos(v) {
+    modify_field(ipv4.tos, v);
+}
+
+action decrement_ttl() {
+    add_to_field(ipv4.ttl, -1);
+}
+
+action count_dst() {
+    register_add(r_count, ipv4.dstAddr, 1);
+}
+
+action deny() {
+    drop();
+}
+
+table classify {
+    reads { ipv4.srcAddr : ternary; }
+    actions { set_tos; deny; }
+    default_action : set_tos(0);
+}
+
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { decrement_ttl; deny; }
+    default_action : decrement_ttl();
+}
+
+table audit {
+    reads { ipv4.tos : exact; }
+    actions { count_dst; }
+    default_action : count_dst();
+}
+
+control ingress {
+    apply(classify);
+    apply(route);
+    apply(audit);
+}
+`
+
+func TestParseRouter(t *testing.T) {
+	prog, err := Parse(routerSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.HeaderTypes) != 1 || len(prog.Headers) != 1 {
+		t.Errorf("header counts = %d types, %d instances", len(prog.HeaderTypes), len(prog.Headers))
+	}
+	if len(prog.Tables) != 3 || len(prog.Actions) != 4 {
+		t.Errorf("table/action counts = %d/%d, want 3/4", len(prog.Tables), len(prog.Actions))
+	}
+	if got := prog.Control; len(got) != 3 || got[0] != "classify" {
+		t.Errorf("control = %v", got)
+	}
+	fields := prog.FieldNames()
+	if len(fields) != 4 || fields[0] != "ipv4.dstAddr" {
+		t.Errorf("FieldNames = %v", fields)
+	}
+	bits, err := prog.FieldBits("ipv4.ttl")
+	if err != nil || bits != 8 {
+		t.Errorf("FieldBits(ttl) = %d, %v", bits, err)
+	}
+	if _, err := prog.FieldBits("nope.x"); err == nil {
+		t.Error("FieldBits accepted unknown field")
+	}
+	r := prog.Register("r_count")
+	if r == nil || r.Count != 16 || r.Bits != 32 {
+		t.Errorf("register = %+v", r)
+	}
+	classify := prog.Table("classify")
+	if classify.Reads[0].Kind != MatchTernary {
+		t.Errorf("classify match kind = %v, want ternary", classify.Reads[0].Kind)
+	}
+	if classify.Default == nil || classify.Default.Args[0] != 0 {
+		t.Errorf("classify default = %+v", classify.Default)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown decl", "widget x { }", "unknown declaration"},
+		{"unknown type", "header nope_t h;", `unknown type "nope_t"`},
+		{"unknown prim", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+action a() { frobnicate(h.f); }
+`, "unknown primitive"},
+		{"unknown field in action", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+action a() { modify_field(h.g, 1); }
+`, "unknown field"},
+		{"unknown action in table", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+table t { reads { h.f : exact; } actions { missing; } }
+`, "unknown action"},
+		{"unknown table in control", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+control ingress { apply(ghost); }
+`, "unknown table"},
+		{"double apply", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+action a() { no_op(); }
+table t { reads { h.f : exact; } actions { a; } }
+control ingress { apply(t); apply(t); }
+`, "twice"},
+		{"bad match kind", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+action a() { no_op(); }
+table t { reads { h.f : lpm; } actions { a; } }
+`, "unknown match kind"},
+		{"default arity", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+action a(x) { modify_field(h.f, x); }
+table t { reads { h.f : exact; } actions { a; } default_action : a(); }
+`, "args for"},
+		{"field width", "header_type h_t { fields { f : 99; } }", "out of range"},
+		{"unknown param", `
+header_type h_t { fields { f : 8; } }
+header h_t h;
+action a() { modify_field(h.f, ghost); }
+`, "unknown parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestTableSets(t *testing.T) {
+	prog := MustParse(routerSrc)
+	s, err := TableSets(prog, prog.Table("audit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MatchFields["ipv4.tos"] {
+		t.Error("audit match fields missing ipv4.tos")
+	}
+	if !s.Reads["ipv4.dstAddr"] {
+		t.Error("audit reads missing ipv4.dstAddr (register index)")
+	}
+	if !s.Writes["register:r_count"] {
+		t.Errorf("audit writes = %v, missing register:r_count", SortedSet(s.Writes))
+	}
+	rt, err := TableSets(prog, prog.Table("route"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Writes["ipv4.ttl"] || !rt.Reads["ipv4.ttl"] {
+		t.Error("route add_to_field must both read and write ttl")
+	}
+}
+
+func TestBuildDAG(t *testing.T) {
+	prog := MustParse(routerSrc)
+	g, err := BuildDAG(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// classify writes tos; audit matches tos -> match dependency.
+	found := false
+	for _, e := range g.Out("classify") {
+		if e.To == "audit" && e.Kind == dag.MatchDep {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("classify->audit match dependency missing: %s", g)
+	}
+	// classify and route share no data: consecutive -> control dep.
+	es := g.Out("classify")
+	var toRoute *dag.Edge
+	for i := range es {
+		if es[i].To == "route" {
+			toRoute = &es[i]
+		}
+	}
+	if toRoute == nil || toRoute.Kind != dag.ControlDep {
+		t.Errorf("classify->route = %v, want control dependency", toRoute)
+	}
+	if _, err := g.TopoSort(); err != nil {
+		t.Errorf("DAG not acyclic: %v", err)
+	}
+}
+
+func TestBuildDAGActionDep(t *testing.T) {
+	src := `
+header_type h_t { fields { a : 16; b : 16; } }
+header h_t h;
+action wa() { modify_field(h.a, 1); }
+action ra() { modify_field(h.b, h.a); }
+table t1 { reads { h.b : exact; } actions { wa; } }
+table t2 { reads { h.b : exact; } actions { ra; } }
+control ingress { apply(t1); apply(t2); }
+`
+	g, err := BuildDAG(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := g.Out("t1")
+	if len(es) != 1 || es[0].Kind != dag.ActionDep {
+		t.Errorf("t1 out-edges = %v, want one action dep", es)
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	src := `
+header_type h_t { fields { f : 16; } }
+header h_t h;
+action a() { modify_field(h.f, 0xff); }
+table t { reads { h.f : exact; } actions { a; } }
+control ingress { apply(t); }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := prog.Actions[0].Prims[0].Args[0].Value; v != 255 {
+		t.Errorf("hex literal = %d, want 255", v)
+	}
+}

@@ -1,0 +1,284 @@
+// Package sim is dsim's RMT simulation component (§3.3 of the paper): it
+// drives PHVs from a traffic generator through a pipeline description tick
+// by tick, records input and output traces, and implements the fuzzing-based
+// compiler-testing workflow of Fig. 5 (pipeline output trace vs. high-level
+// specification output trace).
+//
+// Tick semantics follow the paper: a PHV is modelled in two halves. At every
+// tick each occupied stage reads its PHV's read half and writes the result
+// into the write half of the next stage's PHV; at the start of the next tick
+// write halves become read halves. A PHV therefore traverses exactly one
+// stage per tick.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+)
+
+// TrafficGen creates sequences of PHVs whose containers hold random unsigned
+// integers (§3.3). It is deterministic for a given seed.
+type TrafficGen struct {
+	rng    *rand.Rand
+	phvLen int
+	max    int64
+}
+
+// NewTrafficGen returns a generator producing PHVs with phvLen containers of
+// values uniform in [0, max). max <= 0 means the full value range of bits.
+func NewTrafficGen(seed int64, phvLen int, bits phv.Width, max int64) *TrafficGen {
+	if max <= 0 {
+		max = bits.Mask() + 1
+	}
+	return &TrafficGen{rng: rand.New(rand.NewSource(seed)), phvLen: phvLen, max: max}
+}
+
+// Next generates one PHV.
+func (g *TrafficGen) Next() *phv.PHV {
+	p := phv.New(g.phvLen)
+	for i := 0; i < g.phvLen; i++ {
+		p.Set(i, g.rng.Int63n(g.max))
+	}
+	return p
+}
+
+// Trace generates a trace of n PHVs.
+func (g *TrafficGen) Trace(n int) *phv.Trace {
+	t := phv.NewTrace()
+	for i := 0; i < n; i++ {
+		t.Append(g.Next())
+	}
+	return t
+}
+
+// RunOptions configures a simulation run.
+type RunOptions struct {
+	// RecordStates captures a state snapshot after every tick, enabling the
+	// time-travel inspection of pipeline state (§7's debugger direction).
+	RecordStates bool
+
+	// RecordSlots captures, after every tick, the PHV occupying each
+	// pipeline slot (slot i holds the PHV about to execute stage i; slot
+	// Depth is the completion slot). Used by the time-travel debugger.
+	RecordSlots bool
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Input      *phv.Trace
+	Output     *phv.Trace
+	FinalState phv.StateSnapshot
+	Ticks      int
+
+	// StateHistory[t] is the snapshot after tick t (only when
+	// RunOptions.RecordStates was set).
+	StateHistory []phv.StateSnapshot
+
+	// SlotHistory[t][i] is the PHV waiting in slot i after tick t, or nil
+	// when the slot is empty (only when RunOptions.RecordSlots was set).
+	SlotHistory [][][]phv.Value
+}
+
+// Run simulates the pipeline over the input trace tick by tick and returns
+// the output trace ("an output trace shows the modified PHVs and the state
+// vectors", §3.3). The input trace is not modified.
+func Run(p *core.Pipeline, input *phv.Trace) (*Result, error) {
+	return RunOpts(p, input, RunOptions{})
+}
+
+// RunOpts is Run with options.
+func RunOpts(p *core.Pipeline, input *phv.Trace, opts RunOptions) (*Result, error) {
+	depth := p.Depth()
+	phvLen := p.PHVLen()
+	res := &Result{Input: input, Output: phv.NewTrace()}
+
+	// slots[i] is the read half of the PHV waiting to be executed by stage
+	// i this tick; slots[depth] receives completed PHVs.
+	slots := make([][]phv.Value, depth+1)
+	nextIn := 0
+	occupied := 0
+
+	for tick := 0; nextIn < input.Len() || occupied > 0; tick++ {
+		// Admit one PHV into the first pipeline stage per tick.
+		if nextIn < input.Len() {
+			if input.At(nextIn).Len() != phvLen {
+				return nil, fmt.Errorf("sim: input PHV %d has %d containers, pipeline expects %d", nextIn, input.At(nextIn).Len(), phvLen)
+			}
+			slots[0] = input.At(nextIn).Values()
+			nextIn++
+			occupied++
+		}
+		// Execute stages back to front so every PHV advances exactly one
+		// stage: the write half of tick t becomes the read half of t+1.
+		for si := depth - 1; si >= 0; si-- {
+			if slots[si] == nil {
+				continue
+			}
+			out := make([]phv.Value, phvLen)
+			if err := p.ExecuteStage(si, slots[si], out); err != nil {
+				return nil, fmt.Errorf("sim: tick %d: %w", tick, err)
+			}
+			slots[si] = nil
+			slots[si+1] = out
+		}
+		if opts.RecordSlots {
+			snap := make([][]phv.Value, depth+1)
+			for i, s := range slots {
+				if s != nil {
+					snap[i] = append([]phv.Value(nil), s...)
+				}
+			}
+			res.SlotHistory = append(res.SlotHistory, snap)
+		}
+		if slots[depth] != nil {
+			res.Output.Append(phv.FromValues(slots[depth]))
+			slots[depth] = nil
+			occupied--
+		}
+		res.Ticks = tick + 1
+		if opts.RecordStates {
+			res.StateHistory = append(res.StateHistory, p.StateSnapshot())
+		}
+	}
+	res.FinalState = p.StateSnapshot()
+	return res, nil
+}
+
+// Spec is a high-level specification "capturing the intended algorithmic
+// behavior on both PHVs and state values" (§3.3). A Spec consumes input PHVs
+// in order and produces the expected output PHVs; it may keep internal state
+// across calls.
+type Spec interface {
+	// Name identifies the specification in reports.
+	Name() string
+	// Process returns the expected output PHV for the next input PHV.
+	Process(in *phv.PHV) (*phv.PHV, error)
+	// Reset clears all internal state.
+	Reset()
+}
+
+// SpecFunc adapts a stateless transformation function to the Spec interface.
+type SpecFunc struct {
+	SpecName string
+	Fn       func(in *phv.PHV) (*phv.PHV, error)
+}
+
+// Name implements Spec.
+func (s *SpecFunc) Name() string { return s.SpecName }
+
+// Process implements Spec.
+func (s *SpecFunc) Process(in *phv.PHV) (*phv.PHV, error) { return s.Fn(in) }
+
+// Reset implements Spec.
+func (s *SpecFunc) Reset() {}
+
+// RunSpec runs a specification over an input trace, producing its expected
+// output trace.
+func RunSpec(s Spec, input *phv.Trace) (*phv.Trace, error) {
+	s.Reset()
+	out := phv.NewTrace()
+	for i := 0; i < input.Len(); i++ {
+		o, err := s.Process(input.At(i).Clone())
+		if err != nil {
+			return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", s.Name(), i, err)
+		}
+		out.Append(o)
+	}
+	return out, nil
+}
+
+// FuzzOptions configures equivalence fuzzing.
+type FuzzOptions struct {
+	// Containers restricts the comparison to these container indices
+	// (nil compares every container).
+	Containers []int
+}
+
+// FuzzReport is the outcome of one fuzzing session.
+type FuzzReport struct {
+	SpecName string
+	Checked  int  // PHVs compared
+	Passed   bool // true when every PHV matched
+
+	// On failure:
+	FailIndex int      // index of the first mismatching PHV (-1 if none)
+	Input     *phv.PHV // the mismatching input
+	Got       *phv.PHV // pipeline output
+	Want      *phv.PHV // spec output
+	Err       error    // non-nil when simulation itself failed
+}
+
+// String renders the report for humans.
+func (r *FuzzReport) String() string {
+	if r.Passed {
+		return fmt.Sprintf("PASS: %s: %d PHVs match", r.SpecName, r.Checked)
+	}
+	if r.Err != nil {
+		return fmt.Sprintf("FAIL: %s: simulation error after %d PHVs: %v", r.SpecName, r.Checked, r.Err)
+	}
+	return fmt.Sprintf("FAIL: %s: PHV %d: input %s: pipeline %s, spec %s",
+		r.SpecName, r.FailIndex, r.Input, r.Got, r.Want)
+}
+
+// Fuzz implements the compiler-testing workflow of Fig. 5: the input trace
+// is fed both to the pipeline and to the specification, and the two output
+// traces are compared. The pipeline's state is reset first. A non-nil error
+// is returned only for harness misuse; simulation failures (e.g. machine
+// code incompatible with the pipeline) are reported in FuzzReport.Err, since
+// they are test findings (§5.2's first failure class).
+func Fuzz(p *core.Pipeline, spec Spec, input *phv.Trace, opts FuzzOptions) (*FuzzReport, error) {
+	if input.Len() == 0 {
+		return nil, errors.New("sim: empty input trace")
+	}
+	report := &FuzzReport{SpecName: spec.Name(), FailIndex: -1}
+	p.ResetState()
+	simRes, err := Run(p, input)
+	if err != nil {
+		report.Err = err
+		return report, nil
+	}
+	specOut, err := RunSpec(spec, input)
+	if err != nil {
+		return nil, err
+	}
+	if simRes.Output.Len() != specOut.Len() {
+		report.Err = fmt.Errorf("output trace lengths differ: pipeline %d, spec %d", simRes.Output.Len(), specOut.Len())
+		return report, nil
+	}
+	for i := 0; i < input.Len(); i++ {
+		got, want := simRes.Output.At(i), specOut.At(i)
+		if !equalOn(got, want, opts.Containers) {
+			report.Checked = i
+			report.FailIndex = i
+			report.Input = input.At(i).Clone()
+			report.Got = got.Clone()
+			report.Want = want.Clone()
+			return report, nil
+		}
+	}
+	report.Checked = input.Len()
+	report.Passed = true
+	return report, nil
+}
+
+// FuzzRandom drives Fuzz with n PHVs from a fresh traffic generator.
+func FuzzRandom(p *core.Pipeline, spec Spec, seed int64, n int, maxValue int64, opts FuzzOptions) (*FuzzReport, error) {
+	gen := NewTrafficGen(seed, p.PHVLen(), p.Bits(), maxValue)
+	return Fuzz(p, spec, gen.Trace(n), opts)
+}
+
+func equalOn(a, b *phv.PHV, containers []int) bool {
+	if containers == nil {
+		return a.Equal(b)
+	}
+	for _, c := range containers {
+		if a.Get(c) != b.Get(c) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+)
+
+// TestIdentityPipelineProperty: an all-pass-through pipeline returns any
+// trace unchanged, whatever the inputs (testing/quick over input vectors).
+func TestIdentityPipelineProperty(t *testing.T) {
+	p := buildPipeline(t, 3, 2, "pred_raw", nil, core.SCCInlining)
+	f := func(raw [][2]uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		input := phv.NewTrace()
+		for _, pair := range raw {
+			input.Append(phv.FromValues([]phv.Value{int64(pair[0]), int64(pair[1])}))
+		}
+		res, err := Run(p, input)
+		if err != nil {
+			return false
+		}
+		return res.Output.Equal(input)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunDeterministicProperty: simulating the same trace twice from reset
+// state yields identical outputs and final state.
+func TestRunDeterministicProperty(t *testing.T) {
+	p := buildPipeline(t, 2, 1, "raw", nil, core.SCCPropagation)
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		input := phv.NewTrace()
+		for _, v := range vals {
+			input.Append(phv.FromValues([]phv.Value{int64(v)}))
+		}
+		p.ResetState()
+		r1, err1 := Run(p, input)
+		p.ResetState()
+		r2, err2 := Run(p, input)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Output.Equal(r2.Output) && r1.FinalState.Equal(r2.FinalState) && r1.Ticks == r2.Ticks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTickCountProperty: n PHVs through depth d always take n+d-1 ticks.
+func TestTickCountProperty(t *testing.T) {
+	for depth := 1; depth <= 5; depth++ {
+		p := buildPipeline(t, depth, 1, "", nil, core.SCCInlining)
+		for _, n := range []int{1, 2, 7, 31} {
+			g := NewTrafficGen(int64(depth*100+n), 1, phv.Default32, 0)
+			res, err := Run(p, g.Trace(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := n + depth - 1; res.Ticks != want {
+				t.Errorf("depth %d, n %d: ticks = %d, want %d", depth, n, res.Ticks, want)
+			}
+			if res.Output.Len() != n {
+				t.Errorf("depth %d, n %d: outputs = %d", depth, n, res.Output.Len())
+			}
+		}
+	}
+}
+
+// TestSlotHistoryInvariants: with full recording, exactly min(t+1, n,
+// in-flight bound) PHVs occupy the pipeline each tick, and every recorded
+// slot PHV has the pipeline's container count.
+func TestSlotHistoryInvariants(t *testing.T) {
+	p := buildPipeline(t, 3, 2, "pair", nil, core.SCCInlining)
+	g := NewTrafficGen(5, 2, phv.Default32, 1000)
+	n := 10
+	res, err := RunOpts(p, g.Trace(n), RunOptions{RecordSlots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SlotHistory) != res.Ticks {
+		t.Fatalf("slot history length %d != ticks %d", len(res.SlotHistory), res.Ticks)
+	}
+	for tick, slots := range res.SlotHistory {
+		occupied := 0
+		for _, s := range slots {
+			if s != nil {
+				occupied++
+				if len(s) != 2 {
+					t.Fatalf("tick %d: slot PHV has %d containers", tick, len(s))
+				}
+			}
+		}
+		if occupied == 0 {
+			t.Errorf("tick %d: pipeline empty mid-run", tick)
+		}
+	}
+}

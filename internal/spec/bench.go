@@ -1,0 +1,252 @@
+// Package spec contains the twelve packet-processing programs of Table 1 of
+// the paper, each with:
+//
+//   - its high-level program in the mini-Domino language (the "high-level
+//     program" of Fig. 5),
+//   - the pipeline dimensions and Banzai atom from Table 1,
+//   - a machine code fixture — the artifact a compiler targeting Druzhba
+//     would emit (the paper obtained these from the Chipmunk synthesis
+//     compiler; here they are hand-mapped and fuzz-verified, and package
+//     synth can regenerate small ones),
+//   - the PHV field binding used to compare pipeline and spec outputs.
+//
+// Every fixture is validated in the package tests by the Fig. 5 workflow:
+// the same random input trace is run through the pipeline (at all three
+// optimization levels) and through the Domino specification, and the output
+// traces are asserted equal.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"druzhba/internal/atoms"
+	"druzhba/internal/core"
+	"druzhba/internal/domino"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
+	"druzhba/internal/sim"
+)
+
+// Benchmark is one Table 1 program.
+type Benchmark struct {
+	Name  string // Table 1 program name
+	Depth int    // pipeline depth (Table 1)
+	Width int    // pipeline width (Table 1)
+	Atom  string // stateful ALU name (Table 1 "ALU name")
+
+	// DominoSrc is the high-level program.
+	DominoSrc string
+
+	// Fields binds Domino packet fields to PHV containers.
+	Fields domino.FieldMap
+
+	// MaxInput bounds traffic-generator values (0 = full width). Programs
+	// whose semantics need realistic field magnitudes set this.
+	MaxInput int64
+
+	// build populates the machine code fixture.
+	build func(b *builder)
+}
+
+// Spec builds the benchmark's pipeline spec (not yet bound to machine code).
+func (bm *Benchmark) Spec() (core.Spec, error) {
+	stateful, err := atoms.Load(bm.Atom)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	return core.Spec{
+		Depth:        bm.Depth,
+		Width:        bm.Width,
+		StatelessALU: atoms.MustLoad("stateless_full"),
+		StatefulALU:  stateful,
+	}, nil
+}
+
+// MachineCode returns the benchmark's machine code fixture: every required
+// pair, with the identity configuration for unused primitives.
+func (bm *Benchmark) MachineCode() (*machinecode.Program, error) {
+	spec, err := bm.Spec()
+	if err != nil {
+		return nil, err
+	}
+	req, err := spec.RequiredPairs()
+	if err != nil {
+		return nil, err
+	}
+	code := machinecode.New()
+	for _, h := range req {
+		code.Set(h.Name, 0)
+	}
+	b := &builder{spec: spec, code: code}
+	bm.build(b)
+	if b.err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", bm.Name, b.err)
+	}
+	return code, nil
+}
+
+// Pipeline builds the benchmark's pipeline at the given optimization level.
+func (bm *Benchmark) Pipeline(level core.OptLevel) (*core.Pipeline, error) {
+	spec, err := bm.Spec()
+	if err != nil {
+		return nil, err
+	}
+	code, err := bm.MachineCode()
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(spec, code, level)
+}
+
+// DominoProgram parses the benchmark's high-level program.
+func (bm *Benchmark) DominoProgram() (*domino.Program, error) {
+	p, err := domino.Parse(bm.DominoSrc)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", bm.Name, err)
+	}
+	p.Name = bm.Name
+	return p, nil
+}
+
+// SimSpec returns the benchmark's high-level specification bound to its
+// field layout, ready for sim.Fuzz.
+func (bm *Benchmark) SimSpec() (sim.Spec, error) {
+	p, err := bm.DominoProgram()
+	if err != nil {
+		return nil, err
+	}
+	return domino.NewPHVSpec(p, bm.Fields, phv.Default32)
+}
+
+// CompareContainers returns the containers whose values the specification
+// defines (the fields the Domino program writes).
+func (bm *Benchmark) CompareContainers() ([]int, error) {
+	p, err := bm.DominoProgram()
+	if err != nil {
+		return nil, err
+	}
+	return domino.WrittenContainers(p, bm.Fields)
+}
+
+// Verify runs the Fig. 5 fuzzing workflow for the benchmark at one
+// optimization level: n random PHVs through pipeline and spec, outputs
+// compared on the spec-defined containers.
+func (bm *Benchmark) Verify(level core.OptLevel, seed int64, n int) (*sim.FuzzReport, error) {
+	p, err := bm.Pipeline(level)
+	if err != nil {
+		return nil, err
+	}
+	s, err := bm.SimSpec()
+	if err != nil {
+		return nil, err
+	}
+	containers, err := bm.CompareContainers()
+	if err != nil {
+		return nil, err
+	}
+	return sim.FuzzRandom(p, s, seed, n, bm.MaxInput, sim.FuzzOptions{Containers: containers})
+}
+
+// All returns every benchmark in Table 1 order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(table1))
+	copy(out, table1)
+	return out
+}
+
+// Names lists benchmark names, sorted.
+func Names() []string {
+	names := make([]string, len(table1))
+	for i, b := range table1 {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup finds a benchmark by name.
+func Lookup(name string) (*Benchmark, error) {
+	for _, b := range table1 {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("spec: unknown benchmark %q (have %v)", name, Names())
+}
+
+// --- machine code fixture builder --------------------------------------------
+
+// builder writes machine code pairs with the pipeline naming convention and
+// validates slot/stage bounds as it goes.
+type builder struct {
+	spec core.Spec
+	code *machinecode.Program
+	err  error
+}
+
+func (b *builder) failf(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *builder) checkPos(stage, slot int) bool {
+	if stage < 0 || stage >= b.spec.Depth || slot < 0 || slot >= b.spec.Width {
+		b.failf("position (stage %d, slot %d) outside %dx%d grid", stage, slot, b.spec.Depth, b.spec.Width)
+		return false
+	}
+	return true
+}
+
+// alu sets the internal holes of the ALU at (stage, slot) and wires its
+// operand muxes to the given containers.
+func (b *builder) alu(stage int, stateful bool, slot int, operands []int, holes map[string]int64) {
+	if !b.checkPos(stage, slot) {
+		return
+	}
+	for op, c := range operands {
+		name := machinecode.OperandMuxName(stage, stateful, slot, op)
+		if !b.code.Has(name) {
+			b.failf("no such operand mux %q", name)
+			return
+		}
+		b.code.Set(name, int64(c))
+	}
+	for hole, v := range holes {
+		name := machinecode.ALUHoleName(stage, stateful, slot, hole)
+		if !b.code.Has(name) {
+			b.failf("no such hole %q", name)
+			return
+		}
+		b.code.Set(name, v)
+	}
+}
+
+// stateless configures the stateless ALU at (stage, slot).
+func (b *builder) stateless(stage, slot int, operands []int, holes map[string]int64) {
+	b.alu(stage, false, slot, operands, holes)
+}
+
+// stateful configures the stateful ALU at (stage, slot).
+func (b *builder) stateful(stage, slot int, operands []int, holes map[string]int64) {
+	b.alu(stage, true, slot, operands, holes)
+}
+
+// outStateless routes container c at the end of stage to the stateless ALU
+// at slot.
+func (b *builder) outStateless(stage, c, slot int) {
+	if !b.checkPos(stage, slot) {
+		return
+	}
+	b.code.Set(machinecode.OutputMuxName(stage, c), int64(1+slot))
+}
+
+// outStateful routes container c at the end of stage to the stateful ALU at
+// slot.
+func (b *builder) outStateful(stage, c, slot int) {
+	if !b.checkPos(stage, slot) {
+		return
+	}
+	b.code.Set(machinecode.OutputMuxName(stage, c), int64(1+b.spec.Width+slot))
+}

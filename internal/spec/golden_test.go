@@ -1,0 +1,41 @@
+package spec
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden machine code files")
+
+// TestGoldenMachineCode pins every benchmark's machine code fixture to a
+// golden file in testdata/, so accidental changes to atom definitions, the
+// naming convention or the fixture builders are caught explicitly. Refresh
+// with: go test ./internal/spec -run TestGoldenMachineCode -update
+func TestGoldenMachineCode(t *testing.T) {
+	for _, bm := range All() {
+		code, err := bm.MachineCode()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		path := filepath.Join("testdata", bm.Name+".mc")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(code.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update): %v", bm.Name, err)
+		}
+		if got := code.String(); got != string(want) {
+			t.Errorf("%s: machine code fixture changed; if intentional, rerun with -update.\n--- got ---\n%s--- want ---\n%s",
+				bm.Name, got, want)
+		}
+	}
+}

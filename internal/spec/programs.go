@@ -1,0 +1,500 @@
+package spec
+
+import (
+	"druzhba/internal/aludsl"
+	"druzhba/internal/domino"
+)
+
+// The twelve programs of Table 1, with the paper's pipeline dimensions and
+// Banzai atoms. Per-flow algorithms (Marple, firewall, flowlets, CONGA) are
+// realized in their scalar forms — the same packet transactions over a
+// single flow's state — because the atoms (like Banzai's) hold scalar state;
+// this matches the granularity Chipmunk compiled in the paper's case study.
+var table1 = []*Benchmark{
+	blueDecrease, blueIncrease, sampling, marpleNewFlow, marpleTCPNMO,
+	snapHeavyHitter, statefulFirewall, flowlets, learnFilter, rcp,
+	conga, spamDetection,
+}
+
+// Shorthand for the alu_op opcodes used below.
+const (
+	opAdd = int64(aludsl.ALUOpAdd)
+	opSub = int64(aludsl.ALUOpSub)
+	opMul = int64(aludsl.ALUOpMul)
+	opMod = int64(aludsl.ALUOpMod)
+	opEq  = int64(aludsl.ALUOpEq)
+	opNeq = int64(aludsl.ALUOpNeq)
+	opLe  = int64(aludsl.ALUOpLe)
+	opAnd = int64(aludsl.ALUOpAnd)
+
+	relEq = int64(aludsl.RelEq)
+	relNe = int64(aludsl.RelNe)
+	relGe = int64(aludsl.RelGe)
+	relLe = int64(aludsl.RelLe)
+)
+
+// sampling marks every 10th packet (Domino's flowlet-style sampling example,
+// and the program of the paper's Fig. 1).
+var sampling = &Benchmark{
+	Name: "sampling", Depth: 2, Width: 1, Atom: "if_else_raw",
+	DominoSrc: `
+state count = 0;
+
+transaction {
+    if (count == 9) {
+        count = 0;
+        pkt.sample = 1;
+    } else {
+        count = count + 1;
+        pkt.sample = 0;
+    }
+}
+`,
+	Fields: domino.FieldMap{"sample": 0},
+	build: func(b *builder) {
+		// Stage 0: if_else_raw as a wrap-around counter. The counter
+		// output is 1..9 then 0; 0 marks the sampled packet.
+		b.stateful(0, 0, []int{0, 0}, map[string]int64{
+			"rel_op_0": relEq, "opt_0": 0, "mux3_0": 2, "const_0": 9,
+			"opt_1": 1, "mux3_1": 2, "const_1": 0, // then: count = 0
+			"opt_2": 0, "mux3_2": 2, "const_2": 1, // else: count + 1
+		})
+		b.outStateful(0, 0, 0)
+		// Stage 1: sample = (count' == 0).
+		b.stateless(1, 0, []int{0, 0}, map[string]int64{
+			"alu_op_0": opEq, "mux3_0": 0, "mux3_1": 2, "const_1": 0,
+		})
+		b.outStateless(1, 0, 0)
+	},
+}
+
+// snapHeavyHitter flags packets once the flow's packet count crosses a
+// threshold (SNAP's heavy-hitter detection on one flow).
+var snapHeavyHitter = &Benchmark{
+	Name: "snap-heavy-hitter", Depth: 1, Width: 1, Atom: "pair",
+	DominoSrc: `
+state count = 0;
+state hh = 0;
+
+transaction {
+    if (count >= 99) {
+        count = count + 1;
+        hh = 1;
+    } else {
+        count = count + 1;
+        hh = 0;
+    }
+    pkt.hh = hh;
+}
+`,
+	Fields: domino.FieldMap{"hh": 0},
+	build: func(b *builder) {
+		b.stateful(0, 0, []int{0, 0}, map[string]int64{
+			// condition: count >= 99
+			"rel_op_0": relGe, "mux3_0": 0, "const_0": 0, "mux3_1": 2, "const_1": 99,
+			// then: count += 1; hh = 1
+			"opt_0": 0, "mux2_0": 0, "mux3_2": 2, "const_2": 1,
+			"opt_1": 1, "mux2_1": 0, "mux3_3": 2, "const_3": 1,
+			// else: count += 1; hh = 0
+			"opt_2": 0, "mux2_2": 0, "mux3_4": 2, "const_4": 1,
+			"opt_3": 1, "mux2_3": 0, "mux3_5": 2, "const_5": 0,
+			// output hh
+			"mux2_4": 1,
+		})
+		b.outStateful(0, 0, 0)
+	},
+}
+
+// spamDetection accumulates per-sender report weights and flags the sender
+// once the score crosses a threshold (SNAP's spam detection on one sender).
+var spamDetection = &Benchmark{
+	Name: "spam-detection", Depth: 1, Width: 1, Atom: "pair",
+	DominoSrc: `
+state score = 0;
+
+transaction {
+    if (score >= 1000) {
+        score = score + pkt.w;
+        pkt.w = 1;
+    } else {
+        score = score + pkt.w;
+        pkt.w = 0;
+    }
+}
+`,
+	Fields:   domino.FieldMap{"w": 0},
+	MaxInput: 200,
+	build: func(b *builder) {
+		b.stateful(0, 0, []int{0, 0}, map[string]int64{
+			// condition: score >= 1000
+			"rel_op_0": relGe, "mux3_0": 0, "const_0": 0, "mux3_1": 2, "const_1": 1000,
+			// then: score += w; flag = 1
+			"opt_0": 0, "mux2_0": 0, "mux3_2": 0, "const_2": 0,
+			"opt_1": 1, "mux2_1": 0, "mux3_3": 2, "const_3": 1,
+			// else: score += w; flag = 0
+			"opt_2": 0, "mux2_2": 0, "mux3_4": 0, "const_4": 0,
+			"opt_3": 1, "mux2_3": 0, "mux3_5": 2, "const_5": 0,
+			// output flag
+			"mux2_4": 1,
+		})
+		b.outStateful(0, 0, 0)
+	},
+}
+
+// conga tracks the most-utilized path seen so far and stamps its id on every
+// packet (CONGA's per-leaf congestion state, max-tracking form so all state
+// starts at zero).
+var conga = &Benchmark{
+	Name: "conga", Depth: 1, Width: 5, Atom: "pair",
+	DominoSrc: `
+state bestutil = 0;
+state bestpath = 0;
+
+transaction {
+    if (bestutil <= pkt.util) {
+        bestutil = pkt.util;
+        bestpath = pkt.path;
+    }
+    pkt.best = bestpath;
+}
+`,
+	Fields:   domino.FieldMap{"util": 0, "path": 1, "best": 2},
+	MaxInput: 1 << 16,
+	build: func(b *builder) {
+		b.stateful(0, 0, []int{0, 1}, map[string]int64{
+			// condition: bestutil <= util
+			"rel_op_0": relLe, "mux3_0": 0, "const_0": 0, "mux3_1": 0, "const_1": 0,
+			// then: bestutil = util; bestpath = path
+			"opt_0": 1, "mux2_0": 0, "mux3_2": 0, "const_2": 0,
+			"opt_1": 1, "mux2_1": 0, "mux3_3": 1, "const_3": 0,
+			// else: keep both
+			"opt_2": 0, "mux2_2": 0, "mux3_4": 2, "const_4": 0,
+			"opt_3": 0, "mux2_3": 1, "mux3_5": 2, "const_5": 0,
+			// output bestpath
+			"mux2_4": 1,
+		})
+		b.outStateful(0, 2, 0)
+	},
+}
+
+// blueDecrease applies BLUE's marking-probability decrease: every idle
+// event reduces p_mark by the step d2 (= 2 here).
+var blueDecrease = &Benchmark{
+	Name: "blue-decrease", Depth: 4, Width: 2, Atom: "sub",
+	DominoSrc: `
+state pm = 0;
+
+transaction {
+    pm = pm - pkt.idle * 2;
+    pkt.pm = pm;
+}
+`,
+	Fields:   domino.FieldMap{"idle": 0, "pm": 1},
+	MaxInput: 1 << 10,
+	build: func(b *builder) {
+		// Stage 0: dec = idle * 2.
+		b.stateless(0, 0, []int{0, 0}, map[string]int64{
+			"alu_op_0": opMul, "mux3_0": 0, "mux3_1": 2, "const_1": 2,
+		})
+		b.outStateless(0, 1, 0)
+		// Stage 1: pm -= dec (sub atom).
+		b.stateful(1, 0, []int{1, 1}, map[string]int64{
+			"arith_op_0": 1, "mux3_0": 0, "const_0": 0,
+		})
+		b.outStateful(1, 1, 0)
+		// Stages 2-3 pass through.
+	},
+}
+
+// blueIncrease applies BLUE's marking-probability increase: every
+// queue-overflow event (qlen over the threshold) raises p_mark by d1.
+var blueIncrease = &Benchmark{
+	Name: "blue-increase", Depth: 4, Width: 2, Atom: "pair",
+	DominoSrc: `
+state pm = 0;
+state events = 0;
+
+transaction {
+    if (100 <= pkt.qlen) {
+        pm = pm + 2;
+        events = events + 1;
+    }
+    pkt.pm = pm;
+}
+`,
+	Fields:   domino.FieldMap{"qlen": 0, "pm": 1},
+	MaxInput: 200,
+	build: func(b *builder) {
+		b.stateful(0, 0, []int{0, 0}, map[string]int64{
+			// condition: 100 <= qlen
+			"rel_op_0": relLe, "mux3_0": 2, "const_0": 100, "mux3_1": 0, "const_1": 0,
+			// then: pm += 2; events += 1
+			"opt_0": 0, "mux2_0": 0, "mux3_2": 2, "const_2": 2,
+			"opt_1": 0, "mux2_1": 1, "mux3_3": 2, "const_3": 1,
+			// else: keep both
+			"opt_2": 0, "mux2_2": 0, "mux3_4": 2, "const_4": 0,
+			"opt_3": 0, "mux2_3": 1, "mux3_5": 2, "const_5": 0,
+			// output pm
+			"mux2_4": 0,
+		})
+		b.outStateful(0, 1, 0)
+	},
+}
+
+// marpleNewFlow detects the first packet of a flow (Marple's new-flow
+// query on one flow: a packet counter compared against 1).
+var marpleNewFlow = &Benchmark{
+	Name: "marple-new-flow", Depth: 2, Width: 2, Atom: "pred_raw",
+	DominoSrc: `
+state count = 0;
+
+transaction {
+    count = count + 1;
+    if (count == 1) {
+        pkt.new = 1;
+    } else {
+        pkt.new = 0;
+    }
+}
+`,
+	Fields: domino.FieldMap{"new": 1},
+	build: func(b *builder) {
+		// Stage 0: unconditional count increment (predicate 0 >= 0).
+		b.stateful(0, 0, []int{0, 0}, map[string]int64{
+			"rel_op_0": relGe, "opt_0": 1, "mux3_0": 2, "const_0": 0,
+			"opt_1": 0, "mux3_1": 2, "const_1": 1,
+		})
+		b.outStateful(0, 1, 0)
+		// Stage 1: new = (count' == 1).
+		b.stateless(1, 0, []int{1, 1}, map[string]int64{
+			"alu_op_0": opEq, "mux3_0": 0, "mux3_1": 2, "const_1": 1,
+		})
+		b.outStateless(1, 1, 0)
+	},
+}
+
+// marpleTCPNMO detects non-monotonic TCP sequence numbers (Marple's
+// out-of-order query): packets whose seq is below the running maximum.
+var marpleTCPNMO = &Benchmark{
+	Name: "marple-tcp-nmo", Depth: 3, Width: 2, Atom: "pred_raw",
+	DominoSrc: `
+state maxseq = 0;
+
+transaction {
+    if (maxseq <= pkt.seq) {
+        maxseq = pkt.seq;
+    }
+    if (pkt.seq != maxseq) {
+        pkt.nmo = 1;
+    } else {
+        pkt.nmo = 0;
+    }
+}
+`,
+	Fields:   domino.FieldMap{"seq": 0, "nmo": 1},
+	MaxInput: 1 << 20,
+	build: func(b *builder) {
+		// Stage 0: maxseq = max(maxseq, seq).
+		b.stateful(0, 0, []int{0, 0}, map[string]int64{
+			"rel_op_0": relLe, "opt_0": 0, "mux3_0": 0, "const_0": 0,
+			"opt_1": 1, "mux3_1": 0, "const_1": 0,
+		})
+		b.outStateful(0, 1, 0)
+		// Stage 1: nmo = (seq != maxseq').
+		b.stateless(1, 0, []int{0, 1}, map[string]int64{
+			"alu_op_0": opNeq, "mux3_0": 0, "mux3_1": 1,
+		})
+		b.outStateless(1, 1, 0)
+		// Stage 2 passes through.
+	},
+}
+
+// statefulFirewall allows inbound packets only after an outbound packet has
+// established the connection (SNAP's stateful firewall on one connection;
+// direction is the parity of pkt.dir).
+var statefulFirewall = &Benchmark{
+	Name: "stateful-firewall", Depth: 4, Width: 5, Atom: "pred_raw",
+	DominoSrc: `
+state est = 0;
+
+transaction {
+    int d = pkt.dir % 2;
+    if (d == 0) {
+        est = 1;
+    }
+    if (d == 1 && est == 1) {
+        pkt.allow = 1;
+    } else {
+        pkt.allow = 0;
+    }
+}
+`,
+	Fields: domino.FieldMap{"dir": 0, "allow": 3},
+	build: func(b *builder) {
+		// Stage 0: d = dir % 2 -> c2.
+		b.stateless(0, 0, []int{0, 0}, map[string]int64{
+			"alu_op_0": opMod, "mux3_0": 0, "mux3_1": 2, "const_1": 2,
+		})
+		b.outStateless(0, 2, 0)
+		// Stage 1: est = 1 when d == 0 (predicate 0 >= d) -> c4.
+		b.stateful(1, 0, []int{2, 2}, map[string]int64{
+			"rel_op_0": relGe, "opt_0": 1, "mux3_0": 0, "const_0": 0,
+			"opt_1": 1, "mux3_1": 2, "const_1": 1,
+		})
+		b.outStateful(1, 4, 0)
+		// Stage 2: t = (d == 1) -> c3.
+		b.stateless(2, 0, []int{2, 2}, map[string]int64{
+			"alu_op_0": opEq, "mux3_0": 0, "mux3_1": 2, "const_1": 1,
+		})
+		b.outStateless(2, 3, 0)
+		// Stage 3: allow = t && est -> c3.
+		b.stateless(3, 0, []int{3, 4}, map[string]int64{
+			"alu_op_0": opAnd, "mux3_0": 0, "mux3_1": 1,
+		})
+		b.outStateless(3, 3, 0)
+	},
+}
+
+// flowlets implements flowlet switching on one flow: when the inter-packet
+// gap exceeds 50 ticks a new flowlet starts and the next-hop counter
+// rotates.
+var flowlets = &Benchmark{
+	Name: "flowlets", Depth: 4, Width: 5, Atom: "pred_raw",
+	DominoSrc: `
+state last = 0;
+state hops = 0;
+
+transaction {
+    if (last <= pkt.arr - 50) {
+        last = pkt.arr;
+    }
+    int anew = 0;
+    if (last == pkt.arr) {
+        anew = 1;
+    }
+    if (anew != 0) {
+        hops = hops + 1;
+    }
+    pkt.hop = hops;
+}
+`,
+	Fields:   domino.FieldMap{"arr": 0, "hop": 4},
+	MaxInput: 500,
+	build: func(b *builder) {
+		// Stage 0: a50 = arr - 50 -> c2.
+		b.stateless(0, 0, []int{0, 0}, map[string]int64{
+			"alu_op_0": opSub, "mux3_0": 0, "mux3_1": 2, "const_1": 50,
+		})
+		b.outStateless(0, 2, 0)
+		// Stage 1: last = arr when last <= a50 -> c3 (new last).
+		b.stateful(1, 0, []int{2, 0}, map[string]int64{
+			"rel_op_0": relLe, "opt_0": 0, "mux3_0": 0, "const_0": 0,
+			"opt_1": 1, "mux3_1": 1, "const_1": 0,
+		})
+		b.outStateful(1, 3, 0)
+		// Stage 2: anew = (last' == arr) -> c3.
+		b.stateless(2, 0, []int{3, 0}, map[string]int64{
+			"alu_op_0": opEq, "mux3_0": 0, "mux3_1": 1,
+		})
+		b.outStateless(2, 3, 0)
+		// Stage 3: hops += 1 when anew != 0 -> c4.
+		b.stateful(3, 0, []int{3, 3}, map[string]int64{
+			"rel_op_0": relNe, "opt_0": 1, "mux3_0": 0, "const_0": 0,
+			"opt_1": 0, "mux3_1": 2, "const_1": 1,
+		})
+		b.outStateful(3, 4, 0)
+	},
+}
+
+// learnFilter is Domino's learning bloom filter: three hash lanes, each
+// accumulating its hash of the packet value into its own state.
+var learnFilter = &Benchmark{
+	Name: "learn-filter", Depth: 3, Width: 5, Atom: "raw",
+	DominoSrc: `
+state s1 = 0;
+state s2 = 0;
+state s3 = 0;
+
+transaction {
+    s1 = s1 + (pkt.v * 3) % 101;
+    s2 = s2 + (pkt.v * 5) % 103;
+    s3 = s3 + (pkt.v * 7) % 107;
+    pkt.h1 = s1;
+    pkt.h2 = s2;
+    pkt.h3 = s3;
+}
+`,
+	Fields:   domino.FieldMap{"v": 0, "h1": 1, "h2": 2, "h3": 3},
+	MaxInput: 1 << 20,
+	build: func(b *builder) {
+		muls := []int64{3, 5, 7}
+		mods := []int64{101, 103, 107}
+		for lane := 0; lane < 3; lane++ {
+			// Stage 0: m = v * mul -> c(lane+1).
+			b.stateless(0, lane, []int{0, 0}, map[string]int64{
+				"alu_op_0": opMul, "mux3_0": 0, "mux3_1": 2, "const_1": muls[lane],
+			})
+			b.outStateless(0, lane+1, lane)
+			// Stage 1: h = m % mod -> c(lane+1).
+			b.stateless(1, lane, []int{lane + 1, lane + 1}, map[string]int64{
+				"alu_op_0": opMod, "mux3_0": 0, "mux3_1": 2, "const_1": mods[lane],
+			})
+			b.outStateless(1, lane+1, lane)
+			// Stage 2: s += h (raw atom) -> c(lane+1).
+			b.stateful(2, lane, []int{lane + 1}, map[string]int64{
+				"mux2_0": 0, "const_0": 0,
+			})
+			b.outStateful(2, lane+1, lane)
+		}
+	},
+}
+
+// rcp computes RCP's per-interval aggregates: total traffic, the RTT sum
+// over packets with acceptable RTT, and their count.
+var rcp = &Benchmark{
+	Name: "rcp", Depth: 3, Width: 3, Atom: "pred_raw",
+	DominoSrc: `
+state traffic = 0;
+state rttsum = 0;
+state npkts = 0;
+
+transaction {
+    traffic = traffic + pkt.size;
+    if (pkt.rtt <= 500) {
+        rttsum = rttsum + pkt.rtt;
+        npkts = npkts + 1;
+    }
+    pkt.rtt = rttsum;
+    pkt.size = traffic;
+    pkt.cnt = npkts;
+}
+`,
+	Fields:   domino.FieldMap{"rtt": 0, "size": 1, "cnt": 2},
+	MaxInput: 1000,
+	build: func(b *builder) {
+		// Stage 0: ok = (rtt <= 500) -> c2.
+		b.stateless(0, 2, []int{0, 0}, map[string]int64{
+			"alu_op_0": opLe, "mux3_0": 0, "mux3_1": 2, "const_1": 500,
+		})
+		b.outStateless(0, 2, 2)
+		// Stage 1, slot 1: traffic += size (predicate 0 >= 0) -> c1.
+		b.stateful(1, 1, []int{1, 1}, map[string]int64{
+			"rel_op_0": relGe, "opt_0": 1, "mux3_0": 2, "const_0": 0,
+			"opt_1": 0, "mux3_1": 0, "const_1": 0,
+		})
+		b.outStateful(1, 1, 1)
+		// Stage 1, slot 0: rttsum += rtt when ok -> c0.
+		b.stateful(1, 0, []int{0, 2}, map[string]int64{
+			"rel_op_0": relNe, "opt_0": 1, "mux3_0": 1, "const_0": 0,
+			"opt_1": 0, "mux3_1": 0, "const_1": 0,
+		})
+		b.outStateful(1, 0, 0)
+		// Stage 1, slot 2: npkts += 1 when ok -> c2.
+		b.stateful(1, 2, []int{2, 2}, map[string]int64{
+			"rel_op_0": relNe, "opt_0": 1, "mux3_0": 0, "const_0": 0,
+			"opt_1": 0, "mux3_1": 2, "const_1": 1,
+		})
+		b.outStateful(1, 2, 2)
+		// Stage 2 passes through.
+	},
+}

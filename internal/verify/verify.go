@@ -1,0 +1,935 @@
+// Package verify implements the formal-verification direction of §7 of the
+// paper: "This specification and the pipeline description can be
+// transformed into SMT formulas so that equivalence can be formally
+// proven." It complements the fuzz testing of Fig. 5 — fuzzing samples the
+// input space, the verifier covers it exhaustively at a chosen bit width.
+//
+// The pipeline description (machine code bound to a hardware spec) and the
+// high-level Domino specification are both executed symbolically: PHV
+// containers and state become bit-vectors (package bv), control flow
+// becomes if-then-else merging, and the claim "some compared container
+// differs in some transaction" becomes a SAT instance (package sat). UNSAT
+// proves the compiler's machine code equivalent to the specification over
+// every input of the verification width for the unrolled number of
+// transactions; SAT yields a concrete counterexample input trace.
+//
+// §7 also asks for "PHV and state value constraints": Options.MaxInput and
+// Options.InputBounds restrict the verified input space the same way the
+// paper's case study restricted the synthesizer's (which is exactly how the
+// "works below 100, fails at 10-bit inputs" failure class of §5.2 arises —
+// see the package tests, which reproduce it formally).
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/bv"
+	"druzhba/internal/core"
+	"druzhba/internal/domino"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
+	"druzhba/internal/sat"
+)
+
+// Options configures an equivalence proof.
+type Options struct {
+	// Bits is the verification bit width (1..16; default 8). The proof is
+	// exhaustive over inputs of this width. Larger widths grow the SAT
+	// instance; the §5.2 case study found its failures at 10 bits.
+	Bits int
+
+	// Steps is the number of consecutive transactions to unroll (default
+	// 2). Stateful bugs that need k packets to surface require Steps >= k.
+	Steps int
+
+	// MaxInput constrains every input container to [0, MaxInput). 0 means
+	// the full range of the verification width. This is the verifier
+	// counterpart of the traffic generator's value bound.
+	MaxInput int64
+
+	// InputBounds constrains individual containers, overriding MaxInput.
+	InputBounds map[int]int64
+
+	// Containers lists the container indices whose equality is asserted
+	// (nil = the containers bound to fields the Domino program writes,
+	// matching the fuzz harness).
+	Containers []int
+
+	// MaxConflicts bounds solver effort (0 = unlimited); when exhausted
+	// the result reports Unknown.
+	MaxConflicts int64
+
+	// StateBindings optionally binds Domino state variables to pipeline
+	// state slots; when set, the proof additionally asserts the bound
+	// state values are equal after the final transaction (§3.3: the
+	// specification captures "the intended algorithmic behavior on both
+	// PHVs and state values").
+	StateBindings map[string]StateLoc
+}
+
+// StateLoc names one state slot of a pipeline: the stateful ALU at
+// (Stage, Slot), state variable Index.
+type StateLoc struct {
+	Stage, Slot, Index int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bits == 0 {
+		o.Bits = 8
+	}
+	if o.Steps == 0 {
+		o.Steps = 2
+	}
+	return o
+}
+
+// Result reports the outcome of an equivalence proof.
+type Result struct {
+	// Equivalent is true when the pipeline provably matches the
+	// specification for every input of the verification width over the
+	// unrolled steps.
+	Equivalent bool
+
+	// Unknown is true when the solver's conflict budget was exhausted
+	// before a verdict.
+	Unknown bool
+
+	Bits  int // verification width used
+	Steps int // transactions unrolled
+
+	// On inequivalence (Equivalent == false, Unknown == false):
+
+	// Counterexample is the input trace (Steps PHVs) that separates
+	// pipeline and specification.
+	Counterexample *phv.Trace
+	// FailStep is the first transaction whose outputs differ (the last
+	// transaction when only bound state diverges).
+	FailStep int
+	// PipelineOut and SpecOut are the differing output PHVs at FailStep.
+	PipelineOut, SpecOut *phv.PHV
+	// StateDiverged is true when the counterexample separates bound state
+	// values (Options.StateBindings) rather than output containers;
+	// PipelineState and SpecState then hold the differing values per
+	// bound Domino state name.
+	StateDiverged bool
+	PipelineState map[string]phv.Value
+	SpecState     map[string]phv.Value
+
+	// SolverStats reports proof effort.
+	SolverStats sat.Stats
+	// Vars is the number of SAT variables in the instance.
+	Vars int
+}
+
+// String renders the result for humans.
+func (r *Result) String() string {
+	switch {
+	case r.Unknown:
+		return fmt.Sprintf("UNKNOWN: solver budget exhausted (%d-bit, %d steps)", r.Bits, r.Steps)
+	case r.Equivalent:
+		return fmt.Sprintf("PROVED: pipeline ≡ spec for all %d-bit inputs over %d transactions (%d vars, %d conflicts)",
+			r.Bits, r.Steps, r.Vars, r.SolverStats.Conflicts)
+	case r.StateDiverged:
+		return fmt.Sprintf("COUNTEREXAMPLE: after transaction %d: state diverged: pipeline %v, spec %v",
+			r.FailStep, r.PipelineState, r.SpecState)
+	default:
+		return fmt.Sprintf("COUNTEREXAMPLE: transaction %d: input %s: pipeline %s, spec %s",
+			r.FailStep, r.Counterexample.At(r.FailStep), r.PipelineOut, r.SpecOut)
+	}
+}
+
+// Equivalence proves or refutes that machine code bound to a hardware spec
+// implements the Domino specification under the field binding. The
+// hardware spec's Bits field is overridden by opts.Bits; the machine code
+// must validate against the spec.
+func Equivalence(spec core.Spec, code *machinecode.Program, prog *domino.Program, fields domino.FieldMap, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	w, err := phv.NewWidth(opts.Bits)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	spec.Bits = w
+	if spec.PHVLen == 0 {
+		spec.PHVLen = spec.Width
+	}
+	if errs := spec.Validate(code); len(errs) > 0 {
+		return nil, fmt.Errorf("verify: machine code incompatible with pipeline: %w", errors.Join(errs...))
+	}
+	for _, name := range prog.Fields() {
+		if _, ok := fields[name]; !ok {
+			return nil, fmt.Errorf("verify: field %q is not bound to a container", name)
+		}
+	}
+	containers := opts.Containers
+	if containers == nil {
+		containers, err = domino.WrittenContainers(prog, fields)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+	}
+	for _, c := range containers {
+		if c < 0 || c >= spec.PHVLen {
+			return nil, fmt.Errorf("verify: compared container %d out of range [0,%d)", c, spec.PHVLen)
+		}
+	}
+
+	solver := sat.New()
+	solver.MaxConflicts = opts.MaxConflicts
+	b := bv.NewBuilder(solver)
+
+	pipe, err := newSymPipeline(b, spec, code)
+	if err != nil {
+		return nil, err
+	}
+	dom := newSymDomino(b, w, prog)
+
+	bound := func(c int) int64 {
+		if v, ok := opts.InputBounds[c]; ok {
+			return v
+		}
+		return opts.MaxInput
+	}
+
+	var (
+		inputs   [][]bv.Vec
+		mismatch = b.False()
+	)
+	for step := 0; step < opts.Steps; step++ {
+		in := make([]bv.Vec, spec.PHVLen)
+		for c := range in {
+			in[c] = b.Var(opts.Bits)
+			if m := bound(c); m > 0 && m <= w.Mask() {
+				b.Assert(b.Ult(in[c], b.Const(opts.Bits, m)))
+			}
+		}
+		inputs = append(inputs, in)
+
+		pipeOut, err := pipe.step(in)
+		if err != nil {
+			return nil, err
+		}
+		specOut, err := dom.step(in, fields)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range containers {
+			mismatch = b.Or(mismatch, b.Ne(pipeOut[c], specOut[c]))
+		}
+	}
+	// §3.3/§7: optionally assert the bound state values match after the
+	// final transaction (names sorted so the formula is deterministic).
+	bindingNames := make([]string, 0, len(opts.StateBindings))
+	for name := range opts.StateBindings {
+		bindingNames = append(bindingNames, name)
+	}
+	sort.Strings(bindingNames)
+	for _, name := range bindingNames {
+		domVec, ok := dom.state[name]
+		if !ok {
+			return nil, fmt.Errorf("verify: state binding %q is not a Domino state variable", name)
+		}
+		pipeVec, err := pipe.stateAt(opts.StateBindings[name])
+		if err != nil {
+			return nil, err
+		}
+		mismatch = b.Or(mismatch, b.Ne(pipeVec, domVec))
+	}
+	b.Assert(mismatch)
+
+	res := &Result{Bits: opts.Bits, Steps: opts.Steps}
+	switch solver.Solve() {
+	case sat.Unsat:
+		res.Equivalent = true
+	case sat.Unknown:
+		res.Unknown = true
+	case sat.Sat:
+		trace := phv.NewTrace()
+		for _, in := range inputs {
+			vals := make([]phv.Value, len(in))
+			for c, vec := range in {
+				vals[c] = b.Value(vec)
+			}
+			trace.Append(phv.FromValues(vals))
+		}
+		res.Counterexample = trace
+		// Replay concretely through the real pipeline and interpreter:
+		// the reported outputs come from the production execution paths,
+		// and a model that does not reproduce concretely is an internal
+		// error (symbolic/concrete semantic drift), not a finding.
+		if err := res.replay(spec, code, prog, fields, trace, containers, opts.StateBindings); err != nil {
+			return nil, err
+		}
+	}
+	res.SolverStats = solver.Stats
+	res.Vars = solver.NumVars()
+	return res, nil
+}
+
+// replay runs the counterexample trace through the concrete pipeline and
+// Domino machine, locates the first transaction whose compared containers
+// really differ, and records its outputs. A SAT model that does not
+// reproduce concretely indicates symbolic/concrete semantic drift and is
+// reported as an internal error.
+func (r *Result) replay(spec core.Spec, code *machinecode.Program, prog *domino.Program, fields domino.FieldMap, trace *phv.Trace, containers []int, bindings map[string]StateLoc) error {
+	p, err := core.Build(spec, code, core.SCCInlining)
+	if err != nil {
+		return fmt.Errorf("verify: replay build: %w", err)
+	}
+	dspec, err := domino.NewPHVSpec(prog, fields, spec.Bits)
+	if err != nil {
+		return fmt.Errorf("verify: replay spec: %w", err)
+	}
+	p.ResetState()
+	dspec.Reset()
+	for i := 0; i < trace.Len(); i++ {
+		in := trace.At(i)
+		got, err := p.Process(in.Clone())
+		if err != nil {
+			return fmt.Errorf("verify: replay pipeline: %w", err)
+		}
+		want, err := dspec.Process(in.Clone())
+		if err != nil {
+			return fmt.Errorf("verify: replay domino: %w", err)
+		}
+		for _, c := range containers {
+			if got.Get(c) != want.Get(c) {
+				r.FailStep = i
+				r.PipelineOut = got
+				r.SpecOut = want
+				return nil
+			}
+		}
+	}
+	// Outputs matched everywhere; the divergence must be in bound state.
+	if len(bindings) > 0 {
+		snap := p.StateSnapshot()
+		diverged := false
+		pipeState := map[string]phv.Value{}
+		specState := map[string]phv.Value{}
+		for name, loc := range bindings {
+			dv, ok := dspec.Machine().State(name)
+			if !ok {
+				return fmt.Errorf("verify: replay: Domino has no state %q", name)
+			}
+			if loc.Stage >= len(snap) || loc.Slot >= len(snap[loc.Stage]) || loc.Index >= len(snap[loc.Stage][loc.Slot]) {
+				return fmt.Errorf("verify: replay: state location %+v out of range", loc)
+			}
+			pv := snap[loc.Stage][loc.Slot][loc.Index]
+			pipeState[name] = pv
+			specState[name] = dv
+			if pv != dv {
+				diverged = true
+			}
+		}
+		if diverged {
+			r.StateDiverged = true
+			r.FailStep = trace.Len() - 1
+			r.PipelineState = pipeState
+			r.SpecState = specState
+			return nil
+		}
+	}
+	return errors.New("verify: internal: SAT counterexample does not reproduce concretely")
+}
+
+// --- Symbolic pipeline --------------------------------------------------------
+
+// symPipeline executes a pipeline description symbolically, one transaction
+// (PHV) at a time, threading stateful-ALU state between transactions.
+// Processing a PHV through the dataflow stage by stage is equivalent to the
+// tick-accurate simulation (PHVs traverse stages in order and never
+// overtake), which is the same argument core.Pipeline.Process relies on.
+type symPipeline struct {
+	b    *bv.Builder
+	spec core.Spec
+	code *machinecode.Program
+	bits int
+
+	// state[stage][slot] is the state vector of the stateful ALU there.
+	state [][][]bv.Vec
+}
+
+func newSymPipeline(b *bv.Builder, spec core.Spec, code *machinecode.Program) (*symPipeline, error) {
+	p := &symPipeline{b: b, spec: spec, code: code, bits: spec.Bits.Bits()}
+	p.state = make([][][]bv.Vec, spec.Depth)
+	for si := range p.state {
+		if spec.StatefulALU == nil {
+			continue
+		}
+		p.state[si] = make([][]bv.Vec, spec.Width)
+		for slot := range p.state[si] {
+			vars := make([]bv.Vec, spec.StatefulALU.NumState())
+			for i := range vars {
+				vars[i] = b.Const(p.bits, 0) // ResetState semantics
+			}
+			p.state[si][slot] = vars
+		}
+	}
+	return p, nil
+}
+
+// stateAt returns the symbolic value of one pipeline state slot.
+func (p *symPipeline) stateAt(loc StateLoc) (bv.Vec, error) {
+	if p.spec.StatefulALU == nil {
+		return nil, fmt.Errorf("verify: pipeline has no stateful ALUs to bind state %+v", loc)
+	}
+	if loc.Stage < 0 || loc.Stage >= len(p.state) ||
+		loc.Slot < 0 || loc.Slot >= len(p.state[loc.Stage]) ||
+		loc.Index < 0 || loc.Index >= len(p.state[loc.Stage][loc.Slot]) {
+		return nil, fmt.Errorf("verify: state location %+v out of range", loc)
+	}
+	return p.state[loc.Stage][loc.Slot][loc.Index], nil
+}
+
+// step processes one PHV through every stage, returning the output
+// containers and updating internal state.
+func (p *symPipeline) step(in []bv.Vec) ([]bv.Vec, error) {
+	cur := in
+	for si := 0; si < p.spec.Depth; si++ {
+		next, err := p.execStage(si, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (p *symPipeline) execStage(si int, in []bv.Vec) ([]bv.Vec, error) {
+	w := p.spec.Width
+	statelessOut := make([]bv.Vec, w)
+	statefulOut := make([]bv.Vec, w)
+	for slot := 0; slot < w; slot++ {
+		out, err := p.execALU(si, false, slot, in, nil)
+		if err != nil {
+			return nil, err
+		}
+		statelessOut[slot] = out
+	}
+	if p.spec.StatefulALU != nil {
+		for slot := 0; slot < w; slot++ {
+			out, err := p.execALU(si, true, slot, in, p.state[si][slot])
+			if err != nil {
+				return nil, err
+			}
+			statefulOut[slot] = out
+		}
+	}
+	out := make([]bv.Vec, p.spec.PHVLen)
+	for c := 0; c < p.spec.PHVLen; c++ {
+		name := machinecode.OutputMuxName(si, c)
+		sel, ok := p.code.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("verify: missing machine code pair %q", name)
+		}
+		switch {
+		case sel == 0:
+			out[c] = in[c]
+		case sel >= 1 && int(sel) <= w:
+			out[c] = statelessOut[sel-1]
+		case int(sel) >= w+1 && int(sel) <= 2*w && p.spec.StatefulALU != nil:
+			out[c] = statefulOut[int(sel)-w-1]
+		default:
+			return nil, fmt.Errorf("verify: output mux %q selects %d, out of range", name, sel)
+		}
+	}
+	return out, nil
+}
+
+func (p *symPipeline) execALU(si int, stateful bool, slot int, in []bv.Vec, state []bv.Vec) (bv.Vec, error) {
+	prog := p.spec.StatelessALU
+	if stateful {
+		prog = p.spec.StatefulALU
+	}
+	operands := make([]bv.Vec, prog.NumOperands())
+	for op := range operands {
+		name := machinecode.OperandMuxName(si, stateful, slot, op)
+		v, ok := p.code.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("verify: missing machine code pair %q", name)
+		}
+		if v < 0 || int(v) >= len(in) {
+			return nil, fmt.Errorf("verify: %q = %d out of range [0,%d)", name, v, len(in))
+		}
+		operands[op] = in[v]
+	}
+	lookup := func(local string) (int64, bool) {
+		return p.code.Get(machinecode.ALUHoleName(si, stateful, slot, local))
+	}
+	e := &symALU{
+		b:        p.b,
+		bits:     p.bits,
+		w:        p.spec.Bits,
+		lookup:   lookup,
+		operands: operands,
+		state:    cloneVecs(state),
+		kind:     prog.Kind,
+	}
+	out, err := e.run(prog)
+	if err != nil {
+		return nil, err
+	}
+	// Branch merging rebinds the executor's state slice; commit the final
+	// (merged) state back to the pipeline.
+	if stateful {
+		p.state[si][slot] = e.state
+	}
+	return out, nil
+}
+
+// --- Symbolic ALU execution ---------------------------------------------------
+
+// symALU executes one ALU DSL program symbolically: state writes become
+// guarded updates, if/else becomes ITE merging, and builtins resolve their
+// machine code values concretely (so mux selections and opcodes specialize
+// exactly as SCC propagation would).
+type symALU struct {
+	b        *bv.Builder
+	bits     int
+	w        phv.Width
+	lookup   aludsl.HoleLookup
+	operands []bv.Vec
+	state    []bv.Vec // working copy; holds the final state after run
+	params   []bv.Vec // current helper-call frame
+	kind     aludsl.ALUKind
+}
+
+// retState tracks the symbolic "a return has executed" flag and value.
+type retState struct {
+	val  bv.Vec
+	done sat.Lit
+}
+
+func (e *symALU) run(prog *aludsl.Program) (out bv.Vec, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ve, ok := r.(symError); ok {
+				err = fmt.Errorf("verify: %s: %s", prog.Name, string(ve))
+				return
+			}
+			panic(r)
+		}
+	}()
+	rs := &retState{val: e.b.Const(e.bits, 0), done: e.b.False()}
+	e.execStmts(prog.Body, rs)
+	// Implicit output: post-update state_0 for stateful ALUs, else 0.
+	fallback := e.b.Const(e.bits, 0)
+	if e.kind == aludsl.Stateful && len(e.state) > 0 {
+		fallback = e.state[0]
+	}
+	return e.b.Ite(rs.done, rs.val, fallback), nil
+}
+
+type symError string
+
+func (e *symALU) failf(format string, args ...any) bv.Vec {
+	panic(symError(fmt.Sprintf(format, args...)))
+}
+
+func (e *symALU) execStmts(stmts []aludsl.Stmt, rs *retState) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *aludsl.Assign:
+			v := e.eval(s.RHS)
+			old := e.state[s.LHS.Index]
+			e.state[s.LHS.Index] = e.b.Ite(rs.done, old, v)
+		case *aludsl.Return:
+			v := e.eval(s.Value)
+			rs.val = e.b.Ite(rs.done, rs.val, v)
+			rs.done = e.b.True()
+		case *aludsl.If:
+			c := e.b.Truthy(e.eval(s.Cond))
+			baseState := cloneVecs(e.state)
+			baseRS := *rs
+			e.execStmts(s.Then, rs)
+			thenState := e.state
+			thenRS := *rs
+			e.state = baseState
+			*rs = baseRS
+			if s.Else != nil {
+				e.execStmts(s.Else, rs)
+			}
+			for i := range e.state {
+				e.state[i] = e.b.Ite(c, thenState[i], e.state[i])
+			}
+			rs.val = e.b.Ite(c, thenRS.val, rs.val)
+			rs.done = e.b.IteLit(c, thenRS.done, rs.done)
+		default:
+			e.failf("unknown statement %T", s)
+		}
+	}
+}
+
+func cloneVecs(v []bv.Vec) []bv.Vec { return append([]bv.Vec(nil), v...) }
+
+func (e *symALU) hole(name string) int64 {
+	v, ok := e.lookup(name)
+	if !ok {
+		e.failf("missing machine code pair for %q", name)
+	}
+	return v
+}
+
+func (e *symALU) eval(x aludsl.Expr) bv.Vec {
+	switch x := x.(type) {
+	case *aludsl.Num:
+		return e.b.Const(e.bits, e.w.Trunc(x.Value))
+	case *aludsl.Ident:
+		switch x.Class {
+		case aludsl.VarState:
+			return e.state[x.Index]
+		case aludsl.VarField:
+			if x.Index >= len(e.operands) {
+				return e.failf("operand %d out of range (%d operands)", x.Index, len(e.operands))
+			}
+			return e.operands[x.Index]
+		case aludsl.VarHole:
+			return e.b.Const(e.bits, e.w.Trunc(e.hole(x.Name)))
+		case aludsl.VarParam:
+			return e.params[x.Index]
+		default:
+			return e.failf("unresolved identifier %q", x.Name)
+		}
+	case *aludsl.Unary:
+		v := e.eval(x.X)
+		switch x.Op {
+		case aludsl.OpNeg:
+			return e.b.Neg(v)
+		case aludsl.OpNot:
+			return e.b.FromBool(e.b.IsZero(v), e.bits)
+		}
+		return e.failf("unknown unary op %v", x.Op)
+	case *aludsl.Binary:
+		// Expressions are side-effect free, so short-circuit and strict
+		// evaluation agree; evaluate strictly.
+		l := e.eval(x.X)
+		r := e.eval(x.Y)
+		return e.binOp(x.Op, l, r)
+	case *aludsl.HoleCall:
+		return e.evalHoleCall(x)
+	case *aludsl.Call:
+		args := make([]bv.Vec, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = e.eval(a)
+		}
+		saved := e.params
+		e.params = args
+		v := e.eval(x.Func.Body)
+		e.params = saved
+		return v
+	default:
+		return e.failf("unknown expression node %T", x)
+	}
+}
+
+func (e *symALU) binOp(op aludsl.BinOp, l, r bv.Vec) bv.Vec {
+	b := e.b
+	boolVec := func(lit sat.Lit) bv.Vec { return b.FromBool(lit, e.bits) }
+	switch op {
+	case aludsl.OpAdd:
+		return b.Add(l, r)
+	case aludsl.OpSub:
+		return b.Sub(l, r)
+	case aludsl.OpMul:
+		return b.Mul(l, r)
+	case aludsl.OpDiv:
+		return b.Div(l, r)
+	case aludsl.OpMod:
+		return b.Mod(l, r)
+	case aludsl.OpEq:
+		return boolVec(b.Eq(l, r))
+	case aludsl.OpNeq:
+		return boolVec(b.Ne(l, r))
+	case aludsl.OpLt:
+		return boolVec(b.Ult(l, r))
+	case aludsl.OpGt:
+		return boolVec(b.Ult(r, l))
+	case aludsl.OpLe:
+		return boolVec(b.Ule(l, r))
+	case aludsl.OpGe:
+		return boolVec(b.Ule(r, l))
+	case aludsl.OpAnd:
+		return boolVec(b.And(b.Truthy(l), b.Truthy(r)))
+	case aludsl.OpOr:
+		return boolVec(b.Or(b.Truthy(l), b.Truthy(r)))
+	}
+	return e.failf("unknown binary op %v", op)
+}
+
+func (e *symALU) evalHoleCall(x *aludsl.HoleCall) bv.Vec {
+	mc := e.hole(x.Hole)
+	switch x.Builtin {
+	case aludsl.BuiltinC:
+		return e.b.Const(e.bits, e.w.Trunc(mc))
+	case aludsl.BuiltinOpt:
+		if mc == 0 {
+			return e.eval(x.Args[0])
+		}
+		return e.b.Const(e.bits, 0)
+	case aludsl.BuiltinMux2, aludsl.BuiltinMux3, aludsl.BuiltinMux4, aludsl.BuiltinMux5:
+		if mc < 0 || int(mc) >= len(x.Args) {
+			return e.failf("mux selector %d out of range for %q (%d inputs)", mc, x.Hole, len(x.Args))
+		}
+		return e.eval(x.Args[int(mc)])
+	case aludsl.BuiltinRelOp:
+		l, r := e.eval(x.Args[0]), e.eval(x.Args[1])
+		switch mc {
+		case aludsl.RelEq:
+			return e.binOp(aludsl.OpEq, l, r)
+		case aludsl.RelNe:
+			return e.binOp(aludsl.OpNeq, l, r)
+		case aludsl.RelGe:
+			return e.binOp(aludsl.OpGe, l, r)
+		case aludsl.RelLe:
+			return e.binOp(aludsl.OpLe, l, r)
+		default:
+			return e.failf("rel_op opcode %d out of range for %q", mc, x.Hole)
+		}
+	case aludsl.BuiltinArithOp:
+		l, r := e.eval(x.Args[0]), e.eval(x.Args[1])
+		switch mc {
+		case aludsl.ArithAdd:
+			return e.b.Add(l, r)
+		case aludsl.ArithSub:
+			return e.b.Sub(l, r)
+		default:
+			return e.failf("arith_op opcode %d out of range for %q", mc, x.Hole)
+		}
+	case aludsl.BuiltinALUOp:
+		l, r := e.eval(x.Args[0]), e.eval(x.Args[1])
+		if op, ok := aludsl.ALUOpBinOp(mc); ok {
+			return e.binOp(op, l, r)
+		}
+		switch mc {
+		case aludsl.ALUOpPassA:
+			return l
+		case aludsl.ALUOpPassB:
+			return r
+		}
+		return e.failf("alu_op opcode %d out of range for %q", mc, x.Hole)
+	default:
+		return e.failf("unknown builtin %d", x.Builtin)
+	}
+}
+
+// --- Symbolic Domino ------------------------------------------------------------
+
+// symDomino executes a Domino program symbolically, threading state between
+// transactions exactly as domino.Machine does between packets.
+type symDomino struct {
+	b     *bv.Builder
+	bits  int
+	w     phv.Width
+	prog  *domino.Program
+	state map[string]bv.Vec
+}
+
+func newSymDomino(b *bv.Builder, w phv.Width, prog *domino.Program) *symDomino {
+	d := &symDomino{b: b, bits: w.Bits(), w: w, prog: prog, state: map[string]bv.Vec{}}
+	for _, s := range prog.States {
+		d.state[s.Name] = b.Const(d.bits, w.Trunc(s.Init))
+	}
+	return d
+}
+
+// step runs the transaction on one symbolic PHV: bound containers become
+// fields, the body executes, and field values are written back to their
+// containers; unbound containers pass through (mirroring
+// domino.PHVSpec.Process).
+func (d *symDomino) step(in []bv.Vec, fm domino.FieldMap) ([]bv.Vec, error) {
+	env := &domEnv{
+		b:      d.b,
+		bits:   d.bits,
+		w:      d.w,
+		state:  d.state,
+		fields: map[string]bv.Vec{},
+		locals: map[string]bv.Vec{},
+	}
+	for name, c := range fm {
+		if c < 0 || c >= len(in) {
+			return nil, fmt.Errorf("verify: field %q bound to container %d, PHV has %d", name, c, len(in))
+		}
+		env.fields[name] = in[c]
+	}
+	if err := env.exec(d.prog.Body); err != nil {
+		return nil, err
+	}
+	out := cloneVecs(in)
+	for name, c := range fm {
+		out[c] = env.fields[name]
+	}
+	d.state = env.state
+	return out, nil
+}
+
+// domEnv is the mutable symbolic environment of one transaction.
+type domEnv struct {
+	b      *bv.Builder
+	bits   int
+	w      phv.Width
+	state  map[string]bv.Vec
+	fields map[string]bv.Vec
+	locals map[string]bv.Vec
+}
+
+func (env *domEnv) clone() *domEnv {
+	return &domEnv{
+		b:      env.b,
+		bits:   env.bits,
+		w:      env.w,
+		state:  cloneMap(env.state),
+		fields: cloneMap(env.fields),
+		locals: cloneMap(env.locals),
+	}
+}
+
+func cloneMap(m map[string]bv.Vec) map[string]bv.Vec {
+	out := make(map[string]bv.Vec, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (env *domEnv) exec(stmts []domino.Stmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *domino.Assign:
+			v, err := env.eval(s.Expr)
+			if err != nil {
+				return err
+			}
+			switch s.Target.Kind {
+			case domino.TargetState:
+				env.state[s.Target.Name] = v
+			case domino.TargetField:
+				env.fields[s.Target.Name] = v
+			case domino.TargetLocal:
+				env.locals[s.Target.Name] = v
+			}
+		case *domino.If:
+			cv, err := env.eval(s.Cond)
+			if err != nil {
+				return err
+			}
+			c := env.b.Truthy(cv)
+			thenEnv := env.clone()
+			if err := thenEnv.exec(s.Then); err != nil {
+				return err
+			}
+			elseEnv := env.clone()
+			if s.Else != nil {
+				if err := elseEnv.exec(s.Else); err != nil {
+					return err
+				}
+			}
+			env.state = mergeMaps(env.b, env.bits, c, thenEnv.state, elseEnv.state)
+			env.fields = mergeMaps(env.b, env.bits, c, thenEnv.fields, elseEnv.fields)
+			env.locals = mergeMaps(env.b, env.bits, c, thenEnv.locals, elseEnv.locals)
+		default:
+			return fmt.Errorf("verify: unknown Domino statement %T", s)
+		}
+	}
+	return nil
+}
+
+// mergeMaps ITE-merges two branch environments. A name defined in only one
+// branch takes the defined value when that branch is selected and 0
+// otherwise (such a name is necessarily a branch-local temporary: Domino
+// programs that read it on the undefined path are rejected by the concrete
+// interpreter, which the fuzz harness runs first).
+func mergeMaps(b *bv.Builder, bits int, c sat.Lit, then, els map[string]bv.Vec) map[string]bv.Vec {
+	out := make(map[string]bv.Vec, len(then))
+	zero := b.Const(bits, 0)
+	for k, tv := range then {
+		ev, ok := els[k]
+		if !ok {
+			ev = zero
+		}
+		out[k] = b.Ite(c, tv, ev)
+	}
+	for k, ev := range els {
+		if _, ok := then[k]; !ok {
+			out[k] = b.Ite(c, zero, ev)
+		}
+	}
+	return out
+}
+
+func (env *domEnv) eval(e domino.Expr) (bv.Vec, error) {
+	b := env.b
+	boolVec := func(l sat.Lit) bv.Vec { return b.FromBool(l, env.bits) }
+	switch e := e.(type) {
+	case *domino.Lit:
+		return b.Const(env.bits, env.w.Trunc(e.Value)), nil
+	case *domino.Ref:
+		var m map[string]bv.Vec
+		switch e.Kind {
+		case domino.RefState:
+			m = env.state
+		case domino.RefField:
+			m = env.fields
+		case domino.RefLocal:
+			m = env.locals
+		default:
+			return nil, fmt.Errorf("verify: bad Domino reference kind %d", e.Kind)
+		}
+		v, ok := m[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("verify: Domino name %q read before assignment", e.Name)
+		}
+		return v, nil
+	case *domino.Un:
+		x, err := env.eval(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if e.Neg {
+			return b.Neg(x), nil
+		}
+		return boolVec(b.IsZero(x)), nil
+	case *domino.Bin:
+		x, err := env.eval(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := env.eval(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case domino.BAdd:
+			return b.Add(x, y), nil
+		case domino.BSub:
+			return b.Sub(x, y), nil
+		case domino.BMul:
+			return b.Mul(x, y), nil
+		case domino.BDiv:
+			return b.Div(x, y), nil
+		case domino.BMod:
+			return b.Mod(x, y), nil
+		case domino.BEq:
+			return boolVec(b.Eq(x, y)), nil
+		case domino.BNeq:
+			return boolVec(b.Ne(x, y)), nil
+		case domino.BLt:
+			return boolVec(b.Ult(x, y)), nil
+		case domino.BGt:
+			return boolVec(b.Ult(y, x)), nil
+		case domino.BLe:
+			return boolVec(b.Ule(x, y)), nil
+		case domino.BGe:
+			return boolVec(b.Ule(y, x)), nil
+		case domino.BAnd:
+			return boolVec(b.And(b.Truthy(x), b.Truthy(y))), nil
+		case domino.BOr:
+			return boolVec(b.Or(b.Truthy(x), b.Truthy(y))), nil
+		}
+		return nil, fmt.Errorf("verify: unknown Domino operator %d", e.Op)
+	default:
+		return nil, fmt.Errorf("verify: unknown Domino expression %T", e)
+	}
+}
