@@ -1,0 +1,94 @@
+// BenchmarkCampaign tracks the dfarm engine's scaling: the same Table-1
+// campaign run with one worker and with all cores. The PHVs/sec metric is
+// the campaign's aggregate fuzzing throughput; on a machine with ≥4 cores
+// the all-cores variant should exceed 2x the single-worker one, since
+// shards are embarrassingly parallel over cloned pipelines.
+//
+// Run with:
+//
+//	go test -bench BenchmarkCampaign -benchmem
+package druzhba_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/core"
+	"druzhba/internal/spec"
+)
+
+func campaignJobs(b *testing.B, packets int) []campaign.Job {
+	b.Helper()
+	jobs, err := campaign.Matrix(spec.All(), []core.OptLevel{core.SCCInlining}, nil, packets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+func BenchmarkCampaign(b *testing.B) {
+	packets := benchPHVs(b) / 5
+	if packets < 1000 {
+		packets = 1000
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			jobs := campaignJobs(b, packets)
+			b.ResetTimer()
+			var phvs int64
+			for i := 0; i < b.N; i++ {
+				rep, err := campaign.Run(context.Background(), jobs, campaign.Options{
+					Workers:   workers,
+					ShardSize: 1024,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Passed {
+					b.Fatalf("campaign failed:\n%s", rep.Text(false))
+				}
+				phvs += rep.TotalChecked
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(phvs)/b.Elapsed().Seconds(), "PHVs/sec")
+		})
+	}
+}
+
+// BenchmarkCampaignShardOverhead isolates the per-shard fixed cost (clone,
+// spec construction, trace allocation) by sweeping shard sizes over one
+// job's fixed packet budget.
+func BenchmarkCampaignShardOverhead(b *testing.B) {
+	bm, err := spec.Lookup("stateful-firewall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	packets := benchPHVs(b) / 5
+	if packets < 1000 {
+		packets = 1000
+	}
+	for _, shard := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("shard=%d", shard), func(b *testing.B) {
+			jobs, err := campaign.Matrix([]*spec.Benchmark{bm}, []core.OptLevel{core.SCCInlining}, nil, packets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := campaign.Run(context.Background(), jobs, campaign.Options{
+					Workers:   runtime.GOMAXPROCS(0),
+					ShardSize: shard,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Passed {
+					b.Fatalf("campaign failed:\n%s", rep.Text(false))
+				}
+			}
+		})
+	}
+}

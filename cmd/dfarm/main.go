@@ -1,0 +1,118 @@
+// dfarm runs parallel fuzzing campaigns: the Fig. 5 compiler-testing
+// workflow fanned out over a job matrix (benchmark × optimization level ×
+// seed) on a bounded worker pool. Each job's pipeline is built once, its
+// packet budget is sharded into deterministically sub-seeded chunks, and
+// shard results merge into a report that is byte-identical for every
+// -workers value — so campaign output can be diffed across machines and
+// runs.
+//
+// By default dfarm sweeps the full Table-1 benchmark matrix:
+//
+//	dfarm -packets 50000 -workers 8
+//	dfarm -run flowlets -levels scc+inline -seeds 1,2,3 -json report.json
+//	dfarm -failfast -timing
+//
+// Exit status: 0 when every job passes; 1 when any job fails (mismatch,
+// simulation error or abort) or on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/cli"
+	"druzhba/internal/core"
+	"druzhba/internal/spec"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dfarm", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	packets := fs.Int("packets", 50000, "random PHVs per job (the paper's workload is 50000)")
+	shard := fs.Int("shard", 4096, "packets per shard (part of the campaign's identity; changing it changes the traffic)")
+	seeds := fs.String("seeds", "1", "comma-separated traffic seeds; each seed adds a full matrix sweep")
+	levels := fs.String("levels", "", "comma-separated optimization levels (empty = unoptimized,scc,scc+inline)")
+	run := fs.String("run", "", "only benchmarks whose name contains this substring")
+	maxCE := fs.Int("max-counterexamples", 8, "deduplicated counterexamples kept per job (-1 = unbounded)")
+	failfast := fs.Bool("failfast", false, "cancel the campaign at the first failing shard")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file (- for stdout)")
+	timing := fs.Bool("timing", false, "include workers/elapsed/throughput in the report (breaks byte-identity across -workers)")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+	if fs.NArg() > 0 {
+		cli.Fatalf("dfarm: unexpected argument %q (all options are flags)", fs.Arg(0))
+	}
+
+	benchmarks := spec.Match(*run)
+	if len(benchmarks) == 0 {
+		cli.Fatalf("dfarm: -run %q matches no benchmark (have %v)", *run, spec.Names())
+	}
+	var optLevels []core.OptLevel
+	if *levels != "" {
+		for _, name := range strings.Split(*levels, ",") {
+			lvl, err := cli.ParseLevel(strings.TrimSpace(name))
+			if err != nil {
+				cli.Fatalf("dfarm: %v", err)
+			}
+			optLevels = append(optLevels, lvl)
+		}
+	}
+	var seedList []int64
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		if err != nil {
+			cli.Fatalf("dfarm: bad seed %q: %v", s, err)
+		}
+		seedList = append(seedList, v)
+	}
+
+	jobs, err := campaign.Matrix(benchmarks, optLevels, seedList, *packets)
+	if err != nil {
+		cli.Fatalf("dfarm: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, runErr := campaign.Run(ctx, jobs, campaign.Options{
+		Workers:            *workers,
+		ShardSize:          *shard,
+		MaxCounterexamples: *maxCE,
+		FailFast:           *failfast,
+	})
+	if report == nil {
+		cli.Fatalf("dfarm: %v", runErr)
+	}
+
+	// With -json - the JSON document owns stdout; the text report moves to
+	// stderr so stdout stays machine-parseable.
+	if *jsonPath == "-" {
+		fmt.Fprint(os.Stderr, report.Text(*timing))
+		if err := report.WriteJSON(os.Stdout, *timing); err != nil {
+			cli.Fatalf("dfarm: %v", err)
+		}
+	} else {
+		fmt.Print(report.Text(*timing))
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				cli.Fatalf("dfarm: %v", err)
+			}
+			defer f.Close()
+			if err := report.WriteJSON(f, *timing); err != nil {
+				cli.Fatalf("dfarm: %v", err)
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "dfarm: campaign cancelled: %v\n", runErr)
+	}
+	if !report.Passed {
+		os.Exit(1)
+	}
+}

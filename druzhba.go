@@ -20,6 +20,7 @@
 //	internal/opt          SCC propagation and function inlining (Fig. 6)
 //	internal/codegen      dgen's Go source emission
 //	internal/sim          dsim: tick simulation, traffic gen, fuzzing
+//	internal/campaign     dfarm: parallel fuzzing campaigns over job matrices
 //	internal/domino       the mini-Domino frontend (specs)
 //	internal/spec         the 12 Table-1 benchmark programs
 //	internal/synth        the Chipmunk-substitute synthesis compiler
@@ -33,10 +34,12 @@
 package druzhba
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"druzhba/internal/atoms"
+	"druzhba/internal/campaign"
 	"druzhba/internal/codegen"
 	"druzhba/internal/core"
 	"druzhba/internal/domino"
@@ -198,6 +201,33 @@ func ParseDominoSpec(src string, fields map[string]int, bits int) (Spec, error) 
 // given containers (nil = all).
 func FuzzPipeline(p *Pipeline, spec Spec, seed int64, n int, maxValue int64, containers []int) (*FuzzReport, error) {
 	return sim.FuzzRandom(p, spec, seed, n, maxValue, sim.FuzzOptions{Containers: containers})
+}
+
+// CampaignJob is one cell of a campaign matrix: a pipeline configuration
+// under test plus the specification and traffic that test it.
+type CampaignJob = campaign.Job
+
+// CampaignOptions configures a campaign run (worker pool size, shard size,
+// counterexample cap, fail-fast).
+type CampaignOptions = campaign.Options
+
+// CampaignReport is the merged outcome of a campaign; absent fail-fast it
+// is bit-identical for every worker count.
+type CampaignReport = campaign.Report
+
+// RunCampaign executes a parallel fuzzing campaign (dfarm): each job's
+// pipeline is built once, its packets are sharded into deterministic
+// sub-seeded chunks, shards run on a bounded worker pool over cloned
+// pipelines, and results merge into a worker-count-independent report. The
+// context cancels the whole campaign.
+func RunCampaign(ctx context.Context, jobs []CampaignJob, opts CampaignOptions) (*CampaignReport, error) {
+	return campaign.Run(ctx, jobs, opts)
+}
+
+// Table1Campaign builds the default dfarm job matrix: every Table-1
+// benchmark at all three optimization levels, packets PHVs each.
+func Table1Campaign(packets int) ([]CampaignJob, error) {
+	return campaign.Table1Matrix(packets)
 }
 
 // SynthesizeOptions configures Synthesize.

@@ -1,0 +1,3 @@
+module druzhba
+
+go 1.24

@@ -1,0 +1,120 @@
+// Package campaign is dfarm's parallel fuzzing-campaign engine: the
+// orchestration layer above the per-trace Fig. 5 workflow of package sim.
+//
+// A campaign is a matrix of jobs — hardware spec × machine code × spec
+// program × optimization level × seed — each asking for N random PHVs to be
+// pushed through both the simulated pipeline and the high-level
+// specification. The engine
+//
+//   - builds every job's pipeline exactly once,
+//   - shards each job's N packets into fixed-size chunks whose traffic
+//     seeds are derived deterministically from the job seed and the shard
+//     index,
+//   - executes shards on a bounded worker pool, each worker running a
+//     core.Pipeline.Clone() so no mutable ALU state is ever shared,
+//   - merges shard results in (job, shard) order into a report that is
+//     bit-identical regardless of the worker count.
+//
+// Because shard traffic depends only on (job seed, shard index) — never on
+// scheduling — a campaign's deterministic report can be diffed across
+// machines, worker counts and runs, which is what makes it usable as a
+// compiler-testing artifact.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+
+	"druzhba/internal/core"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/sim"
+)
+
+// Job is one cell of the campaign matrix: a pipeline configuration under
+// test plus the specification and traffic that test it.
+type Job struct {
+	// Name identifies the job in reports; it must be unique and non-empty.
+	Name string
+
+	// Spec, Code and Level describe the pipeline under test; the engine
+	// builds it once per job.
+	Spec  core.Spec
+	Code  *machinecode.Program
+	Level core.OptLevel
+
+	// NewSpec returns a fresh high-level specification instance. It is
+	// called once per shard (specifications are stateful and shards run
+	// concurrently), so it must be safe for concurrent use.
+	NewSpec func() (sim.Spec, error)
+
+	// Containers restricts the output comparison to these PHV container
+	// indices (nil compares every container).
+	Containers []int
+
+	// Seed is the job's base traffic seed; shard s draws its PHVs from a
+	// generator seeded with a value derived from (Seed, s).
+	Seed int64
+
+	// Packets is the number of random PHVs to push through the job.
+	Packets int
+
+	// MaxInput bounds traffic-generator values (0 = full datapath width).
+	MaxInput int64
+}
+
+func (j *Job) validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("campaign: job has no name")
+	}
+	if j.NewSpec == nil {
+		return fmt.Errorf("campaign: job %q has no specification factory", j.Name)
+	}
+	if j.Packets < 1 {
+		return fmt.Errorf("campaign: job %q asks for %d packets", j.Name, j.Packets)
+	}
+	return nil
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the worker pool size; 0 means GOMAXPROCS. The report is
+	// identical for every value of Workers (absent FailFast).
+	Workers int
+
+	// ShardSize is the number of packets per shard; 0 means 4096. Shard
+	// boundaries are part of the campaign's identity: changing ShardSize
+	// changes the generated traffic, changing Workers does not.
+	ShardSize int
+
+	// MaxCounterexamples caps the deduplicated counterexamples kept per
+	// job; 0 means 8, negative means unbounded.
+	MaxCounterexamples int
+
+	// FailFast cancels the whole campaign at the first failing shard
+	// (mismatch or simulation error). Reports from a fail-fast run are
+	// deterministic only up to the set of shards that completed.
+	FailFast bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ShardSize <= 0 {
+		o.ShardSize = 4096
+	}
+	if o.MaxCounterexamples == 0 {
+		o.MaxCounterexamples = 8
+	}
+	return o
+}
+
+// deriveSeed maps (job seed, shard index) to the shard's traffic seed with
+// a splitmix64 finalizer: statistically independent streams per shard, and
+// stable across runs, machines and worker counts.
+func deriveSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + uint64(shard+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

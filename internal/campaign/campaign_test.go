@@ -1,0 +1,415 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+// passingJobs builds a small matrix of real Table-1 jobs that are known to
+// pass (the fixtures are fuzz-verified by package spec's own tests).
+func passingJobs(t *testing.T, packets int, seeds ...int64) []Job {
+	t.Helper()
+	bms := []*spec.Benchmark{}
+	for _, name := range []string{"sampling", "snap-heavy-hitter", "conga"} {
+		bm, err := spec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bms = append(bms, bm)
+	}
+	jobs, err := Matrix(bms, []core.OptLevel{core.SCCInlining}, seeds, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// brokenJob returns a job whose specification deliberately disagrees with
+// the pipeline: the sampling benchmark's pipeline against a spec demanding
+// container 0 always hold 12345.
+func brokenJob(t *testing.T, name string, packets int) Job {
+	t.Helper()
+	bm, err := spec.Lookup("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cspec, err := bm.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := bm.MachineCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Name:  name,
+		Spec:  cspec,
+		Code:  code,
+		Level: core.SCCInlining,
+		NewSpec: func() (sim.Spec, error) {
+			return &sim.SpecFunc{SpecName: "always-12345", Fn: func(in *phv.PHV) (*phv.PHV, error) {
+				out := in.Clone()
+				out.Set(0, 12345)
+				return out, nil
+			}}, nil
+		},
+		Containers: []int{0},
+		Seed:       7,
+		Packets:    packets,
+	}
+}
+
+func deterministicJSON(t *testing.T, r *Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestReportDeterministicAcrossWorkers is the engine's core guarantee: the
+// same campaign yields a byte-identical report for 1 worker, 4 workers and
+// GOMAXPROCS workers, across several seeds, both text and JSON renderings.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 2, 99} {
+		jobs := passingJobs(t, 3000, seed)
+		// A failing job too, so determinism covers counterexample paths.
+		jobs = append(jobs, brokenJob(t, "broken", 3000))
+
+		var wantJSON, wantText string
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			rep, err := Run(context.Background(), jobs, Options{Workers: workers, ShardSize: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON := deterministicJSON(t, rep)
+			gotText := rep.Text(false)
+			if wantJSON == "" {
+				wantJSON, wantText = gotJSON, gotText
+				continue
+			}
+			if gotJSON != wantJSON {
+				t.Fatalf("seed %d: JSON report differs between workers=1 and workers=%d:\n--- want ---\n%s--- got ---\n%s",
+					seed, workers, wantJSON, gotJSON)
+			}
+			if gotText != wantText {
+				t.Fatalf("seed %d: text report differs at workers=%d", seed, workers)
+			}
+		}
+	}
+}
+
+// TestShardSeedsIndependentOfWorkerCount pins that shard traffic depends
+// only on (seed, shard index).
+func TestShardSeedsIndependentOfWorkerCount(t *testing.T) {
+	if deriveSeed(1, 0) == deriveSeed(1, 1) {
+		t.Fatal("adjacent shards share a seed")
+	}
+	if deriveSeed(1, 0) == deriveSeed(2, 0) {
+		t.Fatal("different jobs share a shard seed")
+	}
+	if deriveSeed(5, 3) != deriveSeed(5, 3) {
+		t.Fatal("seed derivation is not a pure function")
+	}
+}
+
+func TestCampaignPasses(t *testing.T) {
+	jobs := passingJobs(t, 2000, 1)
+	rep, err := Run(context.Background(), jobs, Options{Workers: 4, ShardSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("campaign failed:\n%s", rep.Text(false))
+	}
+	for i := range rep.Jobs {
+		j := &rep.Jobs[i]
+		if j.Status != StatusPass || j.Checked != j.Packets || j.ShardsRun != j.Shards {
+			t.Fatalf("job %s: %+v", j.Name, j)
+		}
+		if j.Ticks == 0 {
+			t.Fatalf("job %s: no ticks recorded", j.Name)
+		}
+	}
+	if rep.Timing == nil || rep.Timing.PHVsPerSec <= 0 {
+		t.Fatalf("timing not populated: %+v", rep.Timing)
+	}
+}
+
+func TestCampaignFindsCounterexamples(t *testing.T) {
+	jobs := []Job{brokenJob(t, "broken", 4000)}
+	rep, err := Run(context.Background(), jobs, Options{Workers: 4, ShardSize: 256, MaxCounterexamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("broken job passed")
+	}
+	j := rep.Jobs[0]
+	if j.Status != StatusFail {
+		t.Fatalf("status = %s, want fail", j.Status)
+	}
+	if len(j.Counterexamples) == 0 || len(j.Counterexamples) > 5 {
+		t.Fatalf("got %d counterexamples, want 1..5", len(j.Counterexamples))
+	}
+	for i := 1; i < len(j.Counterexamples); i++ {
+		if j.Counterexamples[i].Packet <= j.Counterexamples[i-1].Packet {
+			t.Fatal("counterexamples not in ascending packet order")
+		}
+	}
+	for _, ce := range j.Counterexamples {
+		if !strings.Contains(ce.Want, "12345") {
+			t.Fatalf("counterexample lost the spec output: %+v", ce)
+		}
+	}
+}
+
+// TestCounterexampleDedup feeds a spec that fails identically on every
+// input (outputs are compared on container 0 only, and both sides are
+// constant), so every shard reports the same counterexample tuple — the
+// merged report must keep it once.
+func TestCounterexampleDedup(t *testing.T) {
+	bm, err := spec.Lookup("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cspec, err := bm.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := bm.MachineCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Name:  "constant-divergence",
+		Spec:  cspec,
+		Code:  code,
+		Level: core.SCCInlining,
+		NewSpec: func() (sim.Spec, error) {
+			return &sim.SpecFunc{SpecName: "const", Fn: func(in *phv.PHV) (*phv.PHV, error) {
+				out := in.Clone()
+				out.Set(0, 1)
+				return out, nil
+			}}, nil
+		},
+		Containers: []int{0},
+		Seed:       3,
+		Packets:    2048,
+		MaxInput:   1, // every generated value is 0: identical inputs everywhere
+	}
+	rep, err := Run(context.Background(), []Job{job}, Options{Workers: 4, ShardSize: 128, MaxCounterexamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := rep.Jobs[0]
+	if j.Status != StatusFail {
+		t.Fatalf("status = %s, want fail:\n%s", j.Status, rep.Text(false))
+	}
+	if len(j.Counterexamples) != 1 {
+		t.Fatalf("got %d counterexamples after dedup, want 1: %+v", len(j.Counterexamples), j.Counterexamples)
+	}
+}
+
+// TestDistinctCounterexamplesSurviveDuplicates pins that the per-job cap
+// applies after deduplication: a run of identical early mismatches must not
+// crowd a later, distinct failure mode out of the report.
+func TestDistinctCounterexamplesSurviveDuplicates(t *testing.T) {
+	bm, err := spec.Lookup("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cspec, err := bm.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := bm.MachineCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Name:  "two-failure-modes",
+		Spec:  cspec,
+		Code:  code,
+		Level: core.SCCInlining,
+		NewSpec: func() (sim.Spec, error) {
+			// Inputs are all zero (MaxInput=1) and the expected value
+			// switches after the third packet, so the first failure mode
+			// repeats before the second ever appears.
+			k := 0
+			return &sim.SpecFunc{SpecName: "two-modes", Fn: func(in *phv.PHV) (*phv.PHV, error) {
+				out := in.Clone()
+				k++
+				if k <= 3 {
+					out.Set(0, 100)
+				} else {
+					out.Set(0, 200)
+				}
+				return out, nil
+			}}, nil
+		},
+		Containers: []int{0},
+		Seed:       1,
+		Packets:    64,
+		MaxInput:   1,
+	}
+	rep, err := Run(context.Background(), []Job{job}, Options{Workers: 1, ShardSize: 64, MaxCounterexamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ces := rep.Jobs[0].Counterexamples
+	if len(ces) != 2 {
+		t.Fatalf("got %d counterexamples, want both failure modes:\n%s", len(ces), rep.Text(false))
+	}
+	if !strings.Contains(ces[0].Want, "100") || !strings.Contains(ces[1].Want, "200") {
+		t.Fatalf("failure modes missing: %+v", ces)
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	// Cancel deterministically from inside the first shard that starts:
+	// wall-clock timers are load-sensitive, a hooked spec factory is not.
+	jobs := passingJobs(t, 200000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	for i := range jobs {
+		inner := jobs[i].NewSpec
+		jobs[i].NewSpec = func() (sim.Spec, error) {
+			once.Do(cancel)
+			return inner()
+		}
+	}
+	rep, err := Run(ctx, jobs, Options{Workers: 2, ShardSize: 256})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !rep.StoppedEarly {
+		t.Fatal("report does not record the early stop")
+	}
+	aborted := 0
+	for i := range rep.Jobs {
+		if rep.Jobs[i].Status == StatusAborted {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Fatalf("no job recorded as aborted:\n%s", rep.Text(false))
+	}
+	if rep.Passed {
+		t.Fatal("cancelled campaign reported as passed")
+	}
+}
+
+func TestCampaignPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, passingJobs(t, 1000, 1), Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range rep.Jobs {
+		if got := rep.Jobs[i].Status; got != StatusAborted {
+			t.Fatalf("job %s status = %s, want aborted", rep.Jobs[i].Name, got)
+		}
+	}
+}
+
+func TestFailFastStopsEarly(t *testing.T) {
+	// The broken job fails in its first shards; fail-fast must prevent the
+	// large trailing jobs from completing in full.
+	jobs := []Job{brokenJob(t, "broken", 512)}
+	jobs = append(jobs, passingJobs(t, 500000, 1)...)
+	rep, err := Run(context.Background(), jobs, Options{Workers: 2, ShardSize: 256, FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.StoppedEarly {
+		t.Fatal("fail-fast campaign did not record an early stop")
+	}
+	if rep.Jobs[0].Status != StatusFail {
+		t.Fatalf("broken job status = %s, want fail", rep.Jobs[0].Status)
+	}
+	var totalPossible, checked int64
+	for i := range rep.Jobs {
+		totalPossible += int64(rep.Jobs[i].Packets)
+		checked += int64(rep.Jobs[i].Checked)
+	}
+	if checked >= totalPossible {
+		t.Fatal("fail-fast ran the full campaign anyway")
+	}
+}
+
+func TestBuildFailureIsAFinding(t *testing.T) {
+	bm, err := spec.Lookup("sampling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := bm.MachineCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := code.Clone()
+	bad.Delete(bad.Names()[0]) // now incompatible with the pipeline
+	job := brokenJob(t, "unbuildable", 100)
+	job.Code = bad
+	rep, err := Run(context.Background(), []Job{job}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := rep.Jobs[0]
+	if j.Status != StatusError || j.Error == "" {
+		t.Fatalf("job = %+v, want build error finding", j)
+	}
+	if rep.Passed {
+		t.Fatal("campaign with unbuildable job passed")
+	}
+}
+
+func TestRunValidatesJobs(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Options{}); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+	j := brokenJob(t, "dup", 10)
+	if _, err := Run(context.Background(), []Job{j, j}, Options{}); err == nil {
+		t.Fatal("duplicate job names accepted")
+	}
+	bad := brokenJob(t, "x", 10)
+	bad.NewSpec = nil
+	if _, err := Run(context.Background(), []Job{bad}, Options{}); err == nil {
+		t.Fatal("job without spec factory accepted")
+	}
+	bad = brokenJob(t, "y", 0)
+	if _, err := Run(context.Background(), []Job{bad}, Options{}); err == nil {
+		t.Fatal("zero-packet job accepted")
+	}
+}
+
+func TestTable1MatrixShape(t *testing.T) {
+	jobs, err := Table1Matrix(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.All()) * len(core.Levels())
+	if len(jobs) != want {
+		t.Fatalf("Table1Matrix has %d jobs, want %d", len(jobs), want)
+	}
+	names := map[string]bool{}
+	for _, j := range jobs {
+		if names[j.Name] {
+			t.Fatalf("duplicate job name %s", j.Name)
+		}
+		names[j.Name] = true
+	}
+}

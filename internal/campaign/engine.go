@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"druzhba/internal/core"
+	"druzhba/internal/sim"
+)
+
+// shardResult is the outcome of one shard: a pure function of
+// (job, shard index), independent of which worker ran it and when.
+type shardResult struct {
+	checked    int
+	ticks      int
+	mismatches []sim.Mismatch
+	err        error // harness or simulation failure
+}
+
+func (r *shardResult) failed() bool { return r.err != nil || len(r.mismatches) > 0 }
+
+// task addresses one shard of one job. The shard's global packet range is
+// implied by (shard, Options.ShardSize); merge derives counterexample
+// packet indices from the same arithmetic.
+type task struct {
+	job   int
+	shard int
+	n     int // packets in this shard
+}
+
+// Run executes the campaign described by jobs under opts. The context
+// cancels the whole campaign: already-running shards finish, unstarted
+// shards are skipped, and the partial report is returned together with the
+// context's error. A nil error means the campaign ran to completion (or
+// stopped early under Options.FailFast, which Report.StoppedEarly records).
+func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("campaign: no jobs")
+	}
+	o := opts.withDefaults()
+	seen := make(map[string]bool, len(jobs))
+	for i := range jobs {
+		if err := jobs[i].validate(); err != nil {
+			return nil, err
+		}
+		if seen[jobs[i].Name] {
+			return nil, errors.New("campaign: duplicate job name " + jobs[i].Name)
+		}
+		seen[jobs[i].Name] = true
+	}
+	start := time.Now()
+
+	// Build every pipeline once, up front. A failed build is a test
+	// finding (machine code incompatible with the pipeline — the paper's
+	// §5.2 first failure class), not a harness error. Cancellation mid-way
+	// leaves the remaining jobs unbuilt; merge reports them as aborted.
+	masters := make([]*core.Pipeline, len(jobs))
+	buildErrs := make([]error, len(jobs))
+	for i := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		masters[i], buildErrs[i] = core.Build(jobs[i].Spec, jobs[i].Code, jobs[i].Level)
+	}
+
+	// Shard plan. results[j][s] is written by exactly one worker.
+	results := make([][]*shardResult, len(jobs))
+	var tasks []task
+	for j := range jobs {
+		if masters[j] == nil {
+			continue // build failed or skipped by cancellation
+		}
+		n := jobs[j].Packets
+		shards := (n + o.ShardSize - 1) / o.ShardSize
+		results[j] = make([]*shardResult, shards)
+		for s := 0; s < shards; s++ {
+			size := o.ShardSize
+			if rem := n - s*o.ShardSize; rem < size {
+				size = rem
+			}
+			tasks = append(tasks, task{job: j, shard: s, n: size})
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var stopped sync.Once
+	stoppedEarly := false
+
+	taskCh := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				if runCtx.Err() != nil {
+					continue // drain without running
+				}
+				res := runShard(&jobs[t.job], masters[t.job], t)
+				results[t.job][t.shard] = res
+				if o.FailFast && res.failed() {
+					stopped.Do(func() { stoppedEarly = true })
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for _, t := range tasks {
+		select {
+		case taskCh <- t:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+
+	report := merge(jobs, buildErrs, results, o)
+	report.StoppedEarly = stoppedEarly || ctx.Err() != nil
+	report.Timing = &Timing{
+		Workers:    o.Workers,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1e3,
+		PHVsPerSec: float64(report.TotalChecked) / time.Since(start).Seconds(),
+	}
+	return report, ctx.Err()
+}
+
+// runShard executes one shard: clone the job's pipeline (workers never
+// share mutable ALU state), generate the shard's deterministic traffic and
+// run the Fig. 5 comparison over it. Mismatch collection is unbounded here
+// (naturally capped by the shard size): the per-job counterexample cap is
+// applied only after cross-shard deduplication in merge, so duplicates in
+// one shard cannot crowd out distinct failures later in it.
+func runShard(job *Job, master *core.Pipeline, t task) *shardResult {
+	pipe := master.Clone()
+	spec, err := job.NewSpec()
+	if err != nil {
+		return &shardResult{err: err}
+	}
+	gen := sim.NewTrafficGen(deriveSeed(job.Seed, t.shard), pipe.PHVLen(), pipe.Bits(), job.MaxInput)
+	rep, err := sim.FuzzBatch(pipe, spec, gen.Trace(t.n), sim.FuzzOptions{Containers: job.Containers}, 0)
+	if err != nil {
+		return &shardResult{err: err}
+	}
+	return &shardResult{
+		checked:    rep.Checked,
+		ticks:      rep.Ticks,
+		mismatches: rep.Mismatches,
+		err:        rep.Err,
+	}
+}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"fmt"
+
+	"druzhba/internal/core"
+	"druzhba/internal/spec"
+)
+
+// Matrix builds the campaign job matrix for a set of Table-1 benchmarks:
+// one job per benchmark × optimization level × seed, each pushing packets
+// random PHVs. It is the programmatic form of dfarm's default workload.
+func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64, packets int) ([]Job, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("campaign: empty benchmark set")
+	}
+	if len(levels) == 0 {
+		levels = core.Levels()
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	var jobs []Job
+	for _, bm := range benchmarks {
+		cspec, err := bm.Spec()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", bm.Name, err)
+		}
+		code, err := bm.MachineCode()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", bm.Name, err)
+		}
+		containers, err := bm.CompareContainers()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", bm.Name, err)
+		}
+		for _, level := range levels {
+			for _, seed := range seeds {
+				jobs = append(jobs, Job{
+					Name:       fmt.Sprintf("%s/%s/seed=%d", bm.Name, level, seed),
+					Spec:       cspec,
+					Code:       code,
+					Level:      level,
+					NewSpec:    bm.SimSpec,
+					Containers: containers,
+					Seed:       seed,
+					Packets:    packets,
+					MaxInput:   bm.MaxInput,
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Table1Matrix is Matrix over every Table-1 benchmark at all three
+// optimization levels with seed 1 — the paper's full benchmark sweep, run
+// concurrently by dfarm.
+func Table1Matrix(packets int) ([]Job, error) {
+	return Matrix(spec.All(), core.Levels(), nil, packets)
+}

@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Job statuses in a Report.
+const (
+	StatusPass    = "pass"    // every shard ran, no divergence
+	StatusFail    = "fail"    // at least one counterexample
+	StatusError   = "error"   // pipeline build or simulation failed
+	StatusAborted = "aborted" // cancelled before every shard ran
+)
+
+// Counterexample is one deduplicated diverging PHV. Packet is the global
+// packet index within the job's traffic stream (shard × shard size +
+// offset), so it addresses the same PHV for every worker count.
+type Counterexample struct {
+	Packet int    `json:"packet"`
+	Input  string `json:"input"`
+	Got    string `json:"got"`
+	Want   string `json:"want"`
+}
+
+// JobReport aggregates one job's shards.
+type JobReport struct {
+	Name      string `json:"name"`
+	Level     string `json:"level"`
+	Seed      int64  `json:"seed"`
+	Packets   int    `json:"packets"` // requested
+	Shards    int    `json:"shards"`
+	ShardsRun int    `json:"shards_run"`
+	Checked   int    `json:"checked"` // PHVs actually compared
+	Ticks     int64  `json:"ticks"`   // pipeline ticks, summed over shards
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+
+	// Counterexamples are deduplicated across shards (same input and
+	// outputs count once) and capped by Options.MaxCounterexamples, kept
+	// in ascending packet order.
+	Counterexamples []Counterexample `json:"counterexamples,omitempty"`
+}
+
+// Passed reports whether the job completed with no findings.
+func (j *JobReport) Passed() bool { return j.Status == StatusPass }
+
+// Timing is the non-deterministic half of a report: it depends on the
+// machine, the scheduler and the worker count, so renderers exclude it
+// unless asked (reports are otherwise bit-identical across worker counts).
+type Timing struct {
+	Workers    int     `json:"workers"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	PHVsPerSec float64 `json:"phvs_per_sec"`
+}
+
+// Report is the merged outcome of a campaign.
+type Report struct {
+	Jobs         []JobReport `json:"jobs"`
+	Passed       bool        `json:"passed"`
+	TotalChecked int64       `json:"total_checked"`
+
+	// StoppedEarly is set when FailFast tripped or the context was
+	// cancelled before every shard ran.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
+
+	// Timing is omitted from deterministic renderings.
+	Timing *Timing `json:"-"`
+}
+
+// merge folds per-shard results into the final report, visiting jobs and
+// shards in index order so the outcome is independent of scheduling.
+func merge(jobs []Job, buildErrs []error, results [][]*shardResult, o Options) *Report {
+	rep := &Report{Passed: true}
+	for j := range jobs {
+		jr := JobReport{
+			Name:    jobs[j].Name,
+			Level:   jobs[j].Level.String(),
+			Seed:    jobs[j].Seed,
+			Packets: jobs[j].Packets,
+			Shards:  len(results[j]),
+		}
+		if buildErrs[j] != nil {
+			jr.Status = StatusError
+			jr.Error = buildErrs[j].Error()
+			rep.Passed = false
+			rep.Jobs = append(rep.Jobs, jr)
+			continue
+		}
+		if len(results[j]) == 0 {
+			// Build skipped by cancellation: no shards were ever planned.
+			jr.Status = StatusAborted
+			rep.Passed = false
+			rep.Jobs = append(rep.Jobs, jr)
+			continue
+		}
+		seen := map[string]bool{}
+		for s, res := range results[j] {
+			if res == nil {
+				continue // shard skipped by cancellation
+			}
+			jr.ShardsRun++
+			jr.Checked += res.checked
+			jr.Ticks += int64(res.ticks)
+			if res.err != nil && jr.Error == "" {
+				jr.Error = fmt.Sprintf("shard %d: %v", s, res.err)
+			}
+			for _, m := range res.mismatches {
+				ce := Counterexample{
+					Packet: s*o.ShardSize + m.Index,
+					Input:  m.Input.String(),
+					Got:    m.Got.String(),
+					Want:   m.Want.String(),
+				}
+				key := ce.Input + "|" + ce.Got + "|" + ce.Want
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if o.MaxCounterexamples < 0 || len(jr.Counterexamples) < o.MaxCounterexamples {
+					jr.Counterexamples = append(jr.Counterexamples, ce)
+				}
+			}
+		}
+		switch {
+		case jr.Error != "":
+			jr.Status = StatusError
+		case len(jr.Counterexamples) > 0:
+			jr.Status = StatusFail
+		case jr.ShardsRun < jr.Shards:
+			jr.Status = StatusAborted
+		default:
+			jr.Status = StatusPass
+		}
+		if jr.Status != StatusPass {
+			rep.Passed = false
+		}
+		rep.TotalChecked += int64(jr.Checked)
+		rep.Jobs = append(rep.Jobs, jr)
+	}
+	return rep
+}
+
+// Text renders the report for humans. Without timing the text is
+// bit-identical across worker counts.
+func (r *Report) Text(includeTiming bool) string {
+	var b strings.Builder
+	counts := map[string]int{}
+	for i := range r.Jobs {
+		counts[r.Jobs[i].Status]++
+	}
+	fmt.Fprintf(&b, "campaign: %d jobs: %d pass, %d fail, %d error, %d aborted; %d PHVs checked\n",
+		len(r.Jobs), counts[StatusPass], counts[StatusFail], counts[StatusError], counts[StatusAborted], r.TotalChecked)
+	if r.StoppedEarly {
+		b.WriteString("campaign stopped early\n")
+	}
+	for i := range r.Jobs {
+		j := &r.Jobs[i]
+		fmt.Fprintf(&b, "%-7s %s  packets=%d shards=%d/%d checked=%d ticks=%d\n",
+			strings.ToUpper(j.Status), j.Name, j.Packets, j.ShardsRun, j.Shards, j.Checked, j.Ticks)
+		if j.Error != "" {
+			fmt.Fprintf(&b, "        error: %s\n", j.Error)
+		}
+		for _, ce := range j.Counterexamples {
+			fmt.Fprintf(&b, "        packet %d: input %s: pipeline %s, spec %s\n", ce.Packet, ce.Input, ce.Got, ce.Want)
+		}
+	}
+	if includeTiming && r.Timing != nil {
+		fmt.Fprintf(&b, "timing: workers=%d elapsed=%.1fms throughput=%.0f PHVs/sec\n",
+			r.Timing.Workers, r.Timing.ElapsedMS, r.Timing.PHVsPerSec)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report as indented JSON. Timing is included only on
+// request, keeping the default output deterministic.
+func (r *Report) WriteJSON(w io.Writer, includeTiming bool) error {
+	type timedReport struct {
+		Report
+		Timing *Timing `json:"timing,omitempty"`
+	}
+	out := timedReport{Report: *r}
+	if includeTiming {
+		out.Timing = r.Timing
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

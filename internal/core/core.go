@@ -390,6 +390,80 @@ func (p *Pipeline) PHVLen() int { return p.spec.PHVLen }
 // Bits returns the datapath width.
 func (p *Pipeline) Bits() phv.Width { return p.spec.Bits }
 
+// Clone returns a deep copy of the pipeline that shares every immutable
+// build product — optimized ALU programs, baked mux selections, compiled
+// closure bodies and the machine code program — but owns fresh mutable
+// execution state: stateful ALU state vectors (copied from the receiver),
+// operand scratch buffers and per-stage output latches. A clone may execute
+// concurrently with the original and with other clones; this is what lets
+// the campaign engine run one pipeline build on many workers at once.
+func (p *Pipeline) Clone() *Pipeline {
+	q := &Pipeline{spec: p.spec, level: p.level, code: p.code}
+	q.stages = make([]*stage, len(p.stages))
+	for i, st := range p.stages {
+		q.stages[i] = &stage{
+			stateless:      cloneALUs(st.stateless),
+			stateful:       cloneALUs(st.stateful),
+			outputMuxNames: st.outputMuxNames,
+			outputMux:      st.outputMux,
+			statelessOut:   make([]phv.Value, len(st.statelessOut)),
+			statefulOut:    make([]phv.Value, len(st.statefulOut)),
+		}
+	}
+	return q
+}
+
+func cloneALUs(alus []*compiledALU) []*compiledALU {
+	if alus == nil {
+		return nil
+	}
+	out := make([]*compiledALU, len(alus))
+	for i, a := range alus {
+		b := &compiledALU{
+			prog:            a.prog,
+			stage:           a.stage,
+			slot:            a.slot,
+			stateful:        a.stateful,
+			numOps:          a.numOps,
+			operandMuxNames: a.operandMuxNames,
+			localToGlobal:   a.localToGlobal,
+			operandMux:      a.operandMux,
+			closure:         a.closure,
+		}
+		if a.state != nil {
+			b.state = append([]phv.Value(nil), a.state...)
+		}
+		// The Holes lookup closes over the original ALU's localToGlobal
+		// map and the machine code program, both read-only after build, so
+		// sharing the function value across clones is safe.
+		b.env = aludsl.Env{
+			Width:    a.env.Width,
+			Operands: make([]phv.Value, a.numOps),
+			State:    b.state,
+			Holes:    a.env.Holes,
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Reset returns the pipeline to its post-build condition: every stateful
+// ALU state vector and every per-stage output latch is zeroed. Equivalent
+// to ResetState for observable behaviour (latches are overwritten before
+// use); it exists for callers that reuse one pipeline across independent
+// runs instead of cloning per run.
+func (p *Pipeline) Reset() {
+	p.ResetState()
+	for _, st := range p.stages {
+		for i := range st.statelessOut {
+			st.statelessOut[i] = 0
+		}
+		for i := range st.statefulOut {
+			st.statefulOut[i] = 0
+		}
+	}
+}
+
 // ResetState zeroes every stateful ALU's state vector.
 func (p *Pipeline) ResetState() {
 	for _, st := range p.stages {

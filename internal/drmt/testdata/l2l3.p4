@@ -1,0 +1,115 @@
+# L2/L3 switch in mini-P4: MAC learning, L2 forwarding, IPv4 routing with
+# TTL decrement, a source-address ACL and per-port egress accounting.
+# Five tables, two registers; exercised by the dRMT machine tests.
+
+header_type eth_t {
+    fields {
+        dstMac : 48;
+        srcMac : 48;
+        etherType : 16;
+    }
+}
+header eth_t eth;
+
+header_type ipv4_t {
+    fields {
+        srcAddr : 32;
+        dstAddr : 32;
+        ttl : 8;
+        proto : 8;
+    }
+}
+header ipv4_t ipv4;
+
+header_type meta_t {
+    fields {
+        egressPort : 9;
+        l2Hit : 1;
+    }
+}
+header meta_t meta;
+
+# MAC learning: one counter cell per source MAC (mod 64).
+register r_learned {
+    width : 32;
+    instance_count : 64;
+}
+
+# Per-egress-port packet accounting.
+register r_portbytes {
+    width : 32;
+    instance_count : 16;
+}
+
+action learn() {
+    register_add(r_learned, eth.srcMac, 1);
+}
+
+action l2_forward(port) {
+    modify_field(meta.egressPort, port);
+    modify_field(meta.l2Hit, 1);
+}
+
+action route(port) {
+    modify_field(meta.egressPort, port);
+    add_to_field(ipv4.ttl, -1);
+}
+
+action act_drop() {
+    drop();
+}
+
+action count_port() {
+    register_add(r_portbytes, meta.egressPort, 1);
+}
+
+action nop() {
+    no_op();
+}
+
+# Source-MAC learning: always fires (default action), touches only the
+# learning register, so its only edge to dmac is the apply-order control
+# dependency.
+table smac {
+    reads { eth.srcMac : exact; }
+    actions { learn; }
+    default_action : learn();
+}
+
+# L2 forwarding on the destination MAC.
+table dmac {
+    reads { eth.dstMac : exact; }
+    actions { l2_forward; nop; }
+    default_action : nop();
+}
+
+# Longest-prefix-style routing via ternary entries; may override the L2
+# egress port (apply order) or drop.
+table ipv4_route {
+    reads { ipv4.dstAddr : ternary; }
+    actions { route; act_drop; nop; }
+    default_action : nop();
+}
+
+# Source-address ACL.
+table acl {
+    reads { ipv4.srcAddr : ternary; }
+    actions { act_drop; nop; }
+    default_action : nop();
+}
+
+# Egress accounting matches on meta.egressPort, which both dmac and
+# ipv4_route write: a match dependency.
+table egress_count {
+    reads { meta.egressPort : exact; }
+    actions { count_port; nop; }
+    default_action : nop();
+}
+
+control ingress {
+    apply(smac);
+    apply(dmac);
+    apply(ipv4_route);
+    apply(acl);
+    apply(egress_count);
+}

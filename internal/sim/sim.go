@@ -231,16 +231,73 @@ func (r *FuzzReport) String() string {
 // code incompatible with the pipeline) are reported in FuzzReport.Err, since
 // they are test findings (§5.2's first failure class).
 func Fuzz(p *core.Pipeline, spec Spec, input *phv.Trace, opts FuzzOptions) (*FuzzReport, error) {
+	batch, err := FuzzBatch(p, spec, input, opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	report := &FuzzReport{SpecName: batch.SpecName, FailIndex: -1, Err: batch.Err}
+	if report.Err != nil {
+		return report, nil
+	}
+	if len(batch.Mismatches) > 0 {
+		m := batch.Mismatches[0]
+		report.Checked = m.Index
+		report.FailIndex = m.Index
+		report.Input = m.Input
+		report.Got = m.Got
+		report.Want = m.Want
+		return report, nil
+	}
+	report.Checked = batch.Checked
+	report.Passed = true
+	return report, nil
+}
+
+// Mismatch is one diverging PHV found by FuzzBatch: the pipeline and the
+// specification disagreed on the trace entry at Index.
+type Mismatch struct {
+	Index int      // position in the input trace
+	Input *phv.PHV // the diverging input
+	Got   *phv.PHV // pipeline output
+	Want  *phv.PHV // spec output
+}
+
+// String renders the mismatch for humans.
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("PHV %d: input %s: pipeline %s, spec %s", m.Index, m.Input, m.Got, m.Want)
+}
+
+// BatchReport is the outcome of FuzzBatch: the whole-trace variant of
+// FuzzReport consumed by the campaign engine, which keeps scanning past the
+// first divergence so counterexamples can be aggregated and deduplicated
+// across shards.
+type BatchReport struct {
+	SpecName   string
+	Checked    int // PHVs compared (the full trace unless simulation failed)
+	Ticks      int // pipeline ticks consumed by the run
+	Mismatches []Mismatch
+	Err        error // non-nil when simulation itself failed
+}
+
+// Passed reports whether the batch found no divergence and no error.
+func (r *BatchReport) Passed() bool { return r.Err == nil && len(r.Mismatches) == 0 }
+
+// FuzzBatch runs the Fig. 5 comparison over the full input trace, collecting
+// up to maxMismatches diverging PHVs (0 = unbounded) instead of stopping at
+// the first. The pipeline's state is reset first. Like Fuzz, simulation
+// failures are findings (BatchReport.Err), not harness errors.
+func FuzzBatch(p *core.Pipeline, spec Spec, input *phv.Trace, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
 	if input.Len() == 0 {
 		return nil, errors.New("sim: empty input trace")
 	}
-	report := &FuzzReport{SpecName: spec.Name(), FailIndex: -1}
+	report := &BatchReport{SpecName: spec.Name()}
 	p.ResetState()
 	simRes, err := Run(p, input)
 	if err != nil {
 		report.Err = err
 		return report, nil
 	}
+	report.Ticks = simRes.Ticks
 	specOut, err := RunSpec(spec, input)
 	if err != nil {
 		return nil, err
@@ -252,16 +309,19 @@ func Fuzz(p *core.Pipeline, spec Spec, input *phv.Trace, opts FuzzOptions) (*Fuz
 	for i := 0; i < input.Len(); i++ {
 		got, want := simRes.Output.At(i), specOut.At(i)
 		if !equalOn(got, want, opts.Containers) {
-			report.Checked = i
-			report.FailIndex = i
-			report.Input = input.At(i).Clone()
-			report.Got = got.Clone()
-			report.Want = want.Clone()
-			return report, nil
+			report.Mismatches = append(report.Mismatches, Mismatch{
+				Index: i,
+				Input: input.At(i).Clone(),
+				Got:   got.Clone(),
+				Want:  want.Clone(),
+			})
+			if maxMismatches > 0 && len(report.Mismatches) >= maxMismatches {
+				report.Checked = i + 1
+				return report, nil
+			}
 		}
 	}
 	report.Checked = input.Len()
-	report.Passed = true
 	return report, nil
 }
 

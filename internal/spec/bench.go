@@ -19,6 +19,7 @@ package spec
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"druzhba/internal/atoms"
 	"druzhba/internal/core"
@@ -163,6 +164,18 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Match returns the benchmarks whose names contain pattern as a substring
+// (empty pattern = all), in Table 1 order. Used by dfarm's job filter.
+func Match(pattern string) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range table1 {
+		if strings.Contains(b.Name, pattern) {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Lookup finds a benchmark by name.
