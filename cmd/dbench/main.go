@@ -1,26 +1,54 @@
 // dbench regenerates Table 1 of the paper: simulation runtime for the
 // twelve packet-processing programs at the three optimization levels
-// (unoptimized, SCC propagation, SCC + function inlining), each over 50,000
-// traffic-generator PHVs.
+// (unoptimized, SCC propagation, SCC + function inlining) plus Druzhba's
+// closure-compiled engine, each over 50,000 traffic-generator PHVs driven
+// through the streaming simulation engine.
 //
 // Usage:
 //
-//	dbench                 # full table, 50000 PHVs per cell
-//	dbench -phvs 5000      # quicker pass
-//	dbench -program rcp    # single row
+//	dbench                           # full table, 50000 PHVs per cell
+//	dbench -phvs 5000                # quicker pass
+//	dbench -program rcp              # single row
+//	dbench -json BENCH_table1.json   # machine-readable perf trajectory
+//
+// The JSON report records ns/PHV and allocs/PHV per (benchmark × level); a
+// "baseline" block already present in the output file is preserved across
+// regenerations so the perf trajectory keeps its reference point.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"druzhba/internal/cli"
 	"druzhba/internal/core"
+	"druzhba/internal/phv"
 	"druzhba/internal/sim"
 	"druzhba/internal/spec"
 )
+
+// Row is one (benchmark × level) cell of the perf report.
+type Row struct {
+	Benchmark    string  `json:"benchmark"`
+	Level        string  `json:"level"`
+	MS           int64   `json:"ms"`
+	NsPerPHV     float64 `json:"ns_per_phv"`
+	AllocsPerPHV float64 `json:"allocs_per_phv"`
+}
+
+// Report is the BENCH_table1.json document.
+type Report struct {
+	Command  string          `json:"command"`
+	PHVs     int             `json:"phvs"`
+	Engine   string          `json:"engine"`
+	Rows     []Row           `json:"rows"`
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+}
 
 func main() {
 	fs := flag.NewFlagSet("dbench", flag.ExitOnError)
@@ -28,6 +56,7 @@ func main() {
 	program := fs.String("program", "", "run a single program (default: all twelve)")
 	seed := fs.Int64("seed", 1, "traffic generator seed")
 	repeats := fs.Int("repeats", 1, "repetitions per cell (minimum time reported)")
+	jsonPath := fs.String("json", "", "also write the report as JSON to this file (- for stdout)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 
 	benches := spec.All()
@@ -39,38 +68,135 @@ func main() {
 		benches = []*spec.Benchmark{b}
 	}
 
-	fmt.Printf("Table 1: RMT runtimes with and without optimizations (%d PHVs per run)\n\n", *phvs)
-	fmt.Printf("%-20s %-16s %-12s %14s %14s %18s\n",
-		"Program", "Depth, width", "ALU name", "Unoptimized", "SCC prop.", "+ Func. inlining")
+	var rows []Row
+	fmt.Printf("Table 1: RMT runtimes with and without optimizations (%d PHVs per run, streaming engine)\n\n", *phvs)
+	fmt.Printf("%-20s %-16s %-12s %14s %14s %18s %14s\n",
+		"Program", "Depth, width", "ALU name", "Unoptimized", "SCC prop.", "+ Func. inlining", "Compiled")
 	for _, bm := range benches {
 		times := make(map[core.OptLevel]time.Duration)
-		for _, level := range core.Levels() {
+		for _, level := range core.AllLevels() {
 			pipeline, err := bm.Pipeline(level)
 			if err != nil {
 				cli.Fatalf("dbench: %s/%s: %v", bm.Name, level, err)
 			}
-			gen := sim.NewTrafficGen(*seed, pipeline.PHVLen(), pipeline.Bits(), bm.MaxInput)
-			trace := gen.Trace(*phvs)
-			best := time.Duration(0)
-			for r := 0; r < *repeats; r++ {
-				pipeline.ResetState()
-				start := time.Now()
-				if _, err := sim.Run(pipeline, trace); err != nil {
-					cli.Fatalf("dbench: %s/%s: %v", bm.Name, level, err)
-				}
-				elapsed := time.Since(start)
-				if best == 0 || elapsed < best {
-					best = elapsed
-				}
+			best, allocs, err := measure(pipeline, bm, *seed, *phvs, *repeats)
+			if err != nil {
+				cli.Fatalf("dbench: %s/%s: %v", bm.Name, level, err)
 			}
 			times[level] = best
+			rows = append(rows, Row{
+				Benchmark:    bm.Name,
+				Level:        level.String(),
+				MS:           best.Milliseconds(),
+				NsPerPHV:     round2(float64(best.Nanoseconds()) / float64(*phvs)),
+				AllocsPerPHV: round4(allocs / float64(*phvs)),
+			})
 		}
-		fmt.Printf("%-20s %-16s %-12s %11d ms %11d ms %15d ms\n",
+		fmt.Printf("%-20s %-16s %-12s %11d ms %11d ms %15d ms %11d ms\n",
 			bm.Name,
 			fmt.Sprintf("%d,%d", bm.Depth, bm.Width),
 			bm.Atom,
 			times[core.Unoptimized].Milliseconds(),
 			times[core.SCCPropagation].Milliseconds(),
-			times[core.SCCInlining].Milliseconds())
+			times[core.SCCInlining].Milliseconds(),
+			times[core.Compiled].Milliseconds())
+	}
+	if *jsonPath != "" {
+		// Record the actual invocation so a partial run (-program, a
+		// non-default -phvs) cannot masquerade as the canonical full-matrix
+		// trajectory.
+		command := fmt.Sprintf("go run ./cmd/dbench -phvs %d", *phvs)
+		if *program != "" {
+			command += " -program " + *program
+		}
+		command += " -json BENCH_table1.json"
+		if err := writeJSON(*jsonPath, &Report{
+			Command: command,
+			PHVs:    *phvs,
+			Engine:  "streaming (sim.Stream, prechecked fast path at optimized levels)",
+			Rows:    rows,
+		}); err != nil {
+			cli.Fatalf("dbench: %v", err)
+		}
 	}
 }
+
+// measure drives n PHVs from a fresh generator through the streaming engine,
+// repeated repeats times after one warmup pass, and reports the best wall
+// time together with the heap allocation count of that pass.
+func measure(pipeline *core.Pipeline, bm *spec.Benchmark, seed int64, n, repeats int) (time.Duration, float64, error) {
+	stream := sim.NewStream(pipeline)
+	in := make([]phv.Value, pipeline.PHVLen())
+	pass := func() (time.Duration, float64, error) {
+		gen := sim.NewTrafficGen(seed, pipeline.PHVLen(), pipeline.Bits(), bm.MaxInput)
+		pipeline.ResetState()
+		stream.Reset()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for fed := 0; fed < n || stream.InFlight() > 0; {
+			var admit []phv.Value
+			if fed < n {
+				gen.Fill(in)
+				admit = in
+				fed++
+			}
+			if _, err := stream.Tick(admit); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return elapsed, float64(m1.Mallocs - m0.Mallocs), nil
+	}
+	if _, _, err := pass(); err != nil { // warmup
+		return 0, 0, err
+	}
+	var best time.Duration
+	var bestAllocs float64
+	for r := 0; r < repeats; r++ {
+		elapsed, allocs, err := pass()
+		if err != nil {
+			return 0, 0, err
+		}
+		if best == 0 || elapsed < best {
+			best, bestAllocs = elapsed, allocs
+		}
+	}
+	return best, bestAllocs, nil
+}
+
+// writeJSON writes the report, preserving any "baseline" block already
+// present in the target file so regeneration keeps the trajectory's
+// reference point.
+func writeJSON(path string, rep *Report) error {
+	if path != "-" {
+		if prev, err := os.ReadFile(path); err == nil {
+			var old Report
+			if json.Unmarshal(prev, &old) == nil {
+				rep.Baseline = old.Baseline
+			}
+		}
+	}
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }

@@ -6,10 +6,11 @@
 // -workers value — so campaign output can be diffed across machines and
 // runs.
 //
-// By default dfarm sweeps the full Table-1 benchmark matrix:
+// By default dfarm sweeps the full Table-1 benchmark matrix over all four
+// engines (unoptimized, scc, scc+inline, compiled):
 //
 //	dfarm -packets 50000 -workers 8
-//	dfarm -run flowlets -levels scc+inline -seeds 1,2,3 -json report.json
+//	dfarm -run flowlets -levels scc+inline,compiled -seeds 1,2,3 -json report.json
 //	dfarm -failfast -timing
 //
 // Exit status: 0 when every job passes; 1 when any job fails (mismatch,
@@ -38,7 +39,7 @@ func main() {
 	packets := fs.Int("packets", 50000, "random PHVs per job (the paper's workload is 50000)")
 	shard := fs.Int("shard", 4096, "packets per shard (part of the campaign's identity; changing it changes the traffic)")
 	seeds := fs.String("seeds", "1", "comma-separated traffic seeds; each seed adds a full matrix sweep")
-	levels := fs.String("levels", "", "comma-separated optimization levels (empty = unoptimized,scc,scc+inline)")
+	levels := fs.String("levels", "", "comma-separated optimization levels (empty = unoptimized,scc,scc+inline,compiled)")
 	run := fs.String("run", "", "only benchmarks whose name contains this substring")
 	maxCE := fs.Int("max-counterexamples", 8, "deduplicated counterexamples kept per job (-1 = unbounded)")
 	failfast := fs.Bool("failfast", false, "cancel the campaign at the first failing shard")

@@ -53,12 +53,19 @@ import (
 // OptLevel re-exports the pipeline-generation optimization levels.
 type OptLevel = core.OptLevel
 
-// Optimization levels (Fig. 6 of the paper).
+// Optimization levels: the paper's three (Fig. 6) plus the closure-compiled
+// engine, which plays the role the Rust compiler plays for the paper's
+// generated pipeline descriptions without leaving the process.
 const (
 	Unoptimized    = core.Unoptimized
 	SCCPropagation = core.SCCPropagation
 	SCCInlining    = core.SCCInlining
+	Compiled       = core.Compiled
 )
+
+// AllLevels lists every optimization level in increasing order — the
+// paper's three plus Compiled, the full matrix axis swept by campaigns.
+func AllLevels() []OptLevel { return core.AllLevels() }
 
 // Pipeline is an executable pipeline description.
 type Pipeline = core.Pipeline
@@ -225,7 +232,8 @@ func RunCampaign(ctx context.Context, jobs []CampaignJob, opts CampaignOptions) 
 }
 
 // Table1Campaign builds the default dfarm job matrix: every Table-1
-// benchmark at all three optimization levels, packets PHVs each.
+// benchmark at every optimization level (the paper's three plus Compiled),
+// packets PHVs each.
 func Table1Campaign(packets int) ([]CampaignJob, error) {
 	return campaign.Table1Matrix(packets)
 }

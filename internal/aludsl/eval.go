@@ -67,7 +67,6 @@ func (e *Env) holeValue(name string) phv.Value {
 // Run executes the program body in the environment and returns the ALU
 // output value. State mutations are applied to env.State in place.
 func Run(p *Program, env *Env) (out phv.Value, err error) {
-	env.aluName = p.Name
 	defer func() {
 		if r := recover(); r != nil {
 			if ep, ok := r.(evalPanic); ok {
@@ -77,15 +76,35 @@ func Run(p *Program, env *Env) (out phv.Value, err error) {
 			panic(r)
 		}
 	}()
+	return RunUnsafe(p, env), nil
+}
+
+// RunUnsafe is Run without the recover boundary: evaluation failures
+// propagate as panics instead of errors. It exists for hot loops that
+// execute many ALUs per tick — the caller installs a single recover for the
+// whole run (see AsEvalError) instead of paying one defer per ALU
+// execution. Use Run unless profiling says otherwise.
+func RunUnsafe(p *Program, env *Env) phv.Value {
+	env.aluName = p.Name
 	v, returned := execStmts(p.Body, env)
 	if returned {
-		return v, nil
+		return v
 	}
 	// Implicit output: post-update state_0 for stateful ALUs, 0 otherwise.
 	if p.Kind == Stateful && len(env.State) > 0 {
-		return env.State[0], nil
+		return env.State[0]
 	}
-	return 0, nil
+	return 0
+}
+
+// AsEvalError converts a value recovered from a RunUnsafe panic into the
+// error Run would have returned. The second result is false for foreign
+// panics, which the caller must re-raise.
+func AsEvalError(r any) (error, bool) {
+	if ep, ok := r.(evalPanic); ok {
+		return ep.err, true
+	}
+	return nil, false
 }
 
 // execStmts executes statements; the bool result reports whether a Return

@@ -42,9 +42,12 @@ type Job struct {
 	Code  *machinecode.Program
 	Level core.OptLevel
 
-	// NewSpec returns a fresh high-level specification instance. It is
-	// called once per shard (specifications are stateful and shards run
-	// concurrently), so it must be safe for concurrent use.
+	// NewSpec returns a fresh high-level specification instance. Each
+	// worker calls it once per job it touches and reuses the instance
+	// across that job's shards (the fuzzer resets it between shards);
+	// because workers run concurrently the factory must be safe for
+	// concurrent use, and instances it returns must not share mutable
+	// state.
 	NewSpec func() (sim.Spec, error)
 
 	// Containers restricts the output comparison to these PHV container

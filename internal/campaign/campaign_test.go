@@ -401,7 +401,7 @@ func TestTable1MatrixShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(spec.All()) * len(core.Levels())
+	want := len(spec.All()) * len(core.AllLevels())
 	if len(jobs) != want {
 		t.Fatalf("Table1Matrix has %d jobs, want %d", len(jobs), want)
 	}

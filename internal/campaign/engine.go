@@ -95,11 +95,26 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local streaming state, built lazily per job: a fuzzer
+			// over a private pipeline clone (ring buffers reused across
+			// every shard of the job this worker runs) and one spec
+			// instance, reset by the fuzzer between shards. Tasks arrive
+			// job-major off one channel, so each worker sees nondecreasing
+			// job indices and a single cached state suffices — peak memory
+			// stays one clone per worker, not one per (worker, job). Shard
+			// results stay pure functions of (job, shard), so reuse cannot
+			// break report determinism.
+			var ws *workerState
+			wsJob := -1
 			for t := range taskCh {
 				if runCtx.Err() != nil {
 					continue // drain without running
 				}
-				res := runShard(&jobs[t.job], masters[t.job], t)
+				if t.job != wsJob {
+					ws = newWorkerState(&jobs[t.job], masters[t.job])
+					wsJob = t.job
+				}
+				res := runShard(&jobs[t.job], ws, t)
 				results[t.job][t.shard] = res
 				if o.FailFast && res.failed() {
 					stopped.Do(func() { stoppedEarly = true })
@@ -129,20 +144,39 @@ feed:
 	return report, ctx.Err()
 }
 
-// runShard executes one shard: clone the job's pipeline (workers never
-// share mutable ALU state), generate the shard's deterministic traffic and
-// run the Fig. 5 comparison over it. Mismatch collection is unbounded here
-// (naturally capped by the shard size): the per-job counterexample cap is
-// applied only after cross-shard deduplication in merge, so duplicates in
-// one shard cannot crowd out distinct failures later in it.
-func runShard(job *Job, master *core.Pipeline, t task) *shardResult {
-	pipe := master.Clone()
+// workerState is one worker's reusable streaming machinery for one job: a
+// fuzzer over a private pipeline clone plus a spec instance. Building it
+// can fail (spec factories may error); the failure is replayed as the
+// result of every shard the worker picks up for that job.
+type workerState struct {
+	fuzzer *sim.Fuzzer
+	spec   sim.Spec
+	err    error
+}
+
+func newWorkerState(job *Job, master *core.Pipeline) *workerState {
 	spec, err := job.NewSpec()
 	if err != nil {
-		return &shardResult{err: err}
+		return &workerState{err: err}
 	}
+	return &workerState{fuzzer: sim.NewFuzzer(master.Clone()), spec: spec}
+}
+
+// runShard executes one shard on the worker's reusable streaming state:
+// the shard's deterministic traffic is generated straight into the fuzzer's
+// ring buffers (no per-shard trace materialization) and compared in lock
+// step, so a clean shard costs O(1) allocation. Mismatch collection is
+// unbounded here (naturally capped by the shard size): the per-job
+// counterexample cap is applied only after cross-shard deduplication in
+// merge, so duplicates in one shard cannot crowd out distinct failures
+// later in it.
+func runShard(job *Job, ws *workerState, t task) *shardResult {
+	if ws.err != nil {
+		return &shardResult{err: ws.err}
+	}
+	pipe := ws.fuzzer.Pipeline()
 	gen := sim.NewTrafficGen(deriveSeed(job.Seed, t.shard), pipe.PHVLen(), pipe.Bits(), job.MaxInput)
-	rep, err := sim.FuzzBatch(pipe, spec, gen.Trace(t.n), sim.FuzzOptions{Containers: job.Containers}, 0)
+	rep, err := ws.fuzzer.FuzzGen(ws.spec, gen, t.n, sim.FuzzOptions{Containers: job.Containers}, 0)
 	if err != nil {
 		return &shardResult{err: err}
 	}

@@ -10,12 +10,14 @@ import (
 // Matrix builds the campaign job matrix for a set of Table-1 benchmarks:
 // one job per benchmark × optimization level × seed, each pushing packets
 // random PHVs. It is the programmatic form of dfarm's default workload.
+// An empty levels slice means every engine, the paper's three plus the
+// closure-compiled extension.
 func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64, packets int) ([]Job, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("campaign: empty benchmark set")
 	}
 	if len(levels) == 0 {
-		levels = core.Levels()
+		levels = core.AllLevels()
 	}
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -53,9 +55,9 @@ func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64,
 	return jobs, nil
 }
 
-// Table1Matrix is Matrix over every Table-1 benchmark at all three
-// optimization levels with seed 1 — the paper's full benchmark sweep, run
-// concurrently by dfarm.
+// Table1Matrix is Matrix over every Table-1 benchmark at every
+// optimization level — the paper's three plus the closure-compiled engine —
+// with seed 1: the paper's full benchmark sweep, run concurrently by dfarm.
 func Table1Matrix(packets int) ([]Job, error) {
-	return Matrix(spec.All(), core.Levels(), nil, packets)
+	return Matrix(spec.All(), core.AllLevels(), nil, packets)
 }

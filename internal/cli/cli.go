@@ -104,7 +104,8 @@ func (c *ConfigFlags) Spec() (core.Spec, error) {
 	return s, nil
 }
 
-// ParseLevel parses an optimization level name.
+// ParseLevel parses an optimization level name: the paper's three levels
+// plus the closure-compiled engine.
 func ParseLevel(name string) (core.OptLevel, error) {
 	switch name {
 	case "unoptimized", "v1", "0":
@@ -113,8 +114,10 @@ func ParseLevel(name string) (core.OptLevel, error) {
 		return core.SCCPropagation, nil
 	case "scc+inline", "inline", "v3", "2":
 		return core.SCCInlining, nil
+	case "compiled", "v4", "3":
+		return core.Compiled, nil
 	default:
-		return 0, fmt.Errorf("unknown optimization level %q (want unoptimized, scc or scc+inline)", name)
+		return 0, fmt.Errorf("unknown optimization level %q (want unoptimized, scc, scc+inline or compiled)", name)
 	}
 }
 

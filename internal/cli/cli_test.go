@@ -77,6 +77,7 @@ func TestParseLevel(t *testing.T) {
 		"unoptimized": core.Unoptimized, "v1": core.Unoptimized, "0": core.Unoptimized,
 		"scc": core.SCCPropagation, "v2": core.SCCPropagation, "1": core.SCCPropagation,
 		"scc+inline": core.SCCInlining, "inline": core.SCCInlining, "v3": core.SCCInlining, "2": core.SCCInlining,
+		"compiled": core.Compiled, "v4": core.Compiled, "3": core.Compiled,
 	}
 	for name, want := range cases {
 		got, err := ParseLevel(name)

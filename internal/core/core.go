@@ -507,6 +507,68 @@ func (p *Pipeline) StateSnapshot() phv.StateSnapshot {
 	return snap
 }
 
+// Prechecked reports whether every mux selection was validated at build
+// time, making the pipeline eligible for ExecuteStageFast. True for every
+// optimized level (Build validates the machine code and bakes selections
+// into slices); false for Unoptimized, whose version-1 semantics resolve
+// machine code through the hash table at each execution and can therefore
+// fail at runtime (the BuildUnchecked path).
+func (p *Pipeline) Prechecked() bool { return p.level != Unoptimized }
+
+// ExecuteStageFast is ExecuteStage for prechecked pipelines: the inner loop
+// carries no map lookups, no error returns and no bounds re-validation,
+// because Build already validated every operand and output mux selection.
+// The stage index must be in range and len(in) == len(out) == PHVLen.
+//
+// Evaluation failures (impossible after a successful optimized build, but
+// the interpreter still guards them) propagate as panics; run-loop callers
+// install a single recover and convert with AsExecError. Calling this on a
+// pipeline for which Prechecked is false panics.
+func (p *Pipeline) ExecuteStageFast(si int, in, out []phv.Value) {
+	if !p.Prechecked() {
+		panic("core: ExecuteStageFast on an unoptimized pipeline")
+	}
+	st := p.stages[si]
+	for k, a := range st.stateless {
+		st.statelessOut[k] = runALUFast(a, in)
+	}
+	for k, a := range st.stateful {
+		st.statefulOut[k] = runALUFast(a, in)
+	}
+	w := p.spec.Width
+	for c, sel := range st.outputMux {
+		// Build's validation bounded sel to [0, 2w] (or [0, w] without
+		// stateful ALUs), so three arms cover every value.
+		switch {
+		case sel == 0:
+			out[c] = in[c]
+		case sel <= w:
+			out[c] = st.statelessOut[sel-1]
+		default:
+			out[c] = st.statefulOut[sel-w-1]
+		}
+	}
+}
+
+// runALUFast executes one prechecked ALU: operand muxes are baked indices
+// and the body is either a compiled closure or the interpreter without its
+// per-execution recover boundary.
+func runALUFast(a *compiledALU, in []phv.Value) phv.Value {
+	ops := a.env.Operands
+	for op, idx := range a.operandMux {
+		ops[op] = in[idx]
+	}
+	if a.closure != nil {
+		return a.closure(ops, a.state)
+	}
+	return aludsl.RunUnsafe(a.prog, &a.env)
+}
+
+// AsExecError converts a value recovered from an ExecuteStageFast panic
+// into the error ExecuteStage would have returned; foreign panics report
+// false and must be re-raised.
+func AsExecError(r any) (error, bool) { return aludsl.AsEvalError(r) }
+
 // ExecuteStage runs stage si on the input container values, writing the
 // stage's result into out (len(in) == len(out) == PHVLen). Stateful ALU
 // state is mutated.

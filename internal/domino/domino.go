@@ -181,6 +181,10 @@ type Machine struct {
 	prog  *Program
 	w     phv.Width
 	state map[string]int64
+
+	// locals is Step's scratch frame, reused across packets so steady-state
+	// execution allocates nothing (the streaming fuzzer depends on this).
+	locals map[string]int64
 }
 
 // NewMachine returns a machine with freshly initialized state.
@@ -208,8 +212,12 @@ func (m *Machine) State(name string) (int64, bool) {
 // names to values; the map is mutated in place with the transaction's
 // writes.
 func (m *Machine) Step(fields map[string]int64) error {
-	locals := map[string]int64{}
-	return m.exec(m.prog.Body, fields, locals)
+	if m.locals == nil {
+		m.locals = map[string]int64{}
+	} else {
+		clear(m.locals)
+	}
+	return m.exec(m.prog.Body, fields, m.locals)
 }
 
 func (m *Machine) exec(stmts []Stmt, fields, locals map[string]int64) error {

@@ -44,6 +44,11 @@ type PHVSpec struct {
 	prog    *Program
 	machine *Machine
 	fields  FieldMap
+
+	// scratch is the field frame reused by ProcessStream; with it, the
+	// adapter satisfies sim.StreamSpec with zero steady-state allocations
+	// per packet (map writes over existing keys never allocate).
+	scratch map[string]int64
 }
 
 // NewPHVSpec validates that every field the program uses is bound and
@@ -72,21 +77,33 @@ func (s *PHVSpec) Reset() { s.machine.Reset() }
 // packet fields, the transaction runs, and written fields are copied back
 // to their containers (other containers pass through unchanged).
 func (s *PHVSpec) Process(in *phv.PHV) (*phv.PHV, error) {
-	fields := make(map[string]int64, len(s.fields))
-	for name, c := range s.fields {
-		if c < 0 || c >= in.Len() {
-			return nil, fmt.Errorf("domino: field %q bound to container %d, PHV has %d", name, c, in.Len())
-		}
-		fields[name] = in.Get(c)
-	}
-	if err := s.machine.Step(fields); err != nil {
+	out := in.Clone()
+	if err := s.ProcessStream(out.Raw()); err != nil {
 		return nil, err
 	}
-	out := in.Clone()
-	for name, c := range s.fields {
-		out.Set(c, fields[name])
-	}
 	return out, nil
+}
+
+// ProcessStream implements sim.StreamSpec: vals' bound containers become
+// packet fields, the transaction runs, and field results are written back
+// into vals in place. Steady state allocates nothing.
+func (s *PHVSpec) ProcessStream(vals []phv.Value) error {
+	if s.scratch == nil {
+		s.scratch = make(map[string]int64, len(s.fields))
+	}
+	for name, c := range s.fields {
+		if c < 0 || c >= len(vals) {
+			return fmt.Errorf("domino: field %q bound to container %d, PHV has %d", name, c, len(vals))
+		}
+		s.scratch[name] = vals[c]
+	}
+	if err := s.machine.Step(s.scratch); err != nil {
+		return err
+	}
+	for name, c := range s.fields {
+		vals[c] = s.scratch[name]
+	}
+	return nil
 }
 
 // Machine exposes the underlying interpreter (for state inspection).

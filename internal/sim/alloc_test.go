@@ -1,0 +1,70 @@
+// Allocation-regression tests for the streaming fuzz path: at optimized
+// levels a clean run must perform zero steady-state allocations per PHV —
+// the engine's ring buffers, the domino spec's scratch frames and the
+// prechecked stage executor are all reused, so total allocations must not
+// grow with the packet count. External test package: these tests drive the
+// real Table-1 benchmarks, and internal/spec imports sim.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"druzhba/internal/core"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+// fuzzAllocs measures the average allocation count of a full streaming fuzz
+// run of n PHVs on a warm fuzzer (generator, report and spec reset are
+// per-run fixed costs; everything else must be steady-state free).
+func fuzzAllocs(t *testing.T, f *sim.Fuzzer, s sim.Spec, containers []int, maxInput int64, n int) float64 {
+	t.Helper()
+	pipe := f.Pipeline()
+	return testing.AllocsPerRun(3, func() {
+		gen := sim.NewTrafficGen(1, pipe.PHVLen(), pipe.Bits(), maxInput)
+		rep, err := f.FuzzGen(s, gen, n, sim.FuzzOptions{Containers: containers}, 0)
+		if err != nil {
+			panic(err)
+		}
+		if !rep.Passed() {
+			panic(fmt.Sprintf("fuzz failed: %+v", rep))
+		}
+	})
+}
+
+// TestStreamingFuzzZeroAllocsPerPHV asserts the zero-allocation property on
+// every Table-1 benchmark at every optimized level: growing the packet
+// count 8x must not grow the per-run allocation count, i.e. the marginal
+// cost of a PHV is 0 allocs.
+func TestStreamingFuzzZeroAllocsPerPHV(t *testing.T) {
+	for _, bm := range spec.All() {
+		for _, level := range []core.OptLevel{core.SCCPropagation, core.SCCInlining, core.Compiled} {
+			t.Run(bm.Name+"/"+level.String(), func(t *testing.T) {
+				pipe, err := bm.Pipeline(level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := bm.SimSpec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				containers, err := bm.CompareContainers()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := s.(sim.StreamSpec); !ok {
+					t.Fatalf("%s spec does not implement sim.StreamSpec", bm.Name)
+				}
+				f := sim.NewFuzzer(pipe)
+				fuzzAllocs(t, f, s, containers, bm.MaxInput, 64) // warm ring, arena, scratch maps
+				small := fuzzAllocs(t, f, s, containers, bm.MaxInput, 256)
+				large := fuzzAllocs(t, f, s, containers, bm.MaxInput, 2048)
+				if large > small+1 {
+					t.Errorf("allocations grow with packet count: %v for 256 PHVs, %v for 2048 (%.4f allocs/PHV)",
+						small, large, (large-small)/float64(2048-256))
+				}
+			})
+		}
+	}
+}

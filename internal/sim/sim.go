@@ -1,14 +1,24 @@
 // Package sim is dsim's RMT simulation component (§3.3 of the paper): it
 // drives PHVs from a traffic generator through a pipeline description tick
-// by tick, records input and output traces, and implements the fuzzing-based
-// compiler-testing workflow of Fig. 5 (pipeline output trace vs. high-level
-// specification output trace).
+// by tick and implements the fuzzing-based compiler-testing workflow of
+// Fig. 5 (pipeline output trace vs. high-level specification output trace).
 //
 // Tick semantics follow the paper: a PHV is modelled in two halves. At every
 // tick each occupied stage reads its PHV's read half and writes the result
 // into the write half of the next stage's PHV; at the start of the next tick
 // write halves become read halves. A PHV therefore traverses exactly one
 // stage per tick.
+//
+// The package offers two execution modes over the same tick loop:
+//
+//   - streaming (Stream, Fuzzer, FuzzGen): a preallocated ring of depth+1
+//     slot buffers is reused across ticks, traffic is generated directly
+//     into caller-owned buffers (TrafficGen.Fill) and outputs are compared
+//     in lock step, so a clean fuzzing shard performs O(1) allocation total
+//     regardless of packet count. This is the campaign engine's hot path.
+//   - recording (Run, RunOpts): input and output traces, and optionally
+//     per-tick state and slot snapshots, are materialized for callers that
+//     need them — the time-travel debugger and the trace-diffing tools.
 package sim
 
 import (
@@ -37,12 +47,20 @@ func NewTrafficGen(seed int64, phvLen int, bits phv.Width, max int64) *TrafficGe
 	return &TrafficGen{rng: rand.New(rand.NewSource(seed)), phvLen: phvLen, max: max}
 }
 
+// Fill writes one PHV's container values into the caller-owned dst buffer,
+// drawing exactly len(dst) values from the generator's stream. Filling a
+// phvLen-sized buffer consumes the stream identically to Next, so streaming
+// and trace-materializing consumers of the same seed see the same traffic.
+func (g *TrafficGen) Fill(dst []phv.Value) {
+	for i := range dst {
+		dst[i] = g.rng.Int63n(g.max)
+	}
+}
+
 // Next generates one PHV.
 func (g *TrafficGen) Next() *phv.PHV {
 	p := phv.New(g.phvLen)
-	for i := 0; i < g.phvLen; i++ {
-		p.Set(i, g.rng.Int63n(g.max))
-	}
+	g.Fill(p.Raw())
 	return p
 }
 
@@ -55,7 +73,144 @@ func (g *TrafficGen) Trace(n int) *phv.Trace {
 	return t
 }
 
-// RunOptions configures a simulation run.
+// Stream is the allocation-free tick-level simulation engine: a ring of
+// depth+1 slot buffers, preallocated once and reused across ticks. Slot i
+// holds the read half of the PHV about to execute stage i; slot Depth is
+// the completion slot. Admission copies into slot 0, stages execute back to
+// front so every PHV advances exactly one stage per tick, and a completed
+// PHV surfaces as a buffer owned by the Stream.
+//
+// For pipelines whose mux selections were validated at build time
+// (core.Pipeline.Prechecked) the stage loop uses the prechecked fast path,
+// which carries no map lookups, no per-ALU error returns and no bounds
+// re-validation. A Stream is not safe for concurrent use.
+type Stream struct {
+	p        *core.Pipeline
+	depth    int
+	phvLen   int
+	fast     bool
+	slots    [][]phv.Value // slots[i]: PHV waiting to execute stage i
+	occ      []bool
+	inFlight int
+	ticks    int
+}
+
+// NewStream returns a streaming engine over the pipeline. The ring is the
+// only allocation; every subsequent Tick is allocation-free.
+func NewStream(p *core.Pipeline) *Stream {
+	depth, phvLen := p.Depth(), p.PHVLen()
+	s := &Stream{p: p, depth: depth, phvLen: phvLen, fast: p.Prechecked()}
+	backing := make([]phv.Value, (depth+1)*phvLen)
+	s.slots = make([][]phv.Value, depth+1)
+	for i := range s.slots {
+		s.slots[i] = backing[i*phvLen : (i+1)*phvLen : (i+1)*phvLen]
+	}
+	s.occ = make([]bool, depth+1)
+	return s
+}
+
+// Depth returns the pipeline depth (the completion slot index).
+func (s *Stream) Depth() int { return s.depth }
+
+// PHVLen returns the container count of every slot buffer.
+func (s *Stream) PHVLen() int { return s.phvLen }
+
+// Ticks returns the number of completed ticks since the last Reset.
+func (s *Stream) Ticks() int { return s.ticks }
+
+// InFlight returns the number of admitted PHVs that have not yet completed.
+func (s *Stream) InFlight() int { return s.inFlight }
+
+// Slot returns the values occupying pipeline slot i (slot Depth is the
+// completion slot), or nil when the slot is empty. The slice is owned by
+// the Stream and valid until the next Tick or Reset; the debugger's
+// per-tick snapshots are built from it.
+func (s *Stream) Slot(i int) []phv.Value {
+	if !s.occ[i] {
+		return nil
+	}
+	return s.slots[i]
+}
+
+// Reset empties every slot and zeroes the tick counter. Pipeline state is
+// left alone; use core.Pipeline.ResetState for that.
+func (s *Stream) Reset() {
+	for i := range s.occ {
+		s.occ[i] = false
+	}
+	s.inFlight = 0
+	s.ticks = 0
+}
+
+// Tick advances the pipeline one tick. A non-nil in is admitted into stage
+// 0 (copied, so the caller keeps ownership; len(in) must be PHVLen). When a
+// PHV completes this tick its container values are returned in a buffer
+// owned by the Stream, valid until the next Tick or Reset; a nil result
+// means no PHV completed. Execution errors (possible only on pipelines for
+// which Prechecked is false) abort the tick.
+func (s *Stream) Tick(in []phv.Value) ([]phv.Value, error) {
+	// The completion slot is consumed at the start of the next tick, not at
+	// the end of the tick it surfaced, so snapshots taken between ticks
+	// still see the completed PHV (the debugger relies on this).
+	s.occ[s.depth] = false
+	if in != nil {
+		if len(in) != s.phvLen {
+			return nil, fmt.Errorf("sim: input PHV has %d containers, pipeline expects %d", len(in), s.phvLen)
+		}
+		copy(s.slots[0], in)
+		s.occ[0] = true
+		s.inFlight++
+	}
+	if s.fast {
+		if err := s.tickFast(); err != nil {
+			return nil, err
+		}
+	} else {
+		for si := s.depth - 1; si >= 0; si-- {
+			if !s.occ[si] {
+				continue
+			}
+			if err := s.p.ExecuteStage(si, s.slots[si], s.slots[si+1]); err != nil {
+				return nil, err
+			}
+			s.occ[si] = false
+			s.occ[si+1] = true
+		}
+	}
+	s.ticks++
+	if s.occ[s.depth] {
+		s.inFlight--
+		return s.slots[s.depth], nil
+	}
+	return nil, nil
+}
+
+// tickFast runs the back-to-front stage sweep on the prechecked path. One
+// recover guards the whole sweep, converting the (build-time impossible,
+// interpreter-guarded) evaluation panics back into the error ExecuteStage
+// would have returned.
+func (s *Stream) tickFast() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := core.AsExecError(r); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	for si := s.depth - 1; si >= 0; si-- {
+		if !s.occ[si] {
+			continue
+		}
+		s.p.ExecuteStageFast(si, s.slots[si], s.slots[si+1])
+		s.occ[si] = false
+		s.occ[si+1] = true
+	}
+	return nil
+}
+
+// RunOptions configures a recording simulation run.
 type RunOptions struct {
 	// RecordStates captures a state snapshot after every tick, enabling the
 	// time-travel inspection of pipeline state (§7's debugger direction).
@@ -67,7 +222,7 @@ type RunOptions struct {
 	RecordSlots bool
 }
 
-// Result is the outcome of one simulation run.
+// Result is the outcome of one recording simulation run.
 type Result struct {
 	Input      *phv.Trace
 	Output     *phv.Trace
@@ -85,61 +240,45 @@ type Result struct {
 
 // Run simulates the pipeline over the input trace tick by tick and returns
 // the output trace ("an output trace shows the modified PHVs and the state
-// vectors", §3.3). The input trace is not modified.
+// vectors", §3.3). The input trace is not modified. Run materializes the
+// full output trace; hot paths that only compare outputs should use the
+// streaming Fuzzer instead.
 func Run(p *core.Pipeline, input *phv.Trace) (*Result, error) {
 	return RunOpts(p, input, RunOptions{})
 }
 
 // RunOpts is Run with options.
 func RunOpts(p *core.Pipeline, input *phv.Trace, opts RunOptions) (*Result, error) {
-	depth := p.Depth()
 	phvLen := p.PHVLen()
 	res := &Result{Input: input, Output: phv.NewTrace()}
-
-	// slots[i] is the read half of the PHV waiting to be executed by stage
-	// i this tick; slots[depth] receives completed PHVs.
-	slots := make([][]phv.Value, depth+1)
-	nextIn := 0
-	occupied := 0
-
-	for tick := 0; nextIn < input.Len() || occupied > 0; tick++ {
+	st := NewStream(p)
+	for next := 0; next < input.Len() || st.InFlight() > 0; {
 		// Admit one PHV into the first pipeline stage per tick.
-		if nextIn < input.Len() {
-			if input.At(nextIn).Len() != phvLen {
-				return nil, fmt.Errorf("sim: input PHV %d has %d containers, pipeline expects %d", nextIn, input.At(nextIn).Len(), phvLen)
+		var in []phv.Value
+		if next < input.Len() {
+			if input.At(next).Len() != phvLen {
+				return nil, fmt.Errorf("sim: input PHV %d has %d containers, pipeline expects %d", next, input.At(next).Len(), phvLen)
 			}
-			slots[0] = input.At(nextIn).Values()
-			nextIn++
-			occupied++
+			in = input.At(next).Raw()
+			next++
 		}
-		// Execute stages back to front so every PHV advances exactly one
-		// stage: the write half of tick t becomes the read half of t+1.
-		for si := depth - 1; si >= 0; si-- {
-			if slots[si] == nil {
-				continue
-			}
-			out := make([]phv.Value, phvLen)
-			if err := p.ExecuteStage(si, slots[si], out); err != nil {
-				return nil, fmt.Errorf("sim: tick %d: %w", tick, err)
-			}
-			slots[si] = nil
-			slots[si+1] = out
+		out, err := st.Tick(in)
+		if err != nil {
+			return nil, fmt.Errorf("sim: tick %d: %w", st.Ticks(), err)
 		}
 		if opts.RecordSlots {
-			snap := make([][]phv.Value, depth+1)
-			for i, s := range slots {
-				if s != nil {
+			snap := make([][]phv.Value, st.Depth()+1)
+			for i := range snap {
+				if s := st.Slot(i); s != nil {
 					snap[i] = append([]phv.Value(nil), s...)
 				}
 			}
 			res.SlotHistory = append(res.SlotHistory, snap)
 		}
-		if slots[depth] != nil {
-			res.Output.Append(phv.FromValues(slots[depth]))
-			slots[depth] = nil
-			occupied--
+		if out != nil {
+			res.Output.Append(phv.FromValues(out))
 		}
-		res.Ticks = tick + 1
+		res.Ticks = st.Ticks()
 		if opts.RecordStates {
 			res.StateHistory = append(res.StateHistory, p.StateSnapshot())
 		}
@@ -159,6 +298,18 @@ type Spec interface {
 	Process(in *phv.PHV) (*phv.PHV, error)
 	// Reset clears all internal state.
 	Reset()
+}
+
+// StreamSpec is an optional extension of Spec for specifications that can
+// process a packet's container values in place, without allocating. The
+// streaming Fuzzer uses it to keep clean shards allocation-free; plain
+// Specs fall back to Process on a reusable wrapper PHV (correct, but the
+// Process implementation usually allocates its output).
+type StreamSpec interface {
+	Spec
+	// ProcessStream overwrites vals with the expected output values for
+	// the next input PHV. It must not retain vals across calls.
+	ProcessStream(vals []phv.Value) error
 }
 
 // SpecFunc adapts a stateless transformation function to the Spec interface.
@@ -201,7 +352,7 @@ type FuzzOptions struct {
 // FuzzReport is the outcome of one fuzzing session.
 type FuzzReport struct {
 	SpecName string
-	Checked  int  // PHVs compared
+	Checked  int  // PHVs compared (including a mismatching one)
 	Passed   bool // true when every PHV matched
 
 	// On failure:
@@ -235,25 +386,31 @@ func Fuzz(p *core.Pipeline, spec Spec, input *phv.Trace, opts FuzzOptions) (*Fuz
 	if err != nil {
 		return nil, err
 	}
-	report := &FuzzReport{SpecName: batch.SpecName, FailIndex: -1, Err: batch.Err}
+	return fuzzReportOf(batch), nil
+}
+
+// fuzzReportOf condenses a BatchReport into the single-mismatch FuzzReport.
+// Checked counts every PHV compared, including a mismatching one (so a
+// first-packet mismatch reports Checked=1, FailIndex=0).
+func fuzzReportOf(batch *BatchReport) *FuzzReport {
+	report := &FuzzReport{SpecName: batch.SpecName, Checked: batch.Checked, FailIndex: -1, Err: batch.Err}
 	if report.Err != nil {
-		return report, nil
+		return report
 	}
 	if len(batch.Mismatches) > 0 {
 		m := batch.Mismatches[0]
-		report.Checked = m.Index
+		report.Checked = m.Index + 1
 		report.FailIndex = m.Index
 		report.Input = m.Input
 		report.Got = m.Got
 		report.Want = m.Want
-		return report, nil
+		return report
 	}
-	report.Checked = batch.Checked
 	report.Passed = true
-	return report, nil
+	return report
 }
 
-// Mismatch is one diverging PHV found by FuzzBatch: the pipeline and the
+// Mismatch is one diverging PHV found by the fuzzer: the pipeline and the
 // specification disagreed on the trace entry at Index.
 type Mismatch struct {
 	Index int      // position in the input trace
@@ -267,13 +424,13 @@ func (m *Mismatch) String() string {
 	return fmt.Sprintf("PHV %d: input %s: pipeline %s, spec %s", m.Index, m.Input, m.Got, m.Want)
 }
 
-// BatchReport is the outcome of FuzzBatch: the whole-trace variant of
-// FuzzReport consumed by the campaign engine, which keeps scanning past the
-// first divergence so counterexamples can be aggregated and deduplicated
-// across shards.
+// BatchReport is the outcome of a whole-stream fuzzing comparison: the
+// multi-mismatch variant of FuzzReport consumed by the campaign engine,
+// which keeps scanning past the first divergence so counterexamples can be
+// aggregated and deduplicated across shards.
 type BatchReport struct {
 	SpecName   string
-	Checked    int // PHVs compared (the full trace unless simulation failed)
+	Checked    int // PHVs compared (the full stream unless simulation failed)
 	Ticks      int // pipeline ticks consumed by the run
 	Mismatches []Mismatch
 	Err        error // non-nil when simulation itself failed
@@ -282,61 +439,189 @@ type BatchReport struct {
 // Passed reports whether the batch found no divergence and no error.
 func (r *BatchReport) Passed() bool { return r.Err == nil && len(r.Mismatches) == 0 }
 
+// Fuzzer runs the Fig. 5 comparison as a lock-step stream over reusable
+// buffers: packet i is generated into a ring slot and, on the tick of its
+// admission, processed by the specification; the expected output then waits
+// in the ring until the pipeline's output for packet i emerges depth-1
+// ticks later and the two are compared. PHVs are cloned only for
+// mismatches, so a clean run performs O(1) allocation total — for
+// StreamSpec specifications, zero steady-state allocations per PHV.
+//
+// A Fuzzer is bound to one pipeline and reusable across runs (the campaign
+// engine keeps one per worker per job). It is not safe for concurrent use.
+type Fuzzer struct {
+	pipe   *core.Pipeline
+	stream *Stream
+	win    int           // ring window: depth+1 in-flight packets
+	inputs [][]phv.Value // input i lives at slot i%win until compared
+	want   [][]phv.Value // expected output i, same slot discipline
+	specIn *phv.PHV      // reusable wrapper for non-streaming specs
+}
+
+// NewFuzzer returns a streaming fuzzer over the pipeline. The ring buffers
+// are the only allocations; they are reused by every subsequent Fuzz run.
+func NewFuzzer(p *core.Pipeline) *Fuzzer {
+	f := &Fuzzer{pipe: p, stream: NewStream(p), win: p.Depth() + 1}
+	phvLen := p.PHVLen()
+	backing := make([]phv.Value, 2*f.win*phvLen)
+	f.inputs = make([][]phv.Value, f.win)
+	f.want = make([][]phv.Value, f.win)
+	for i := 0; i < f.win; i++ {
+		f.inputs[i] = backing[i*phvLen : (i+1)*phvLen : (i+1)*phvLen]
+		// want slots start empty; they are refilled by append so a spec
+		// returning a wrong-length PHV is caught by the comparison.
+		base := (f.win + i) * phvLen
+		f.want[i] = backing[base : base : base+phvLen]
+	}
+	f.specIn = phv.New(phvLen)
+	return f
+}
+
+// Pipeline returns the pipeline the fuzzer is bound to.
+func (f *Fuzzer) Pipeline() *core.Pipeline { return f.pipe }
+
+// FuzzGen runs the streaming comparison over n PHVs drawn from gen.
+func (f *Fuzzer) FuzzGen(spec Spec, gen *TrafficGen, n int, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
+	return f.Fuzz(spec, n, func(dst []phv.Value) error {
+		gen.Fill(dst)
+		return nil
+	}, opts, maxMismatches)
+}
+
+// Fuzz runs the lock-step comparison over n input PHVs produced by next,
+// which must fill the PHVLen-sized buffer it is handed (an error from next
+// is recorded as a simulation finding, like a malformed trace entry).
+// Collection stops after maxMismatches diverging PHVs (0 = unbounded). The
+// pipeline's state, the stream and the specification are reset first. Like
+// Fuzz, simulation failures land in BatchReport.Err; only harness misuse
+// returns a non-nil error.
+func (f *Fuzzer) Fuzz(spec Spec, n int, next func(dst []phv.Value) error, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
+	if n <= 0 {
+		return nil, errors.New("sim: empty input trace")
+	}
+	report := &BatchReport{SpecName: spec.Name()}
+	f.pipe.ResetState()
+	f.stream.Reset()
+	spec.Reset()
+	ss, streaming := spec.(StreamSpec)
+	fed, compared := 0, 0
+	finish := func() *BatchReport {
+		report.Checked = compared
+		report.Ticks = f.stream.Ticks()
+		return report
+	}
+	for fed < n || f.stream.InFlight() > 0 {
+		var in []phv.Value
+		if fed < n {
+			slot := fed % f.win
+			in = f.inputs[slot]
+			if err := next(in); err != nil {
+				report.Err = err
+				return finish(), nil
+			}
+			// Lock step: the spec consumes packet i on the tick of its
+			// admission, so spec state advances in packet order.
+			if streaming {
+				f.want[slot] = append(f.want[slot][:0], in...)
+				if err := ss.ProcessStream(f.want[slot]); err != nil {
+					return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), fed, err)
+				}
+			} else {
+				copy(f.specIn.Raw(), in)
+				out, err := spec.Process(f.specIn)
+				if err != nil {
+					return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), fed, err)
+				}
+				f.want[slot] = append(f.want[slot][:0], out.Raw()...)
+			}
+			fed++
+		}
+		out, err := f.stream.Tick(in)
+		if err != nil {
+			report.Err = fmt.Errorf("sim: tick %d: %w", f.stream.Ticks(), err)
+			return finish(), nil
+		}
+		if out == nil {
+			continue
+		}
+		slot := compared % f.win
+		if !equalVals(out, f.want[slot], opts.Containers) {
+			report.Mismatches = append(report.Mismatches, Mismatch{
+				Index: compared,
+				Input: phv.FromValues(f.inputs[slot]),
+				Got:   phv.FromValues(out),
+				Want:  phv.FromValues(f.want[slot]),
+			})
+			if maxMismatches > 0 && len(report.Mismatches) >= maxMismatches {
+				compared++
+				return finish(), nil
+			}
+		}
+		compared++
+	}
+	return finish(), nil
+}
+
 // FuzzBatch runs the Fig. 5 comparison over the full input trace, collecting
 // up to maxMismatches diverging PHVs (0 = unbounded) instead of stopping at
 // the first. The pipeline's state is reset first. Like Fuzz, simulation
-// failures are findings (BatchReport.Err), not harness errors.
+// failures are findings (BatchReport.Err), not harness errors. FuzzBatch
+// streams the trace through a fresh Fuzzer; callers that run many batches
+// over one pipeline should hold a Fuzzer and feed it directly.
 func FuzzBatch(p *core.Pipeline, spec Spec, input *phv.Trace, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
 	if input.Len() == 0 {
 		return nil, errors.New("sim: empty input trace")
 	}
-	report := &BatchReport{SpecName: spec.Name()}
-	p.ResetState()
-	simRes, err := Run(p, input)
-	if err != nil {
-		report.Err = err
-		return report, nil
+	phvLen := p.PHVLen()
+	i := 0
+	next := func(dst []phv.Value) error {
+		in := input.At(i)
+		if in.Len() != phvLen {
+			return fmt.Errorf("sim: input PHV %d has %d containers, pipeline expects %d", i, in.Len(), phvLen)
+		}
+		copy(dst, in.Raw())
+		i++
+		return nil
 	}
-	report.Ticks = simRes.Ticks
-	specOut, err := RunSpec(spec, input)
+	return NewFuzzer(p).Fuzz(spec, input.Len(), next, opts, maxMismatches)
+}
+
+// FuzzGen is the streaming form of FuzzBatch: n PHVs are drawn from gen
+// directly into the fuzzer's ring, so no input trace is ever materialized.
+func FuzzGen(p *core.Pipeline, spec Spec, gen *TrafficGen, n int, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
+	if n <= 0 {
+		return nil, errors.New("sim: empty input trace")
+	}
+	return NewFuzzer(p).FuzzGen(spec, gen, n, opts, maxMismatches)
+}
+
+// FuzzRandom drives the streaming fuzzer with n PHVs from a fresh traffic
+// generator and condenses the outcome to a first-mismatch FuzzReport.
+func FuzzRandom(p *core.Pipeline, spec Spec, seed int64, n int, maxValue int64, opts FuzzOptions) (*FuzzReport, error) {
+	gen := NewTrafficGen(seed, p.PHVLen(), p.Bits(), maxValue)
+	batch, err := FuzzGen(p, spec, gen, n, opts, 1)
 	if err != nil {
 		return nil, err
 	}
-	if simRes.Output.Len() != specOut.Len() {
-		report.Err = fmt.Errorf("output trace lengths differ: pipeline %d, spec %d", simRes.Output.Len(), specOut.Len())
-		return report, nil
+	return fuzzReportOf(batch), nil
+}
+
+// equalVals compares two value vectors on the selected containers (nil =
+// every container). Vectors of different lengths never compare equal.
+func equalVals(got, want []phv.Value, containers []int) bool {
+	if len(got) != len(want) {
+		return false
 	}
-	for i := 0; i < input.Len(); i++ {
-		got, want := simRes.Output.At(i), specOut.At(i)
-		if !equalOn(got, want, opts.Containers) {
-			report.Mismatches = append(report.Mismatches, Mismatch{
-				Index: i,
-				Input: input.At(i).Clone(),
-				Got:   got.Clone(),
-				Want:  want.Clone(),
-			})
-			if maxMismatches > 0 && len(report.Mismatches) >= maxMismatches {
-				report.Checked = i + 1
-				return report, nil
+	if containers == nil {
+		for i := range got {
+			if got[i] != want[i] {
+				return false
 			}
 		}
-	}
-	report.Checked = input.Len()
-	return report, nil
-}
-
-// FuzzRandom drives Fuzz with n PHVs from a fresh traffic generator.
-func FuzzRandom(p *core.Pipeline, spec Spec, seed int64, n int, maxValue int64, opts FuzzOptions) (*FuzzReport, error) {
-	gen := NewTrafficGen(seed, p.PHVLen(), p.Bits(), maxValue)
-	return Fuzz(p, spec, gen.Trace(n), opts)
-}
-
-func equalOn(a, b *phv.PHV, containers []int) bool {
-	if containers == nil {
-		return a.Equal(b)
+		return true
 	}
 	for _, c := range containers {
-		if a.Get(c) != b.Get(c) {
+		if got[c] != want[c] {
 			return false
 		}
 	}
