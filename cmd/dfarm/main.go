@@ -1,17 +1,20 @@
 // dfarm runs parallel fuzzing campaigns: the Fig. 5 compiler-testing
-// workflow fanned out over a job matrix (benchmark × optimization level ×
-// seed) on a bounded worker pool. Each job's pipeline is built once, its
-// packet budget is sharded into deterministically sub-seeded chunks, and
-// shard results merge into a report that is byte-identical for every
-// -workers value — so campaign output can be diffed across machines and
-// runs.
+// workflow fanned out over a job matrix on a bounded worker pool. Each
+// job's target is built once, its packet budget is sharded into
+// deterministically sub-seeded chunks, and shard results merge into a
+// report that is byte-identical for every -workers value — so campaign
+// output can be diffed across machines and runs.
 //
-// By default dfarm sweeps the full Table-1 benchmark matrix over all four
-// engines (unoptimized, scc, scc+inline, compiled):
+// Two architectures are available as job targets. -arch rmt (the default)
+// sweeps the Table-1 benchmark matrix over all four pipeline engines
+// (unoptimized, scc, scc+inline, compiled); -arch drmt sweeps the dRMT
+// benchmark set, fuzzing the ISA-level machine (§7) against the
+// interpreted mini-P4 semantics (§4); -arch all runs both.
 //
 //	dfarm -packets 50000 -workers 8
 //	dfarm -run flowlets -levels scc+inline,compiled -seeds 1,2,3 -json report.json
-//	dfarm -failfast -timing
+//	dfarm -arch drmt -packets 20000
+//	dfarm -arch all -failfast -timing
 //
 // Exit status: 0 when every job passes; 1 when any job fails (mismatch,
 // simulation error or abort) or on usage errors.
@@ -30,11 +33,13 @@ import (
 	"druzhba/internal/campaign"
 	"druzhba/internal/cli"
 	"druzhba/internal/core"
+	"druzhba/internal/drmt"
 	"druzhba/internal/spec"
 )
 
 func main() {
 	fs := flag.NewFlagSet("dfarm", flag.ExitOnError)
+	arch := fs.String("arch", "rmt", "architectures to campaign over: rmt, drmt or all")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	packets := fs.Int("packets", 50000, "random PHVs per job (the paper's workload is 50000)")
 	shard := fs.Int("shard", 4096, "packets per shard (part of the campaign's identity; changing it changes the traffic)")
@@ -50,12 +55,14 @@ func main() {
 		cli.Fatalf("dfarm: unexpected argument %q (all options are flags)", fs.Arg(0))
 	}
 
-	benchmarks := spec.Match(*run)
-	if len(benchmarks) == 0 {
-		cli.Fatalf("dfarm: -run %q matches no benchmark (have %v)", *run, spec.Names())
+	if *arch != "rmt" && *arch != "drmt" && *arch != "all" {
+		cli.Fatalf("dfarm: -arch %q (want rmt, drmt or all)", *arch)
 	}
 	var optLevels []core.OptLevel
 	if *levels != "" {
+		if *arch == "drmt" {
+			cli.Fatalf("dfarm: -levels applies to the rmt architecture only")
+		}
 		for _, name := range strings.Split(*levels, ",") {
 			lvl, err := cli.ParseLevel(strings.TrimSpace(name))
 			if err != nil {
@@ -73,9 +80,35 @@ func main() {
 		seedList = append(seedList, v)
 	}
 
-	jobs, err := campaign.Matrix(benchmarks, optLevels, seedList, *packets)
-	if err != nil {
-		cli.Fatalf("dfarm: %v", err)
+	var jobs []campaign.Job
+	if *arch == "rmt" || *arch == "all" {
+		benchmarks := spec.Match(*run)
+		if len(benchmarks) == 0 && *arch == "rmt" {
+			cli.Fatalf("dfarm: -run %q matches no rmt benchmark (have %v)", *run, spec.Names())
+		}
+		if len(benchmarks) > 0 {
+			rmtJobs, err := campaign.Matrix(benchmarks, optLevels, seedList, *packets)
+			if err != nil {
+				cli.Fatalf("dfarm: %v", err)
+			}
+			jobs = append(jobs, rmtJobs...)
+		}
+	}
+	if *arch == "drmt" || *arch == "all" {
+		benchmarks := drmt.MatchBenchmarks(*run)
+		if len(benchmarks) == 0 && *arch == "drmt" {
+			cli.Fatalf("dfarm: -run %q matches no dRMT benchmark (have %v)", *run, drmt.BenchmarkNames())
+		}
+		if len(benchmarks) > 0 {
+			drmtJobs, err := campaign.DRMTMatrix(benchmarks, seedList, *packets)
+			if err != nil {
+				cli.Fatalf("dfarm: %v", err)
+			}
+			jobs = append(jobs, drmtJobs...)
+		}
+	}
+	if len(jobs) == 0 {
+		cli.Fatalf("dfarm: -run %q matches no benchmark in any architecture", *run)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -210,8 +210,10 @@ func FuzzPipeline(p *Pipeline, spec Spec, seed int64, n int, maxValue int64, con
 	return sim.FuzzRandom(p, spec, seed, n, maxValue, sim.FuzzOptions{Containers: containers})
 }
 
-// CampaignJob is one cell of a campaign matrix: a pipeline configuration
-// under test plus the specification and traffic that test it.
+// CampaignJob is one cell of a campaign matrix: an architecture-specific
+// target under test (an RMT pipeline against a high-level specification,
+// or a dRMT ISA machine against the interpreted mini-P4 semantics) plus
+// the traffic that tests it.
 type CampaignJob = campaign.Job
 
 // CampaignOptions configures a campaign run (worker pool size, shard size,
@@ -236,6 +238,24 @@ func RunCampaign(ctx context.Context, jobs []CampaignJob, opts CampaignOptions) 
 // packets PHVs each.
 func Table1Campaign(packets int) ([]CampaignJob, error) {
 	return campaign.Table1Matrix(packets)
+}
+
+// DRMTCampaign builds the default dRMT job matrix (dfarm -arch drmt):
+// every registered dRMT benchmark, packets packets each, fuzzing the
+// ISA-level machine (§7) against the interpreted mini-P4 semantics (§4).
+func DRMTCampaign(packets int) ([]CampaignJob, error) {
+	return campaign.DRMTDefaultMatrix(packets)
+}
+
+// RunDRMTCampaign executes the default dRMT campaign: DRMTCampaign's job
+// matrix under RunCampaign's deterministic sharded engine. The report is
+// byte-identical for every worker count.
+func RunDRMTCampaign(ctx context.Context, packets int, opts CampaignOptions) (*CampaignReport, error) {
+	jobs, err := DRMTCampaign(packets)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Run(ctx, jobs, opts)
 }
 
 // SynthesizeOptions configures Synthesize.

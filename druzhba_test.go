@@ -1,6 +1,7 @@
 package druzhba_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -123,6 +124,21 @@ pipeline_stage_1_output_mux_phv_0 = 1
 	}
 	if !rep.Passed {
 		t.Errorf("sampling fuzz failed: %s", rep)
+	}
+}
+
+func TestFacadeRunDRMTCampaign(t *testing.T) {
+	rep, err := druzhba.RunDRMTCampaign(context.Background(), 500, druzhba.CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed || len(rep.Jobs) < 3 {
+		t.Fatalf("dRMT campaign: passed=%v jobs=%d:\n%s", rep.Passed, len(rep.Jobs), rep.Text(false))
+	}
+	for i := range rep.Jobs {
+		if rep.Jobs[i].Arch != "drmt" {
+			t.Fatalf("job %s arch = %q, want drmt", rep.Jobs[i].Name, rep.Jobs[i].Arch)
+		}
 	}
 }
 

@@ -1,17 +1,19 @@
 // Package campaign is dfarm's parallel fuzzing-campaign engine: the
-// orchestration layer above the per-trace Fig. 5 workflow of package sim.
+// orchestration layer above the per-trace Fig. 5 workflow of package sim
+// and the dRMT differential loop of package drmt.
 //
-// A campaign is a matrix of jobs — hardware spec × machine code × spec
-// program × optimization level × seed — each asking for N random PHVs to be
-// pushed through both the simulated pipeline and the high-level
-// specification. The engine
+// A campaign is a matrix of jobs, each pairing a Target — an architecture
+// under test: an RMT pipeline fuzzed against a high-level specification,
+// or a dRMT ISA machine fuzzed against the interpreted mini-P4 semantics —
+// with a traffic seed and a packet budget. The engine
 //
-//   - builds every job's pipeline exactly once,
+//   - builds every job's target exactly once,
 //   - shards each job's N packets into fixed-size chunks whose traffic
 //     seeds are derived deterministically from the job seed and the shard
 //     index,
-//   - executes shards on a bounded worker pool, each worker running a
-//     core.Pipeline.Clone() so no mutable ALU state is ever shared,
+//   - executes shards on a bounded worker pool, each worker holding a
+//     private runner (cloned machines, reusable ring buffers) so no
+//     mutable state is ever shared,
 //   - merges shard results in (job, shard) order into a report that is
 //     bit-identical regardless of the worker count.
 //
@@ -24,53 +26,36 @@ package campaign
 import (
 	"fmt"
 	"runtime"
-
-	"druzhba/internal/core"
-	"druzhba/internal/machinecode"
-	"druzhba/internal/sim"
 )
 
-// Job is one cell of the campaign matrix: a pipeline configuration under
-// test plus the specification and traffic that test it.
+// Job is one cell of the campaign matrix: an architecture-specific target
+// under test plus the traffic that tests it.
 type Job struct {
 	// Name identifies the job in reports; it must be unique and non-empty.
 	Name string
 
-	// Spec, Code and Level describe the pipeline under test; the engine
-	// builds it once per job.
-	Spec  core.Spec
-	Code  *machinecode.Program
-	Level core.OptLevel
+	// Target is the system under test; the engine builds it once per job.
+	Target Target
 
-	// NewSpec returns a fresh high-level specification instance. Each
-	// worker calls it once per job it touches and reuses the instance
-	// across that job's shards (the fuzzer resets it between shards);
-	// because workers run concurrently the factory must be safe for
-	// concurrent use, and instances it returns must not share mutable
-	// state.
-	NewSpec func() (sim.Spec, error)
-
-	// Containers restricts the output comparison to these PHV container
-	// indices (nil compares every container).
-	Containers []int
-
-	// Seed is the job's base traffic seed; shard s draws its PHVs from a
-	// generator seeded with a value derived from (Seed, s).
+	// Seed is the job's base traffic seed; shard s draws its packets from
+	// a generator seeded with a value derived from (Seed, s).
 	Seed int64
 
-	// Packets is the number of random PHVs to push through the job.
+	// Packets is the number of random packets to push through the job.
 	Packets int
-
-	// MaxInput bounds traffic-generator values (0 = full datapath width).
-	MaxInput int64
 }
 
 func (j *Job) validate() error {
 	if j.Name == "" {
 		return fmt.Errorf("campaign: job has no name")
 	}
-	if j.NewSpec == nil {
-		return fmt.Errorf("campaign: job %q has no specification factory", j.Name)
+	if j.Target == nil {
+		return fmt.Errorf("campaign: job %q has no target", j.Name)
+	}
+	if v, ok := j.Target.(interface{ validate() error }); ok {
+		if err := v.validate(); err != nil {
+			return fmt.Errorf("campaign: job %q: %w", j.Name, err)
+		}
 	}
 	if j.Packets < 1 {
 		return fmt.Errorf("campaign: job %q asks for %d packets", j.Name, j.Packets)

@@ -52,20 +52,22 @@ func brokenJob(t *testing.T, name string, packets int) Job {
 		t.Fatal(err)
 	}
 	return Job{
-		Name:  name,
-		Spec:  cspec,
-		Code:  code,
-		Level: core.SCCInlining,
-		NewSpec: func() (sim.Spec, error) {
-			return &sim.SpecFunc{SpecName: "always-12345", Fn: func(in *phv.PHV) (*phv.PHV, error) {
-				out := in.Clone()
-				out.Set(0, 12345)
-				return out, nil
-			}}, nil
+		Name: name,
+		Target: &PipelineTarget{
+			Spec:  cspec,
+			Code:  code,
+			Level: core.SCCInlining,
+			NewSpec: func() (sim.Spec, error) {
+				return &sim.SpecFunc{SpecName: "always-12345", Fn: func(in *phv.PHV) (*phv.PHV, error) {
+					out := in.Clone()
+					out.Set(0, 12345)
+					return out, nil
+				}}, nil
+			},
+			Containers: []int{0},
 		},
-		Containers: []int{0},
-		Seed:       7,
-		Packets:    packets,
+		Seed:    7,
+		Packets: packets,
 	}
 }
 
@@ -193,21 +195,23 @@ func TestCounterexampleDedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	job := Job{
-		Name:  "constant-divergence",
-		Spec:  cspec,
-		Code:  code,
-		Level: core.SCCInlining,
-		NewSpec: func() (sim.Spec, error) {
-			return &sim.SpecFunc{SpecName: "const", Fn: func(in *phv.PHV) (*phv.PHV, error) {
-				out := in.Clone()
-				out.Set(0, 1)
-				return out, nil
-			}}, nil
+		Name: "constant-divergence",
+		Target: &PipelineTarget{
+			Spec:  cspec,
+			Code:  code,
+			Level: core.SCCInlining,
+			NewSpec: func() (sim.Spec, error) {
+				return &sim.SpecFunc{SpecName: "const", Fn: func(in *phv.PHV) (*phv.PHV, error) {
+					out := in.Clone()
+					out.Set(0, 1)
+					return out, nil
+				}}, nil
+			},
+			Containers: []int{0},
+			MaxInput:   1, // every generated value is 0: identical inputs everywhere
 		},
-		Containers: []int{0},
-		Seed:       3,
-		Packets:    2048,
-		MaxInput:   1, // every generated value is 0: identical inputs everywhere
+		Seed:    3,
+		Packets: 2048,
 	}
 	rep, err := Run(context.Background(), []Job{job}, Options{Workers: 4, ShardSize: 128, MaxCounterexamples: 100})
 	if err != nil {
@@ -239,30 +243,32 @@ func TestDistinctCounterexamplesSurviveDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	job := Job{
-		Name:  "two-failure-modes",
-		Spec:  cspec,
-		Code:  code,
-		Level: core.SCCInlining,
-		NewSpec: func() (sim.Spec, error) {
-			// Inputs are all zero (MaxInput=1) and the expected value
-			// switches after the third packet, so the first failure mode
-			// repeats before the second ever appears.
-			k := 0
-			return &sim.SpecFunc{SpecName: "two-modes", Fn: func(in *phv.PHV) (*phv.PHV, error) {
-				out := in.Clone()
-				k++
-				if k <= 3 {
-					out.Set(0, 100)
-				} else {
-					out.Set(0, 200)
-				}
-				return out, nil
-			}}, nil
+		Name: "two-failure-modes",
+		Target: &PipelineTarget{
+			Spec:  cspec,
+			Code:  code,
+			Level: core.SCCInlining,
+			NewSpec: func() (sim.Spec, error) {
+				// Inputs are all zero (MaxInput=1) and the expected value
+				// switches after the third packet, so the first failure mode
+				// repeats before the second ever appears.
+				k := 0
+				return &sim.SpecFunc{SpecName: "two-modes", Fn: func(in *phv.PHV) (*phv.PHV, error) {
+					out := in.Clone()
+					k++
+					if k <= 3 {
+						out.Set(0, 100)
+					} else {
+						out.Set(0, 200)
+					}
+					return out, nil
+				}}, nil
+			},
+			Containers: []int{0},
+			MaxInput:   1,
 		},
-		Containers: []int{0},
-		Seed:       1,
-		Packets:    64,
-		MaxInput:   1,
+		Seed:    1,
+		Packets: 64,
 	}
 	rep, err := Run(context.Background(), []Job{job}, Options{Workers: 1, ShardSize: 64, MaxCounterexamples: 2})
 	if err != nil {
@@ -285,8 +291,9 @@ func TestCampaignCancellation(t *testing.T) {
 	defer cancel()
 	var once sync.Once
 	for i := range jobs {
-		inner := jobs[i].NewSpec
-		jobs[i].NewSpec = func() (sim.Spec, error) {
+		pt := jobs[i].Target.(*PipelineTarget)
+		inner := pt.NewSpec
+		pt.NewSpec = func() (sim.Spec, error) {
 			once.Do(cancel)
 			return inner()
 		}
@@ -363,7 +370,7 @@ func TestBuildFailureIsAFinding(t *testing.T) {
 	bad := code.Clone()
 	bad.Delete(bad.Names()[0]) // now incompatible with the pipeline
 	job := brokenJob(t, "unbuildable", 100)
-	job.Code = bad
+	job.Target.(*PipelineTarget).Code = bad
 	rep, err := Run(context.Background(), []Job{job}, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -386,13 +393,18 @@ func TestRunValidatesJobs(t *testing.T) {
 		t.Fatal("duplicate job names accepted")
 	}
 	bad := brokenJob(t, "x", 10)
-	bad.NewSpec = nil
+	bad.Target.(*PipelineTarget).NewSpec = nil
 	if _, err := Run(context.Background(), []Job{bad}, Options{}); err == nil {
 		t.Fatal("job without spec factory accepted")
 	}
 	bad = brokenJob(t, "y", 0)
 	if _, err := Run(context.Background(), []Job{bad}, Options{}); err == nil {
 		t.Fatal("zero-packet job accepted")
+	}
+	bad = brokenJob(t, "z", 10)
+	bad.Target = nil
+	if _, err := Run(context.Background(), []Job{bad}, Options{}); err == nil {
+		t.Fatal("job without target accepted")
 	}
 }
 

@@ -5,21 +5,7 @@ import (
 	"errors"
 	"sync"
 	"time"
-
-	"druzhba/internal/core"
-	"druzhba/internal/sim"
 )
-
-// shardResult is the outcome of one shard: a pure function of
-// (job, shard index), independent of which worker ran it and when.
-type shardResult struct {
-	checked    int
-	ticks      int
-	mismatches []sim.Mismatch
-	err        error // harness or simulation failure
-}
-
-func (r *shardResult) failed() bool { return r.err != nil || len(r.mismatches) > 0 }
 
 // task addresses one shard of one job. The shard's global packet range is
 // implied by (shard, Options.ShardSize); merge derives counterexample
@@ -52,21 +38,22 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 	}
 	start := time.Now()
 
-	// Build every pipeline once, up front. A failed build is a test
-	// finding (machine code incompatible with the pipeline — the paper's
-	// §5.2 first failure class), not a harness error. Cancellation mid-way
-	// leaves the remaining jobs unbuilt; merge reports them as aborted.
-	masters := make([]*core.Pipeline, len(jobs))
+	// Build every target once, up front. A failed build is a test finding
+	// (configuration incompatible with the architecture model — the
+	// paper's §5.2 first failure class), not a harness error. Cancellation
+	// mid-way leaves the remaining jobs unbuilt; merge reports them as
+	// aborted.
+	masters := make([]Instance, len(jobs))
 	buildErrs := make([]error, len(jobs))
 	for i := range jobs {
 		if ctx.Err() != nil {
 			break
 		}
-		masters[i], buildErrs[i] = core.Build(jobs[i].Spec, jobs[i].Code, jobs[i].Level)
+		masters[i], buildErrs[i] = jobs[i].Target.Build()
 	}
 
 	// Shard plan. results[j][s] is written by exactly one worker.
-	results := make([][]*shardResult, len(jobs))
+	results := make([][]*ShardResult, len(jobs))
 	var tasks []task
 	for j := range jobs {
 		if masters[j] == nil {
@@ -74,7 +61,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		}
 		n := jobs[j].Packets
 		shards := (n + o.ShardSize - 1) / o.ShardSize
-		results[j] = make([]*shardResult, shards)
+		results[j] = make([]*ShardResult, shards)
 		for s := 0; s < shards; s++ {
 			size := o.ShardSize
 			if rem := n - s*o.ShardSize; rem < size {
@@ -95,12 +82,11 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Worker-local streaming state, built lazily per job: a fuzzer
-			// over a private pipeline clone (ring buffers reused across
-			// every shard of the job this worker runs) and one spec
-			// instance, reset by the fuzzer between shards. Tasks arrive
+			// Worker-local runner, built lazily per job: a private clone of
+			// the job's machinery (ring buffers, spec instances) reused
+			// across every shard of the job this worker runs. Tasks arrive
 			// job-major off one channel, so each worker sees nondecreasing
-			// job indices and a single cached state suffices — peak memory
+			// job indices and a single cached runner suffices — peak memory
 			// stays one clone per worker, not one per (worker, job). Shard
 			// results stay pure functions of (job, shard), so reuse cannot
 			// break report determinism.
@@ -111,7 +97,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 					continue // drain without running
 				}
 				if t.job != wsJob {
-					ws = newWorkerState(&jobs[t.job], masters[t.job])
+					ws = newWorkerState(masters[t.job])
 					wsJob = t.job
 				}
 				res := runShard(&jobs[t.job], ws, t)
@@ -136,54 +122,39 @@ feed:
 
 	report := merge(jobs, buildErrs, results, o)
 	report.StoppedEarly = stoppedEarly || ctx.Err() != nil
+	// One elapsed measurement derives both timing figures, so the reported
+	// throughput corresponds exactly to the reported elapsed time.
+	elapsed := time.Since(start)
 	report.Timing = &Timing{
 		Workers:    o.Workers,
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1e3,
-		PHVsPerSec: float64(report.TotalChecked) / time.Since(start).Seconds(),
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
+		PHVsPerSec: float64(report.TotalChecked) / elapsed.Seconds(),
 	}
 	return report, ctx.Err()
 }
 
-// workerState is one worker's reusable streaming machinery for one job: a
-// fuzzer over a private pipeline clone plus a spec instance. Building it
-// can fail (spec factories may error); the failure is replayed as the
-// result of every shard the worker picks up for that job.
+// workerState is one worker's reusable runner for one job. Building it can
+// fail (spec factories may error); the failure is replayed as the result
+// of every shard the worker picks up for that job.
 type workerState struct {
-	fuzzer *sim.Fuzzer
-	spec   sim.Spec
+	runner Runner
 	err    error
 }
 
-func newWorkerState(job *Job, master *core.Pipeline) *workerState {
-	spec, err := job.NewSpec()
+func newWorkerState(master Instance) *workerState {
+	runner, err := master.NewRunner()
 	if err != nil {
 		return &workerState{err: err}
 	}
-	return &workerState{fuzzer: sim.NewFuzzer(master.Clone()), spec: spec}
+	return &workerState{runner: runner}
 }
 
-// runShard executes one shard on the worker's reusable streaming state:
-// the shard's deterministic traffic is generated straight into the fuzzer's
-// ring buffers (no per-shard trace materialization) and compared in lock
-// step, so a clean shard costs O(1) allocation. Mismatch collection is
-// unbounded here (naturally capped by the shard size): the per-job
-// counterexample cap is applied only after cross-shard deduplication in
-// merge, so duplicates in one shard cannot crowd out distinct failures
-// later in it.
-func runShard(job *Job, ws *workerState, t task) *shardResult {
+// runShard executes one shard on the worker's reusable runner with the
+// shard's deterministic traffic seed.
+func runShard(job *Job, ws *workerState, t task) *ShardResult {
 	if ws.err != nil {
-		return &shardResult{err: ws.err}
+		return &ShardResult{Err: ws.err}
 	}
-	pipe := ws.fuzzer.Pipeline()
-	gen := sim.NewTrafficGen(deriveSeed(job.Seed, t.shard), pipe.PHVLen(), pipe.Bits(), job.MaxInput)
-	rep, err := ws.fuzzer.FuzzGen(ws.spec, gen, t.n, sim.FuzzOptions{Containers: job.Containers}, 0)
-	if err != nil {
-		return &shardResult{err: err}
-	}
-	return &shardResult{
-		checked:    rep.Checked,
-		ticks:      rep.Ticks,
-		mismatches: rep.Mismatches,
-		err:        rep.Err,
-	}
+	res := ws.runner.RunShard(deriveSeed(job.Seed, t.shard), t.n)
+	return &res
 }

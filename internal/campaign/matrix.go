@@ -4,14 +4,15 @@ import (
 	"fmt"
 
 	"druzhba/internal/core"
+	"druzhba/internal/drmt"
 	"druzhba/internal/spec"
 )
 
-// Matrix builds the campaign job matrix for a set of Table-1 benchmarks:
-// one job per benchmark × optimization level × seed, each pushing packets
-// random PHVs. It is the programmatic form of dfarm's default workload.
-// An empty levels slice means every engine, the paper's three plus the
-// closure-compiled extension.
+// Matrix builds the RMT campaign job matrix for a set of Table-1
+// benchmarks: one job per benchmark × optimization level × seed, each
+// pushing packets random PHVs. It is the programmatic form of dfarm's
+// default workload. An empty levels slice means every engine, the paper's
+// three plus the closure-compiled extension.
 func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64, packets int) ([]Job, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("campaign: empty benchmark set")
@@ -39,15 +40,17 @@ func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64,
 		for _, level := range levels {
 			for _, seed := range seeds {
 				jobs = append(jobs, Job{
-					Name:       fmt.Sprintf("%s/%s/seed=%d", bm.Name, level, seed),
-					Spec:       cspec,
-					Code:       code,
-					Level:      level,
-					NewSpec:    bm.SimSpec,
-					Containers: containers,
-					Seed:       seed,
-					Packets:    packets,
-					MaxInput:   bm.MaxInput,
+					Name: fmt.Sprintf("rmt/%s/%s/seed=%d", bm.Name, level, seed),
+					Target: &PipelineTarget{
+						Spec:       cspec,
+						Code:       code,
+						Level:      level,
+						NewSpec:    bm.SimSpec,
+						Containers: containers,
+						MaxInput:   bm.MaxInput,
+					},
+					Seed:    seed,
+					Packets: packets,
 				})
 			}
 		}
@@ -60,4 +63,47 @@ func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64,
 // with seed 1: the paper's full benchmark sweep, run concurrently by dfarm.
 func Table1Matrix(packets int) ([]Job, error) {
 	return Matrix(spec.All(), core.AllLevels(), nil, packets)
+}
+
+// DRMTMatrix builds the dRMT campaign job matrix: one job per dRMT
+// benchmark × seed, each streaming packets random packets through the
+// ISA-level machine against the interpreted mini-P4 semantics.
+func DRMTMatrix(benchmarks []*drmt.Benchmark, seeds []int64, packets int) ([]Job, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("campaign: empty dRMT benchmark set")
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	var jobs []Job
+	for _, bm := range benchmarks {
+		prog, err := bm.Program()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		entries, err := bm.Entries(prog)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		for _, seed := range seeds {
+			jobs = append(jobs, Job{
+				Name: fmt.Sprintf("drmt/%s/seed=%d", bm.Name, seed),
+				Target: &DRMTTarget{
+					Program:  prog,
+					Entries:  entries,
+					HW:       bm.HW,
+					MaxInput: bm.MaxInput,
+				},
+				Seed:    seed,
+				Packets: packets,
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// DRMTDefaultMatrix is DRMTMatrix over every registered dRMT benchmark
+// with seed 1: dfarm's -arch drmt workload.
+func DRMTDefaultMatrix(packets int) ([]Job, error) {
+	return DRMTMatrix(drmt.Benchmarks(), nil, packets)
 }

@@ -28,7 +28,8 @@ type Counterexample struct {
 // JobReport aggregates one job's shards.
 type JobReport struct {
 	Name      string `json:"name"`
-	Level     string `json:"level"`
+	Arch      string `json:"arch"`   // architecture under test (rmt, drmt)
+	Engine    string `json:"engine"` // engine variant (optimization level / execution model)
 	Seed      int64  `json:"seed"`
 	Packets   int    `json:"packets"` // requested
 	Shards    int    `json:"shards"`
@@ -72,12 +73,13 @@ type Report struct {
 
 // merge folds per-shard results into the final report, visiting jobs and
 // shards in index order so the outcome is independent of scheduling.
-func merge(jobs []Job, buildErrs []error, results [][]*shardResult, o Options) *Report {
+func merge(jobs []Job, buildErrs []error, results [][]*ShardResult, o Options) *Report {
 	rep := &Report{Passed: true}
 	for j := range jobs {
 		jr := JobReport{
 			Name:    jobs[j].Name,
-			Level:   jobs[j].Level.String(),
+			Arch:    jobs[j].Target.Arch(),
+			Engine:  jobs[j].Target.Engine(),
 			Seed:    jobs[j].Seed,
 			Packets: jobs[j].Packets,
 			Shards:  len(results[j]),
@@ -102,17 +104,17 @@ func merge(jobs []Job, buildErrs []error, results [][]*shardResult, o Options) *
 				continue // shard skipped by cancellation
 			}
 			jr.ShardsRun++
-			jr.Checked += res.checked
-			jr.Ticks += int64(res.ticks)
-			if res.err != nil && jr.Error == "" {
-				jr.Error = fmt.Sprintf("shard %d: %v", s, res.err)
+			jr.Checked += res.Checked
+			jr.Ticks += res.Ticks
+			if res.Err != nil && jr.Error == "" {
+				jr.Error = fmt.Sprintf("shard %d: %v", s, res.Err)
 			}
-			for _, m := range res.mismatches {
+			for _, f := range res.Findings {
 				ce := Counterexample{
-					Packet: s*o.ShardSize + m.Index,
-					Input:  m.Input.String(),
-					Got:    m.Got.String(),
-					Want:   m.Want.String(),
+					Packet: s*o.ShardSize + f.Index,
+					Input:  f.Input,
+					Got:    f.Got,
+					Want:   f.Want,
 				}
 				key := ce.Input + "|" + ce.Got + "|" + ce.Want
 				if seen[key] {
@@ -164,7 +166,7 @@ func (r *Report) Text(includeTiming bool) string {
 			fmt.Fprintf(&b, "        error: %s\n", j.Error)
 		}
 		for _, ce := range j.Counterexamples {
-			fmt.Fprintf(&b, "        packet %d: input %s: pipeline %s, spec %s\n", ce.Packet, ce.Input, ce.Got, ce.Want)
+			fmt.Fprintf(&b, "        packet %d: input %s: got %s, want %s\n", ce.Packet, ce.Input, ce.Got, ce.Want)
 		}
 	}
 	if includeTiming && r.Timing != nil {

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"fmt"
+
+	"druzhba/internal/core"
+	"druzhba/internal/machinecode"
+	"druzhba/internal/sim"
+)
+
+// PipelineTarget is the RMT architecture as a campaign target: a pipeline
+// built from (Spec, Code, Level) fuzzed against a high-level specification
+// in the Fig. 5 workflow — the original dfarm job shape.
+type PipelineTarget struct {
+	// Spec, Code and Level describe the pipeline under test; the engine
+	// builds it once per job.
+	Spec  core.Spec
+	Code  *machinecode.Program
+	Level core.OptLevel
+
+	// NewSpec returns a fresh high-level specification instance. Each
+	// worker calls it once per job it touches and reuses the instance
+	// across that job's shards (the fuzzer resets it between shards);
+	// because workers run concurrently the factory must be safe for
+	// concurrent use, and instances it returns must not share mutable
+	// state.
+	NewSpec func() (sim.Spec, error)
+
+	// Containers restricts the output comparison to these PHV container
+	// indices (nil compares every container).
+	Containers []int
+
+	// MaxInput bounds traffic-generator values (0 = full datapath width).
+	MaxInput int64
+}
+
+// Arch implements Target.
+func (t *PipelineTarget) Arch() string { return "rmt" }
+
+// Engine implements Target: the pipeline-generation optimization level.
+func (t *PipelineTarget) Engine() string { return t.Level.String() }
+
+func (t *PipelineTarget) validate() error {
+	if t.NewSpec == nil {
+		return fmt.Errorf("no specification factory")
+	}
+	return nil
+}
+
+// Build implements Target: the pipeline is built once and shared read-only;
+// workers clone it.
+func (t *PipelineTarget) Build() (Instance, error) {
+	master, err := core.Build(t.Spec, t.Code, t.Level)
+	if err != nil {
+		return nil, err
+	}
+	return &pipelineInstance{t: t, master: master}, nil
+}
+
+type pipelineInstance struct {
+	t      *PipelineTarget
+	master *core.Pipeline
+}
+
+// NewRunner builds one worker's streaming machinery: a fuzzer over a
+// private pipeline clone (ring buffers reused across every shard the
+// worker runs) and one spec instance, reset by the fuzzer between shards.
+func (in *pipelineInstance) NewRunner() (Runner, error) {
+	spec, err := in.t.NewSpec()
+	if err != nil {
+		return nil, err
+	}
+	return &pipelineRunner{t: in.t, fuzzer: sim.NewFuzzer(in.master.Clone()), spec: spec}, nil
+}
+
+type pipelineRunner struct {
+	t      *PipelineTarget
+	fuzzer *sim.Fuzzer
+	spec   sim.Spec
+}
+
+// RunShard streams the shard's deterministic traffic straight into the
+// fuzzer's ring buffers (no per-shard trace materialization) and compares
+// in lock step, so a clean shard costs O(1) allocation. Mismatch collection
+// is unbounded here (naturally capped by the shard size): the per-job
+// counterexample cap is applied only after cross-shard deduplication in
+// merge, so duplicates in one shard cannot crowd out distinct failures
+// later in it.
+func (r *pipelineRunner) RunShard(seed int64, n int) ShardResult {
+	pipe := r.fuzzer.Pipeline()
+	gen := sim.NewTrafficGen(seed, pipe.PHVLen(), pipe.Bits(), r.t.MaxInput)
+	rep, err := r.fuzzer.FuzzGen(r.spec, gen, n, sim.FuzzOptions{Containers: r.t.Containers}, 0)
+	if err != nil {
+		return ShardResult{Err: err}
+	}
+	res := ShardResult{Checked: rep.Checked, Ticks: int64(rep.Ticks), Err: rep.Err}
+	for _, m := range rep.Mismatches {
+		res.Findings = append(res.Findings, Finding{
+			Index: m.Index,
+			Input: m.Input.String(),
+			Got:   m.Got.String(),
+			Want:  m.Want.String(),
+		})
+	}
+	return res
+}

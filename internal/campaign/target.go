@@ -1,0 +1,66 @@
+package campaign
+
+// Target is the architecture-generic system under test of one campaign
+// job. The engine builds each job's target exactly once, hands every
+// worker a private runner over it, and executes shards on those runners;
+// nothing in the engine knows whether the machinery underneath is an RMT
+// pipeline or a dRMT machine. Implementations must keep Build and the
+// runners it yields free of shared mutable state, because runners execute
+// concurrently on the worker pool.
+type Target interface {
+	// Arch labels the job's architecture in reports ("rmt", "drmt").
+	Arch() string
+
+	// Engine labels the execution-engine variant under test: the
+	// optimization level for RMT pipelines, the execution model for dRMT
+	// machines.
+	Engine() string
+
+	// Build constructs the job's master instance, once per campaign. A
+	// build failure is a test finding (the paper's §5.2 first failure
+	// class: configuration incompatible with the hardware model), not a
+	// harness error — the engine reports it as StatusError.
+	Build() (Instance, error)
+}
+
+// Instance is one job's built target, shared read-only across workers.
+type Instance interface {
+	// NewRunner returns a worker-private runner over a clone of the
+	// instance; runners share no mutable state with each other or with
+	// the instance. An error is replayed as the result of every shard
+	// the worker picks up for the job.
+	NewRunner() (Runner, error)
+}
+
+// Runner executes a job's shards sequentially on one worker, reusing its
+// internal machinery (clones, ring buffers, spec instances) across shards.
+type Runner interface {
+	// RunShard resets the runner's mutable state and streams n
+	// deterministically seeded packets through the target, comparing
+	// each output against the target's behavioral specification. The
+	// result must be a pure function of (seed, n) — never of which
+	// worker ran the shard or when — so reports stay bit-identical
+	// across worker counts. Finding indices are offsets within the
+	// shard.
+	RunShard(seed int64, n int) ShardResult
+}
+
+// Finding is one diverging packet found in a shard. Index is the packet's
+// offset within its shard (merge converts it to the job-global packet
+// index); Input, Got and Want are canonical, architecture-specific
+// renderings of the diverging packet.
+type Finding struct {
+	Index            int
+	Input, Got, Want string
+}
+
+// ShardResult is the outcome of one shard: a pure function of (job, shard
+// seed, shard size), independent of which worker ran it and when.
+type ShardResult struct {
+	Checked  int
+	Ticks    int64
+	Findings []Finding
+	Err      error // harness or simulation failure
+}
+
+func (r *ShardResult) failed() bool { return r.Err != nil || len(r.Findings) > 0 }

@@ -1,0 +1,157 @@
+// bench.go is the dRMT campaign benchmark registry: named mini-P4 programs
+// with table entries and hardware configurations, the dRMT counterpart of
+// package spec's Table-1 set. The L2/L3 switch program is embedded from
+// testdata so binaries (dfarm) carry it without filesystem access.
+package drmt
+
+import (
+	_ "embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"druzhba/internal/p4"
+)
+
+//go:embed testdata/l2l3.p4
+var l2l3Src string
+
+//go:embed testdata/l2l3.entries
+var l2l3Entries string
+
+// counterSrc exercises action parameters, register accumulation and drops
+// in one small program; it doubles as a fixture for the ISA tests.
+const counterSrc = `
+header_type h_t {
+    fields {
+        key : 8;
+        count : 16;
+    }
+}
+header h_t h;
+
+register tally {
+    width : 16;
+    instance_count : 4;
+}
+
+action bump(amount) {
+    register_add(tally, h.key, amount);
+    register_read(h.count, tally, h.key);
+}
+
+action toss() {
+    drop();
+}
+
+table classify {
+    reads { h.key : exact; }
+    actions { bump; toss; }
+    default_action : bump(1);
+}
+
+control ingress {
+    apply(classify);
+}
+`
+
+const counterEntries = `
+classify h.key exact 3 toss()
+classify h.key exact 5 bump(10)
+`
+
+// Benchmark is one dRMT fuzzing benchmark: a mini-P4 program, its table
+// entries, and the hardware configuration to run it on.
+type Benchmark struct {
+	Name string
+	HW   HWConfig
+
+	// MaxInput bounds generated field values (0 = full field widths).
+	// Small bounds make exact-match entries fire often.
+	MaxInput int64
+
+	src     string
+	entries string
+}
+
+// Program parses the benchmark's mini-P4 source.
+func (b *Benchmark) Program() (*p4.Program, error) {
+	prog, err := p4.Parse(b.src)
+	if err != nil {
+		return nil, fmt.Errorf("drmt: benchmark %s: %w", b.Name, err)
+	}
+	return prog, nil
+}
+
+// Entries parses the benchmark's table entries against the program.
+func (b *Benchmark) Entries(prog *p4.Program) (*EntrySet, error) {
+	set, err := ParseEntriesString(b.entries, prog)
+	if err != nil {
+		return nil, fmt.Errorf("drmt: benchmark %s: %w", b.Name, err)
+	}
+	return set, nil
+}
+
+// benchmarks is the registry, keyed by name.
+var benchmarks = map[string]*Benchmark{
+	"l2l3": {
+		Name: "l2l3",
+		HW:   HWConfig{Processors: 4},
+		src:  l2l3Src, entries: l2l3Entries,
+	},
+	// Values < 8 overlap the configured entries heavily, so match hits,
+	// defaults and drops all fire (the targeted-traffic regime of §4.2).
+	"l2l3-targeted": {
+		Name: "l2l3-targeted",
+		HW:   HWConfig{Processors: 4},
+		src:  l2l3Src, entries: l2l3Entries,
+		MaxInput: 8,
+	},
+	"counter": {
+		Name: "counter",
+		HW:   HWConfig{Processors: 2},
+		src:  counterSrc, entries: counterEntries,
+		MaxInput: 16,
+	},
+}
+
+// Benchmarks lists every registered dRMT benchmark, sorted by name.
+func Benchmarks() []*Benchmark {
+	out := make([]*Benchmark, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BenchmarkNames lists the registered benchmark names, sorted.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MatchBenchmarks returns the benchmarks whose name contains pattern
+// (empty matches all), sorted by name.
+func MatchBenchmarks(pattern string) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range Benchmarks() {
+		if strings.Contains(b.Name, pattern) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// LookupBenchmark finds a benchmark by exact name.
+func LookupBenchmark(name string) (*Benchmark, error) {
+	b, ok := benchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("drmt: unknown benchmark %q (have %v)", name, BenchmarkNames())
+	}
+	return b, nil
+}

@@ -407,7 +407,7 @@ func TestTrafficGenDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	g2, _ := NewTrafficGen(5, prog, 0)
-	p1, p2 := g1.Next(0), g2.Next(0)
+	p1, p2 := g1.Next(), g2.Next()
 	for f, v := range p1.Fields {
 		if p2.Fields[f] != v {
 			t.Fatalf("same seed diverges on %s", f)
@@ -415,7 +415,7 @@ func TestTrafficGenDeterministic(t *testing.T) {
 	}
 	// ttl is 8 bits: generated values must respect field width.
 	for i := 0; i < 100; i++ {
-		p := g1.Next(i)
+		p := g1.Next()
 		if v := p.Fields["ipv4.ttl"]; v < 0 || v > 255 {
 			t.Fatalf("ttl = %d outside 8-bit range", v)
 		}

@@ -1,0 +1,193 @@
+// fuzz.go is the dRMT analogue of package sim's Fig. 5 fuzzing loop: the
+// ISA-level machine (§7's low-granularity dRMT model) is the system under
+// test and the table-level Machine — a direct interpreter of the mini-P4
+// program — is its behavioral specification. Random packets stream through
+// both and every field plus the drop flag is compared packet by packet, so
+// a bug in the assembler or the ISA executor surfaces as a concrete
+// counterexample packet.
+package drmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"druzhba/internal/p4"
+)
+
+// Diff is one packet on which the ISA machine and the table-level
+// specification disagree.
+type Diff struct {
+	Index int    // offset of the packet within the fuzzed stream
+	ID    int    // packet ID assigned by the traffic generator
+	Input string // canonical rendering of the generated packet
+	Got   string // the ISA machine's resulting packet
+	Want  string // the table-level specification's resulting packet
+}
+
+// String renders the diff for humans.
+func (d *Diff) String() string {
+	return fmt.Sprintf("packet %d: input %s: isa %s, spec %s", d.Index, d.Input, d.Got, d.Want)
+}
+
+// DiffReport is the outcome of one differential fuzzing run.
+type DiffReport struct {
+	Checked      int
+	Instructions int64 // ISA instructions executed (the dRMT tick analogue)
+	Diffs        []Diff
+	Err          error // non-nil when execution itself failed
+}
+
+// Passed reports whether the run found no divergence and no error.
+func (r *DiffReport) Passed() bool { return r.Err == nil && len(r.Diffs) == 0 }
+
+// DiffFuzzer streams seeded traffic through an ISA machine and the
+// table-level machine in lock step. It is reusable across runs — Fuzz
+// resets both machines' register state first — and Clone yields a
+// worker-private fuzzer, which is how campaign workers run dRMT shards
+// concurrently. A DiffFuzzer is not safe for concurrent use.
+type DiffFuzzer struct {
+	prog *p4.Program
+	isa  *ISAMachine
+	tab  *Machine
+}
+
+// NewDiffFuzzer builds a differential fuzzer for the program over the given
+// table entries. When isa is nil the ISA program is assembled from the P4
+// source; passing an explicit (possibly miscompiled) ISA program is how
+// compiler bugs are injected under test.
+func NewDiffFuzzer(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWConfig) (*DiffFuzzer, error) {
+	isaM, err := NewISAMachine(prog, isa, entries, hw)
+	if err != nil {
+		return nil, err
+	}
+	tabM, err := NewMachine(prog, entries, hw, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DiffFuzzer{prog: prog, isa: isaM, tab: tabM}, nil
+}
+
+// Program returns the program under differential test.
+func (f *DiffFuzzer) Program() *p4.Program { return f.prog }
+
+// Clone returns a fuzzer over private clones of both machines, sharing no
+// mutable state with the original.
+func (f *DiffFuzzer) Clone() *DiffFuzzer {
+	return &DiffFuzzer{prog: f.prog, isa: f.isa.Clone(), tab: f.tab.Clone()}
+}
+
+// Reset zeroes the register state of both machines.
+func (f *DiffFuzzer) Reset() {
+	f.isa.ResetState()
+	f.tab.ResetState()
+}
+
+// Fuzz resets both machines and streams n packets from gen through each,
+// comparing the drop flag and every field packet by packet. Register state
+// accumulates across the stream on both sides (and is compared indirectly,
+// through register_read results). Execution failures are findings recorded
+// in DiffReport.Err; a non-nil error is returned only for harness misuse.
+func (f *DiffFuzzer) Fuzz(gen *TrafficGen, n int) (*DiffReport, error) {
+	if gen == nil || n <= 0 {
+		return nil, fmt.Errorf("drmt: empty fuzz stream")
+	}
+	f.Reset()
+	rep := &DiffReport{}
+	isaStats := &ISAStats{Stats: Stats{MemoryAccesses: map[string]int{}}}
+	tabStats := &Stats{MemoryAccesses: map[string]int{}}
+	for i := 0; i < n; i++ {
+		// The input packet stays pristine; renderings are built only for
+		// diverging packets, so the clean common path never pays the
+		// sort-and-format cost.
+		in := gen.Next()
+		got := in.Clone()
+		want := in.Clone()
+		executed, err := f.isa.exec(got, isaStats)
+		rep.Instructions += int64(executed)
+		if err != nil {
+			rep.Err = fmt.Errorf("drmt isa: packet %d: %w", got.ID, err)
+			return rep, nil
+		}
+		if err := f.tab.process(want, tabStats); err != nil {
+			rep.Err = fmt.Errorf("drmt: packet %d: %w", want.ID, err)
+			return rep, nil
+		}
+		rep.Checked++
+		if !samePacket(got, want) {
+			rep.Diffs = append(rep.Diffs, Diff{
+				Index: i,
+				ID:    in.ID,
+				Input: FormatPacket(in),
+				Got:   FormatPacket(got),
+				Want:  FormatPacket(want),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// FuzzSeeded is Fuzz over a fresh generator: n packets seeded by seed, with
+// field values bounded by max (0 = full field widths).
+func (f *DiffFuzzer) FuzzSeeded(seed int64, n int, max int64) (*DiffReport, error) {
+	gen, err := NewTrafficGen(seed, f.prog, max)
+	if err != nil {
+		return nil, err
+	}
+	return f.Fuzz(gen, n)
+}
+
+// MiscompileALUAdd returns a copy of the program with its first ALU add
+// at the given width flipped to a subtract: a deterministic seeded
+// compiler bug in the spirit of §5.2's bug-injection methodology, used by
+// differential tests to prove the fuzzing loop catches miscompiles. (On
+// l2l3, bits 8 hits the ttl decrement, which then moves the wrong way.)
+func MiscompileALUAdd(isa *ISAProgram, bits int) (*ISAProgram, error) {
+	bad := *isa
+	bad.Instrs = append([]Instr(nil), isa.Instrs...)
+	for i, in := range bad.Instrs {
+		if in.Op == OpALU && in.AOp == ALUAdd && in.Bits == bits {
+			bad.Instrs[i].AOp = ALUSub
+			return &bad, nil
+		}
+	}
+	return nil, fmt.Errorf("drmt: program has no %d-bit ALU add to miscompile", bits)
+}
+
+// samePacket reports whether two packets agree on the drop flag and every
+// field. Both sides of a differential run start from clones of one packet,
+// so the field sets coincide.
+func samePacket(a, b *Packet) bool {
+	if a.Dropped != b.Dropped {
+		return false
+	}
+	for f, v := range a.Fields {
+		if b.Fields[f] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatPacket renders a packet canonically — fields sorted by name, the
+// drop flag when set — so renderings are stable across runs and machines.
+func FormatPacket(p *Packet) string {
+	names := make([]string, 0, len(p.Fields))
+	for f := range p.Fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, f := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", f, p.Fields[f])
+	}
+	if p.Dropped {
+		b.WriteString(" dropped")
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package drmt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTrafficGenWideFieldsNoPanic is the regression test for the shift
+// overflow in Next: int64(1)<<63 is negative and int64(1)<<64 is 0, either
+// of which panics rand.Int63n. Fields 63 bits and wider must draw from the
+// full non-negative range instead. The p4 parser caps declared widths at
+// 62, so the generator is built directly.
+func TestTrafficGenWideFieldsNoPanic(t *testing.T) {
+	g := &TrafficGen{
+		rng:    rand.New(rand.NewSource(1)),
+		fields: []string{"h.w62", "h.w63", "h.w64"},
+		bits:   map[string]int{"h.w62": 62, "h.w63": 63, "h.w64": 64},
+	}
+	for i := 0; i < 100; i++ {
+		p := g.Next()
+		for f, v := range p.Fields {
+			if v < 0 {
+				t.Fatalf("packet %d field %s = %d, want non-negative", i, f, v)
+			}
+		}
+	}
+	// The clamp must not disturb the max bound.
+	g = &TrafficGen{
+		rng:    rand.New(rand.NewSource(1)),
+		fields: []string{"h.w64"},
+		bits:   map[string]int{"h.w64": 64},
+		max:    10,
+	}
+	for i := 0; i < 100; i++ {
+		if v := g.Next().Fields["h.w64"]; v < 0 || v >= 10 {
+			t.Fatalf("bounded wide field = %d, want [0,10)", v)
+		}
+	}
+}
+
+// TestTrafficGenGlobalPacketIDs is the regression test for Batch restarting
+// IDs at 0 on every call: campaign shards rely on one generator handing out
+// globally ordered IDs across consecutive batches.
+func TestTrafficGenGlobalPacketIDs(t *testing.T) {
+	gen, err := NewTrafficGen(1, routerProg(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := gen.Batch(3)
+	second := gen.Batch(3)
+	for i, p := range append(first, second...) {
+		if p.ID != i {
+			t.Fatalf("packet %d has ID %d, want %d", i, p.ID, i)
+		}
+	}
+	if next := gen.Next(); next.ID != 6 {
+		t.Fatalf("Next after two batches has ID %d, want 6", next.ID)
+	}
+}
+
+func TestMachineCloneIndependentState(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	m, err := NewMachine(prog, entries, HWConfig{Processors: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	gen, err := NewTrafficGen(3, prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(gen.Batch(50)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range prog.Registers {
+		cells, _ := m.Register(r.Name)
+		for i, v := range cells {
+			if v != 0 {
+				t.Fatalf("clone run mutated original register %s[%d] = %d", r.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestISAMachineCloneIndependentState(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	m, err := NewISAMachine(prog, nil, entries, HWConfig{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	gen, err := NewTrafficGen(3, prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(gen.Batch(50)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range prog.Registers {
+		cells, _ := m.Register(r.Name)
+		for i, v := range cells {
+			if v != 0 {
+				t.Fatalf("clone run mutated original register %s[%d] = %d", r.Name, i, v)
+			}
+		}
+	}
+}
+
+// TestDiffFuzzerCleanProgram: the assembled ISA program must agree with the
+// table-level interpretation of l2l3 over random and targeted traffic.
+func TestDiffFuzzerCleanProgram(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	f, err := NewDiffFuzzer(prog, nil, entries, HWConfig{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, max := range []int64{0, 8} {
+		rep, err := f.FuzzSeeded(42, 2000, max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Passed() {
+			t.Fatalf("max=%d: %d diffs, err=%v; first: %v", max, len(rep.Diffs), rep.Err, &rep.Diffs[0])
+		}
+		if rep.Checked != 2000 {
+			t.Fatalf("checked %d packets, want 2000", rep.Checked)
+		}
+		if rep.Instructions == 0 {
+			t.Fatal("no instructions accounted")
+		}
+	}
+}
+
+// TestDiffFuzzerDetectsInjectedBug miscompiles the TTL decrement — the
+// 8-bit ALUAdd in the route action becomes an ALUSub — and expects the
+// differential loop to surface counterexample packets whose renderings
+// disagree whenever routing fires.
+func TestDiffFuzzerDetectsInjectedBug(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	isa, err := Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := MiscompileALUAdd(isa, 8) // the ttl decrement
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewDiffFuzzer(prog, bad, entries, HWConfig{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-width traffic: 10/8 destinations (~1/256 of packets) take the
+	// route action, whose ttl now moves the wrong way.
+	rep, err := f.FuzzSeeded(7, 3000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diffs) == 0 {
+		t.Fatal("patched ISA program produced no diffs")
+	}
+	for _, d := range rep.Diffs {
+		if d.Got == d.Want {
+			t.Fatalf("diff with identical renderings: %+v", d)
+		}
+		if !strings.HasPrefix(d.Input, "{") || !strings.HasSuffix(d.Input, "}") {
+			t.Fatalf("non-canonical input rendering: %q", d.Input)
+		}
+	}
+}
+
+// TestDiffFuzzerCloneIsolation: a clone's runs must not leak register state
+// into the original, and resetting between runs must make runs repeatable.
+func TestDiffFuzzerCloneIsolation(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	f, err := NewDiffFuzzer(prog, nil, entries, HWConfig{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.FuzzSeeded(5, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Clone()
+	if _, err := c.FuzzSeeded(99, 500, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Rerunning the original after the clone ran different traffic must
+	// reproduce the first run exactly (Fuzz resets, clones are private).
+	b, err := f.FuzzSeeded(5, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checked != b.Checked || a.Instructions != b.Instructions || len(a.Diffs) != len(b.Diffs) {
+		t.Fatalf("rerun diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFormatPacketCanonical(t *testing.T) {
+	p := &Packet{Fields: map[string]int64{"b.y": 2, "a.x": 1}, Dropped: true}
+	if got := FormatPacket(p); got != "{a.x=1 b.y=2 dropped}" {
+		t.Fatalf("FormatPacket = %q", got)
+	}
+}
+
+// TestBenchmarkRegistry: every registered benchmark must parse, validate
+// its entries, and fuzz clean (the ISA model agrees with the table-level
+// model on all shipped benchmarks).
+func TestBenchmarkRegistry(t *testing.T) {
+	all := Benchmarks()
+	if len(all) < 3 {
+		t.Fatalf("registry has %d benchmarks, want >= 3", len(all))
+	}
+	seen := map[string]bool{}
+	for _, bm := range all {
+		if seen[bm.Name] {
+			t.Fatalf("duplicate benchmark name %s", bm.Name)
+		}
+		seen[bm.Name] = true
+		prog, err := bm.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := bm.Entries(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewDiffFuzzer(prog, nil, entries, bm.HW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := f.FuzzSeeded(1, 300, bm.MaxInput)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Passed() {
+			t.Fatalf("benchmark %s: %d diffs, err=%v", bm.Name, len(rep.Diffs), rep.Err)
+		}
+	}
+	if got := MatchBenchmarks("l2l3"); len(got) != 2 {
+		t.Fatalf("MatchBenchmarks(l2l3) = %d results, want 2", len(got))
+	}
+	if _, err := LookupBenchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -594,6 +594,19 @@ func NewISAMachine(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWCo
 // Program returns the ISA program under execution.
 func (m *ISAMachine) Program() *ISAProgram { return m.isa }
 
+// Clone returns a machine with private register-array state. The P4
+// program, ISA program, table entries, hardware configuration and width
+// tables are immutable after construction and stay shared; campaign workers
+// run shards on clones so no mutable state crosses goroutines.
+func (m *ISAMachine) Clone() *ISAMachine {
+	c := *m
+	c.registers = make(map[string][]int64, len(m.registers))
+	for name, cells := range m.registers {
+		c.registers[name] = append([]int64(nil), cells...)
+	}
+	return &c
+}
+
 // Register returns a copy of a register array's cells.
 func (m *ISAMachine) Register(name string) ([]int64, bool) {
 	r, ok := m.registers[name]

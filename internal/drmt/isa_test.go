@@ -185,49 +185,11 @@ func TestISADifferentialTargetedTraffic(t *testing.T) {
 	}
 }
 
-// counterP4 exercises parameters, register add and drop in one program.
-const counterP4 = `
-header_type h_t {
-    fields {
-        key : 8;
-        count : 16;
-    }
-}
-header h_t h;
-
-register tally {
-    width : 16;
-    instance_count : 4;
-}
-
-action bump(amount) {
-    register_add(tally, h.key, amount);
-    register_read(h.count, tally, h.key);
-}
-
-action toss() {
-    drop();
-}
-
-table classify {
-    reads { h.key : exact; }
-    actions { bump; toss; }
-    default_action : bump(1);
-}
-
-control ingress {
-    apply(classify);
-}
-`
-
-const counterEntries = `
-classify h.key exact 3 toss()
-classify h.key exact 5 bump(10)
-`
-
+// buildCounter parses the counter benchmark fixture (bench.go), which
+// exercises parameters, register add and drop in one program.
 func buildCounter(t *testing.T) (*p4.Program, *EntrySet) {
 	t.Helper()
-	prog, err := p4.Parse(counterP4)
+	prog, err := p4.Parse(counterSrc)
 	if err != nil {
 		t.Fatal(err)
 	}

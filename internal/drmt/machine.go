@@ -2,6 +2,7 @@ package drmt
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -34,12 +35,15 @@ func (p *Packet) Clone() *Packet {
 }
 
 // TrafficGen generates packets "with randomly initialized packet field
-// values based on the fields specified in the P4 file" (§4.2).
+// values based on the fields specified in the P4 file" (§4.2). Packet IDs
+// are assigned from a running counter, so consecutive Next/Batch calls on
+// one generator yield distinct, globally ordered IDs.
 type TrafficGen struct {
 	rng    *rand.Rand
 	fields []string
 	bits   map[string]int
 	max    int64
+	next   int // next packet ID
 }
 
 // NewTrafficGen builds a generator for the program's fields. max bounds the
@@ -58,10 +62,17 @@ func NewTrafficGen(seed int64, prog *p4.Program, max int64) (*TrafficGen, error)
 }
 
 // Next generates one packet.
-func (g *TrafficGen) Next(id int) *Packet {
-	p := &Packet{ID: id, Fields: make(map[string]int64, len(g.fields))}
+func (g *TrafficGen) Next() *Packet {
+	p := &Packet{ID: g.next, Fields: make(map[string]int64, len(g.fields))}
+	g.next++
 	for _, f := range g.fields {
-		limit := int64(1) << uint(g.bits[f])
+		// int64(1)<<63 is negative and int64(1)<<64 is 0, either of which
+		// would panic rand.Int63n; fields 63 bits and wider draw from the
+		// full non-negative int64 range instead.
+		limit := int64(math.MaxInt64)
+		if g.bits[f] < 63 {
+			limit = int64(1) << uint(g.bits[f])
+		}
 		if g.max > 0 && g.max < limit {
 			limit = g.max
 		}
@@ -70,11 +81,11 @@ func (g *TrafficGen) Next(id int) *Packet {
 	return p
 }
 
-// Batch generates n packets.
+// Batch generates the next n packets.
 func (g *TrafficGen) Batch(n int) []*Packet {
 	out := make([]*Packet, n)
 	for i := range out {
-		out[i] = g.Next(i)
+		out[i] = g.Next()
 	}
 	return out
 }
@@ -146,6 +157,19 @@ func NewMachine(prog *p4.Program, entries *EntrySet, hw HWConfig, sched *Schedul
 		m.registers[r.Name] = make([]int64, r.Count)
 	}
 	return m, nil
+}
+
+// Clone returns a machine with private register state. The program, DAG,
+// schedule, hardware configuration and table entries are immutable after
+// construction and stay shared; campaign workers run shards on clones so no
+// mutable state crosses goroutines.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.registers = make(map[string][]int64, len(m.registers))
+	for name, cells := range m.registers {
+		c.registers[name] = append([]int64(nil), cells...)
+	}
+	return &c
 }
 
 // Schedule returns the machine's schedule.
