@@ -2,18 +2,24 @@
 // twelve packet-processing programs at the three optimization levels
 // (unoptimized, SCC propagation, SCC + function inlining) plus Druzhba's
 // closure-compiled engine, each over 50,000 traffic-generator PHVs driven
-// through the streaming simulation engine.
+// through the streaming simulation engine. A dRMT section follows (the
+// paper reports no dRMT numbers, so it is a characterization bench): every
+// embedded dRMT benchmark's differential fuzzing loop is timed on both the
+// slot-compiled streaming engines and the map-based compatibility engines.
 //
 // Usage:
 //
 //	dbench                           # full table, 50000 PHVs per cell
 //	dbench -phvs 5000                # quicker pass
-//	dbench -program rcp              # single row
+//	dbench -program rcp              # single RMT row
+//	dbench -drmt-phvs 0              # skip the dRMT section
+//	dbench -drmt-bench l2l3          # filter the dRMT section
 //	dbench -json BENCH_table1.json   # machine-readable perf trajectory
 //
-// The JSON report records ns/PHV and allocs/PHV per (benchmark × level); a
-// "baseline" block already present in the output file is preserved across
-// regenerations so the perf trajectory keeps its reference point.
+// The JSON report records ns/PHV and allocs/PHV per (benchmark × level) and
+// per (dRMT benchmark × engine); a "baseline" block already present in the
+// output file is preserved across regenerations so the perf trajectory
+// keeps its reference point.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"druzhba/internal/cli"
 	"druzhba/internal/core"
+	"druzhba/internal/drmt"
 	"druzhba/internal/phv"
 	"druzhba/internal/sim"
 	"druzhba/internal/spec"
@@ -41,13 +48,28 @@ type Row struct {
 	AllocsPerPHV float64 `json:"allocs_per_phv"`
 }
 
+// DRMTRow is one (dRMT benchmark × engine) cell: the differential fuzzing
+// loop timed on the slot-compiled engines ("slots") or the map-based
+// compatibility engines ("map").
+type DRMTRow struct {
+	Benchmark    string  `json:"benchmark"`
+	Engine       string  `json:"engine"`
+	MS           int64   `json:"ms"`
+	NsPerPHV     float64 `json:"ns_per_phv"`
+	AllocsPerPHV float64 `json:"allocs_per_phv"`
+	PHVsPerSec   float64 `json:"phvs_per_sec"`
+}
+
 // Report is the BENCH_table1.json document.
 type Report struct {
-	Command  string          `json:"command"`
-	PHVs     int             `json:"phvs"`
-	Engine   string          `json:"engine"`
-	Rows     []Row           `json:"rows"`
-	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Command    string          `json:"command"`
+	PHVs       int             `json:"phvs"`
+	Engine     string          `json:"engine"`
+	Rows       []Row           `json:"rows"`
+	DRMTPHVs   int             `json:"drmt_phvs,omitempty"`
+	DRMTEngine string          `json:"drmt_engine,omitempty"`
+	DRMT       []DRMTRow       `json:"drmt,omitempty"`
+	Baseline   json.RawMessage `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -56,8 +78,15 @@ func main() {
 	program := fs.String("program", "", "run a single program (default: all twelve)")
 	seed := fs.Int64("seed", 1, "traffic generator seed")
 	repeats := fs.Int("repeats", 1, "repetitions per cell (minimum time reported)")
+	drmtPHVs := fs.Int("drmt-phvs", 50000, "packets per dRMT differential-fuzz cell (0 = skip the dRMT section)")
+	drmtBench := fs.String("drmt-bench", "", "restrict the dRMT section to benchmarks containing this substring")
 	jsonPath := fs.String("json", "", "also write the report as JSON to this file (- for stdout)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+	if *repeats < 1 {
+		// A zero-repeat run would report no timing at all (and +Inf
+		// PHVs/sec in the dRMT section, which JSON cannot encode).
+		*repeats = 1
+	}
 
 	benches := spec.All()
 	if *program != "" {
@@ -101,6 +130,29 @@ func main() {
 			times[core.SCCInlining].Milliseconds(),
 			times[core.Compiled].Milliseconds())
 	}
+	var drmtRows []DRMTRow
+	if *drmtPHVs > 0 {
+		benches := drmt.MatchBenchmarks(*drmtBench)
+		if len(benches) == 0 {
+			cli.Fatalf("dbench: no dRMT benchmark matches %q", *drmtBench)
+		}
+		fmt.Printf("\ndRMT differential fuzzing (ISA machine vs table-level spec, %d packets per run)\n\n", *drmtPHVs)
+		fmt.Printf("%-16s %14s %14s %16s %16s\n", "Program", "Map engine", "Slot engine", "Slot PHVs/sec", "Slot allocs/PHV")
+		for _, bm := range benches {
+			var perEngine [2]DRMTRow
+			for i, engine := range []string{"map", "slots"} {
+				row, err := measureDRMT(bm, engine, *seed, *drmtPHVs, *repeats)
+				if err != nil {
+					cli.Fatalf("dbench: drmt %s/%s: %v", bm.Name, engine, err)
+				}
+				perEngine[i] = row
+				drmtRows = append(drmtRows, row)
+			}
+			fmt.Printf("%-16s %11d ms %11d ms %16.0f %16.4f\n",
+				bm.Name, perEngine[0].MS, perEngine[1].MS, perEngine[1].PHVsPerSec, perEngine[1].AllocsPerPHV)
+		}
+	}
+
 	if *jsonPath != "" {
 		// Record the actual invocation so a partial run (-program, a
 		// non-default -phvs) cannot masquerade as the canonical full-matrix
@@ -109,16 +161,89 @@ func main() {
 		if *program != "" {
 			command += " -program " + *program
 		}
+		if *drmtPHVs != 50000 {
+			command += fmt.Sprintf(" -drmt-phvs %d", *drmtPHVs)
+		}
+		if *drmtBench != "" {
+			command += " -drmt-bench " + *drmtBench
+		}
 		command += " -json BENCH_table1.json"
-		if err := writeJSON(*jsonPath, &Report{
+		rep := &Report{
 			Command: command,
 			PHVs:    *phvs,
 			Engine:  "streaming (sim.Stream, prechecked fast path at optimized levels)",
 			Rows:    rows,
-		}); err != nil {
+		}
+		if len(drmtRows) > 0 {
+			rep.DRMTPHVs = *drmtPHVs
+			rep.DRMTEngine = "differential fuzz, slot-compiled streaming engines (drmt.DiffFuzzer.Fuzz) vs map-based compat (FuzzCompat)"
+			rep.DRMT = drmtRows
+		}
+		if err := writeJSON(*jsonPath, rep); err != nil {
 			cli.Fatalf("dbench: %v", err)
 		}
 	}
+}
+
+// measureDRMT times one dRMT benchmark's differential fuzzing loop on one
+// engine ("slots" or "map"), repeated repeats times after one warmup pass;
+// the best pass's wall time and its heap allocation count are reported.
+func measureDRMT(bm *drmt.Benchmark, engine string, seed int64, n, repeats int) (DRMTRow, error) {
+	prog, err := bm.Program()
+	if err != nil {
+		return DRMTRow{}, err
+	}
+	entries, err := bm.Entries(prog)
+	if err != nil {
+		return DRMTRow{}, err
+	}
+	f, err := drmt.NewDiffFuzzer(prog, nil, entries, bm.HW)
+	if err != nil {
+		return DRMTRow{}, err
+	}
+	pass := func() (time.Duration, float64, error) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		var rep *drmt.DiffReport
+		if engine == "slots" {
+			rep, err = f.FuzzSeeded(seed, n, bm.MaxInput)
+		} else {
+			rep, err = f.FuzzSeededCompat(seed, n, bm.MaxInput)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if !rep.Passed() {
+			return 0, 0, fmt.Errorf("differential fuzz failed: %d diffs, err=%v", len(rep.Diffs), rep.Err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return elapsed, float64(m1.Mallocs - m0.Mallocs), nil
+	}
+	if _, _, err := pass(); err != nil { // warmup
+		return DRMTRow{}, err
+	}
+	var best time.Duration
+	var bestAllocs float64
+	for r := 0; r < repeats; r++ {
+		elapsed, allocs, err := pass()
+		if err != nil {
+			return DRMTRow{}, err
+		}
+		if best == 0 || elapsed < best {
+			best, bestAllocs = elapsed, allocs
+		}
+	}
+	return DRMTRow{
+		Benchmark:    bm.Name,
+		Engine:       engine,
+		MS:           best.Milliseconds(),
+		NsPerPHV:     round2(float64(best.Nanoseconds()) / float64(n)),
+		AllocsPerPHV: round4(bestAllocs / float64(n)),
+		PHVsPerSec:   round2(float64(n) / best.Seconds()),
+	}, nil
 }
 
 // measure drives n PHVs from a fresh generator through the streaming engine,

@@ -29,6 +29,12 @@ type DRMTTarget struct {
 
 	// MaxInput bounds generated field values (0 = full field widths).
 	MaxInput int64
+
+	// Compat runs shards on the map-based compatibility engines instead of
+	// the slot-compiled streaming engines. Reports are byte-identical
+	// either way (the compat-layer guarantee, pinned by tests); the flag
+	// exists so campaigns can differentially check the engines themselves.
+	Compat bool
 }
 
 // Arch implements Target.
@@ -75,10 +81,17 @@ type drmtRunner struct {
 }
 
 // RunShard resets both machines and streams the shard's seeded traffic
-// through the differential loop. Diff indices are already shard offsets
-// (each shard draws from a fresh generator), which is what merge expects.
+// through the differential loop — by default on the slot-compiled zero-
+// allocation engines. Diff indices are already shard offsets (each shard
+// draws from a fresh generator), which is what merge expects.
 func (r *drmtRunner) RunShard(seed int64, n int) ShardResult {
-	rep, err := r.fuzzer.FuzzSeeded(seed, n, r.t.MaxInput)
+	var rep *drmt.DiffReport
+	var err error
+	if r.t.Compat {
+		rep, err = r.fuzzer.FuzzSeededCompat(seed, n, r.t.MaxInput)
+	} else {
+		rep, err = r.fuzzer.FuzzSeeded(seed, n, r.t.MaxInput)
+	}
 	if err != nil {
 		return ShardResult{Err: err}
 	}

@@ -48,6 +48,39 @@ func TestDRMTReportDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDRMTReportIdenticalSlotVsCompat is the campaign-level compat-layer
+// guarantee: the slot-compiled streaming engines and the map-based
+// compatibility engines must produce byte-identical campaign reports, at
+// every worker count.
+func TestDRMTReportIdenticalSlotVsCompat(t *testing.T) {
+	render := func(compat bool, workers int) string {
+		t.Helper()
+		jobs := drmtJobs(t, 1500, 1, 9)
+		for i := range jobs {
+			jobs[i].Target.(*DRMTTarget).Compat = compat
+		}
+		rep, err := Run(context.Background(), jobs, Options{Workers: workers, ShardSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String() + "\n---\n" + rep.Text(false)
+	}
+	want := render(false, 1)
+	for _, workers := range []int{1, 4, 8} {
+		if got := render(true, workers); got != want {
+			t.Fatalf("compat engine report (workers=%d) differs from slot engine report:\n--- slot ---\n%s--- compat ---\n%s",
+				workers, want, got)
+		}
+		if got := render(false, workers); got != want {
+			t.Fatalf("slot engine report not deterministic across workers=%d", workers)
+		}
+	}
+}
+
 // TestDRMTCampaignPasses: every registered dRMT benchmark must fuzz clean
 // through the campaign engine, with arch-labeled report rows.
 func TestDRMTCampaignPasses(t *testing.T) {

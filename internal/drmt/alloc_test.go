@@ -1,0 +1,154 @@
+// Allocation-regression tests for the dRMT slot-compiled hot path, the
+// mirror of package sim's streaming-engine suite: a clean differential
+// fuzzing run must perform O(1) allocation total — traffic generation
+// (TrafficGen.Fill), both slot engines and the lock-step comparison reuse
+// their buffers, so total allocations must not grow with the packet count.
+package drmt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fuzzAllocs measures the per-run allocation count of a full streaming
+// differential fuzz of n packets on a warm fuzzer (generator, report and
+// machine resets are per-run fixed costs; everything else must be
+// steady-state free).
+func fuzzAllocs(t *testing.T, f *DiffFuzzer, seed int64, max int64, n int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		rep, err := f.FuzzSeeded(seed, n, max)
+		if err != nil {
+			panic(err)
+		}
+		if !rep.Passed() {
+			panic(fmt.Sprintf("fuzz failed: %+v", rep))
+		}
+	})
+}
+
+// TestDRMTFuzzZeroAllocsPerPHV asserts the zero-allocation property on
+// every embedded dRMT benchmark: growing the packet count 8x must not grow
+// the per-run allocation count, i.e. the marginal cost of a packet is 0
+// allocs on both the ISA and the table-level slot engine.
+func TestDRMTFuzzZeroAllocsPerPHV(t *testing.T) {
+	for _, bm := range Benchmarks() {
+		t.Run(bm.Name, func(t *testing.T) {
+			prog, err := bm.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries, err := bm.Entries(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewDiffFuzzer(prog, nil, entries, bm.HW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fuzzAllocs(t, f, 1, bm.MaxInput, 64) // warm buffers and scratch
+			small := fuzzAllocs(t, f, 1, bm.MaxInput, 256)
+			large := fuzzAllocs(t, f, 1, bm.MaxInput, 2048)
+			if large > small+1 {
+				t.Errorf("allocations grow with packet count: %v for 256 packets, %v for 2048 (%.4f allocs/PHV)",
+					small, large, (large-small)/float64(2048-256))
+			}
+		})
+	}
+}
+
+// TestTrafficGenFillZeroAllocs: after the first call builds the draw
+// limits, Fill must not allocate.
+func TestTrafficGenFillZeroAllocs(t *testing.T) {
+	prog, _ := loadL2L3(t)
+	gen, err := NewTrafficGen(1, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, gen.NumFields())
+	gen.Fill(buf) // warm: builds the limits table
+	if allocs := testing.AllocsPerRun(100, func() { gen.Fill(buf) }); allocs != 0 {
+		t.Fatalf("TrafficGen.Fill allocates %v per packet, want 0", allocs)
+	}
+}
+
+// TestSlotEnginesZeroAllocsPerPacket asserts the per-packet zero-allocation
+// property directly on both slot engines' Run primitives.
+func TestSlotEnginesZeroAllocsPerPacket(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	isaM, err := NewISAMachine(prog, nil, entries, HWConfig{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabM, err := NewMachine(prog, entries, HWConfig{Processors: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewTrafficGen(1, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, gen.NumFields())
+	gen.Fill(buf)
+	if allocs := testing.AllocsPerRun(100, func() {
+		gen.Fill(buf)
+		if _, _, err := isaM.ExecSlots(buf); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("ISAMachine.ExecSlots allocates %v per packet, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		gen.Fill(buf)
+		tabM.ProcessSlots(buf)
+	}); allocs != 0 {
+		t.Fatalf("Machine.ProcessSlots allocates %v per packet, want 0", allocs)
+	}
+}
+
+// TestCompatApplyNoPerPacketParamsChurn: the map-based compatibility path
+// must also stop allocating its per-apply params map — the per-machine
+// scratch slice is reused, so a steady-state packet's cost is bounded by
+// the map writes on the Packet itself, not by fresh parameter maps. The
+// counter benchmark binds an action parameter on every packet (bump's
+// default), so it exercises the scratch directly.
+func TestCompatApplyNoPerPacketParamsChurn(t *testing.T) {
+	bm, err := LookupBenchmark("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bm.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := bm.Entries(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(prog, entries, bm.HW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewTrafficGen(1, prog, bm.MaxInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := gen.Next()
+	stats := &Stats{MemoryAccesses: map[string]int{}}
+	if err := m.process(pkt, stats); err != nil { // warm the params scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		pkt.Dropped = false
+		if err := m.process(pkt, stats); err != nil {
+			panic(err)
+		}
+	})
+	// Reprocessing an existing packet rebinds action parameters every time;
+	// with the reused scratch the loop allocates only when lookup copies an
+	// entry's ActionCall (one small copy, no map). Anything at or above a
+	// map-per-apply is a regression.
+	if allocs > 2 {
+		t.Fatalf("compat process allocates %v per packet; params scratch regressed", allocs)
+	}
+}

@@ -60,6 +60,102 @@ classify h.key exact 3 toss()
 classify h.key exact 5 bump(10)
 `
 
+// wideFaninSrc is a schedule-stressing wide DAG: eight mutually independent
+// per-lane tables (no data dependencies, so the scheduler may issue their
+// matches in the same cycle) feeding one aggregation table that reads every
+// lane — an eight-edge action-dependency fan-in. Run on a two-processor
+// configuration with tightened match capacity, the nine tables outnumber
+// one cycle's match issue slots and the list scheduler must spread them
+// across the repeating period.
+const wideFaninSrc = `
+header_type lanes_t {
+    fields {
+        a : 16;
+        b : 16;
+        c : 16;
+        d : 16;
+        e : 16;
+        f : 16;
+        g : 16;
+        h : 16;
+        agg : 32;
+    }
+}
+header lanes_t lane;
+
+register r_fold {
+    width : 32;
+    instance_count : 8;
+}
+
+action scale_a(k) { add_to_field(lane.a, k); }
+action scale_b(k) { add_to_field(lane.b, k); }
+action scale_c(k) { add_to_field(lane.c, k); }
+action scale_d(k) { add_to_field(lane.d, k); }
+action scale_e(k) { add_to_field(lane.e, k); }
+action scale_f(k) { add_to_field(lane.f, k); }
+action scale_g(k) { add_to_field(lane.g, k); }
+action scale_h(k) { add_to_field(lane.h, k); }
+
+action fold_all() {
+    modify_field(lane.agg, 0);
+    add_to_field(lane.agg, lane.a);
+    add_to_field(lane.agg, lane.b);
+    add_to_field(lane.agg, lane.c);
+    add_to_field(lane.agg, lane.d);
+    add_to_field(lane.agg, lane.e);
+    add_to_field(lane.agg, lane.f);
+    add_to_field(lane.agg, lane.g);
+    add_to_field(lane.agg, lane.h);
+    register_add(r_fold, lane.agg, 1);
+}
+
+action toss() {
+    drop();
+}
+
+table lane_a { reads { lane.a : exact; } actions { scale_a; } default_action : scale_a(1); }
+table lane_b { reads { lane.b : exact; } actions { scale_b; } default_action : scale_b(2); }
+table lane_c { reads { lane.c : exact; } actions { scale_c; } default_action : scale_c(3); }
+table lane_d { reads { lane.d : exact; } actions { scale_d; } default_action : scale_d(4); }
+table lane_e { reads { lane.e : exact; } actions { scale_e; } default_action : scale_e(5); }
+table lane_f { reads { lane.f : exact; } actions { scale_f; } default_action : scale_f(6); }
+table lane_g { reads { lane.g : exact; } actions { scale_g; } default_action : scale_g(7); }
+table lane_h { reads { lane.h : exact; } actions { scale_h; } default_action : scale_h(8); }
+
+table fold {
+    reads { lane.agg : ternary; }
+    actions { fold_all; toss; }
+    default_action : fold_all();
+}
+
+control ingress {
+    apply(lane_a);
+    apply(lane_b);
+    apply(lane_c);
+    apply(lane_d);
+    apply(lane_e);
+    apply(lane_f);
+    apply(lane_g);
+    apply(lane_h);
+    apply(fold);
+}
+`
+
+// wideFaninEntries: lane overrides that fire often under MaxInput 16, plus
+// a ternary drop on the pre-fold aggregate.
+const wideFaninEntries = `
+lane_a lane.a exact 3 scale_a(7)
+lane_b lane.b exact 5 scale_b(11)
+lane_c lane.c exact 7 scale_c(13)
+lane_d lane.d exact 2 scale_d(0)
+lane_e lane.e exact 9 scale_e(255)
+lane_f lane.f exact 1 scale_f(64)
+lane_g lane.g exact 4 scale_g(31)
+lane_h lane.h exact 8 scale_h(129)
+fold lane.agg ternary 0x3/0x3 toss()
+`
+
 // Benchmark is one dRMT fuzzing benchmark: a mini-P4 program, its table
 // entries, and the hardware configuration to run it on.
 type Benchmark struct {
@@ -111,6 +207,17 @@ var benchmarks = map[string]*Benchmark{
 		Name: "counter",
 		HW:   HWConfig{Processors: 2},
 		src:  counterSrc, entries: counterEntries,
+		MaxInput: 16,
+	},
+	// Nine tables on two processors with five match issues per cycle: the
+	// nine matches do not fit one cycle's capacity, so the scheduler has to
+	// spread the independent lanes across the repeating period (the ROADMAP's
+	// schedule-stressing wide-DAG regime). MaxInput 16 keeps the exact lane
+	// entries and the ternary drop firing.
+	"wide-fanin": {
+		Name: "wide-fanin",
+		HW:   HWConfig{Processors: 2, MatchCapacity: 5, ActionCapacity: 8},
+		src:  wideFaninSrc, entries: wideFaninEntries,
 		MaxInput: 16,
 	},
 }

@@ -5,6 +5,14 @@
 // both and every field plus the drop flag is compared packet by packet, so
 // a bug in the assembler or the ISA executor surfaces as a concrete
 // counterexample packet.
+//
+// The comparison runs on the slot-compiled engines: both machines share one
+// SlotLayout, traffic is generated directly into reused []int64 slot
+// vectors (TrafficGen.Fill), and packets are compared index-to-index in
+// lock step. Canonical string renderings and Diff records are materialized
+// only on mismatch, so a clean shard performs O(1) allocation total. The
+// original map-based loop is kept as FuzzCompat, the compatibility path the
+// slot engines are differentially tested against.
 package drmt
 
 import (
@@ -47,34 +55,60 @@ func (r *DiffReport) Passed() bool { return r.Err == nil && len(r.Diffs) == 0 }
 // worker-private fuzzer, which is how campaign workers run dRMT shards
 // concurrently. A DiffFuzzer is not safe for concurrent use.
 type DiffFuzzer struct {
-	prog *p4.Program
-	isa  *ISAMachine
-	tab  *Machine
+	prog   *p4.Program
+	layout *SlotLayout
+	isa    *ISAMachine
+	tab    *Machine
+
+	// Reused slot vectors: the generated packet and the two machines'
+	// working copies. One backing array, three windows.
+	in, got, want []int64
 }
 
 // NewDiffFuzzer builds a differential fuzzer for the program over the given
-// table entries. When isa is nil the ISA program is assembled from the P4
-// source; passing an explicit (possibly miscompiled) ISA program is how
-// compiler bugs are injected under test.
+// table entries. Both machines are built over one shared SlotLayout, so the
+// lock-step comparison is index-to-index. When isa is nil the ISA program
+// is assembled from the P4 source; passing an explicit (possibly
+// miscompiled) ISA program is how compiler bugs are injected under test.
 func NewDiffFuzzer(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWConfig) (*DiffFuzzer, error) {
-	isaM, err := NewISAMachine(prog, isa, entries, hw)
+	layout, err := NewSlotLayout(prog)
 	if err != nil {
 		return nil, err
 	}
-	tabM, err := NewMachine(prog, entries, hw, nil)
+	isaM, err := newISAMachine(prog, isa, entries, hw, layout)
 	if err != nil {
 		return nil, err
 	}
-	return &DiffFuzzer{prog: prog, isa: isaM, tab: tabM}, nil
+	tabM, err := newMachine(prog, entries, hw, nil, layout)
+	if err != nil {
+		return nil, err
+	}
+	f := &DiffFuzzer{prog: prog, layout: layout, isa: isaM, tab: tabM}
+	f.newBuffers()
+	return f, nil
+}
+
+// newBuffers allocates the fuzzer's private slot vectors.
+func (f *DiffFuzzer) newBuffers() {
+	n := f.layout.NumFields()
+	backing := make([]int64, 3*n)
+	f.in = backing[0*n : 1*n : 1*n]
+	f.got = backing[1*n : 2*n : 2*n]
+	f.want = backing[2*n : 3*n : 3*n]
 }
 
 // Program returns the program under differential test.
 func (f *DiffFuzzer) Program() *p4.Program { return f.prog }
 
-// Clone returns a fuzzer over private clones of both machines, sharing no
-// mutable state with the original.
+// Layout returns the slot layout shared by both machines.
+func (f *DiffFuzzer) Layout() *SlotLayout { return f.layout }
+
+// Clone returns a fuzzer over private clones of both machines and private
+// slot buffers, sharing no mutable state with the original.
 func (f *DiffFuzzer) Clone() *DiffFuzzer {
-	return &DiffFuzzer{prog: f.prog, isa: f.isa.Clone(), tab: f.tab.Clone()}
+	c := &DiffFuzzer{prog: f.prog, layout: f.layout, isa: f.isa.Clone(), tab: f.tab.Clone()}
+	c.newBuffers()
+	return c
 }
 
 // Reset zeroes the register state of both machines.
@@ -83,12 +117,54 @@ func (f *DiffFuzzer) Reset() {
 	f.tab.ResetState()
 }
 
-// Fuzz resets both machines and streams n packets from gen through each,
-// comparing the drop flag and every field packet by packet. Register state
-// accumulates across the stream on both sides (and is compared indirectly,
-// through register_read results). Execution failures are findings recorded
-// in DiffReport.Err; a non-nil error is returned only for harness misuse.
+// Fuzz resets both machines and streams n packets from gen through each on
+// the slot-compiled hot path, comparing the drop flag and every field slot
+// packet by packet. Register state accumulates across the stream on both
+// sides (and is compared indirectly, through register_read results).
+// Renderings and Diff records are built only for diverging packets, so a
+// clean run's total allocation count is O(1) in n. Execution failures are
+// findings recorded in DiffReport.Err; a non-nil error is returned only for
+// harness misuse.
 func (f *DiffFuzzer) Fuzz(gen *TrafficGen, n int) (*DiffReport, error) {
+	if gen == nil || n <= 0 {
+		return nil, fmt.Errorf("drmt: empty fuzz stream")
+	}
+	if gen.NumFields() != f.layout.NumFields() {
+		return nil, fmt.Errorf("drmt: traffic generator has %d fields, program has %d", gen.NumFields(), f.layout.NumFields())
+	}
+	f.Reset()
+	rep := &DiffReport{}
+	for i := 0; i < n; i++ {
+		id := gen.Fill(f.in)
+		copy(f.got, f.in)
+		copy(f.want, f.in)
+		executed, gotDrop, err := f.isa.ExecSlots(f.got)
+		rep.Instructions += int64(executed)
+		if err != nil {
+			rep.Err = fmt.Errorf("drmt isa: packet %d: %w", id, err)
+			return rep, nil
+		}
+		wantDrop := f.tab.ProcessSlots(f.want)
+		rep.Checked++
+		if gotDrop != wantDrop || !slotsEqual(f.got, f.want) {
+			rep.Diffs = append(rep.Diffs, Diff{
+				Index: i,
+				ID:    id,
+				Input: f.layout.FormatSlots(f.in, false),
+				Got:   f.layout.FormatSlots(f.got, gotDrop),
+				Want:  f.layout.FormatSlots(f.want, wantDrop),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// FuzzCompat is Fuzz on the original map-based interpreters: packets are
+// materialized by gen.Next, cloned per machine, and compared map-to-map.
+// It produces byte-identical DiffReports to Fuzz over the same generator
+// state — the compatibility guarantee the slot engines are differentially
+// tested against — at the original allocation cost.
+func (f *DiffFuzzer) FuzzCompat(gen *TrafficGen, n int) (*DiffReport, error) {
 	if gen == nil || n <= 0 {
 		return nil, fmt.Errorf("drmt: empty fuzz stream")
 	}
@@ -137,6 +213,16 @@ func (f *DiffFuzzer) FuzzSeeded(seed int64, n int, max int64) (*DiffReport, erro
 	return f.Fuzz(gen, n)
 }
 
+// FuzzSeededCompat is FuzzCompat over a fresh generator, the map-based twin
+// of FuzzSeeded.
+func (f *DiffFuzzer) FuzzSeededCompat(seed int64, n int, max int64) (*DiffReport, error) {
+	gen, err := NewTrafficGen(seed, f.prog, max)
+	if err != nil {
+		return nil, err
+	}
+	return f.FuzzCompat(gen, n)
+}
+
 // MiscompileALUAdd returns a copy of the program with its first ALU add
 // at the given width flipped to a subtract: a deterministic seeded
 // compiler bug in the spirit of §5.2's bug-injection methodology, used by
@@ -171,6 +257,8 @@ func samePacket(a, b *Packet) bool {
 
 // FormatPacket renders a packet canonically — fields sorted by name, the
 // drop flag when set — so renderings are stable across runs and machines.
+// SlotLayout.FormatSlots produces byte-identical output for the slot
+// representation.
 func FormatPacket(p *Packet) string {
 	names := make([]string, 0, len(p.Fields))
 	for f := range p.Fields {

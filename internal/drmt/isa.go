@@ -536,22 +536,73 @@ type ISAStats struct {
 	MatchOps int64
 }
 
+// isaEntry is one table entry resolved against the ISA program's dispatch
+// list and the shared slot layout: matching is a slot read, selection is a
+// precomputed 1-based dispatch index, and the bound action-data arguments
+// are shared read-only.
+type isaEntry struct {
+	field   int // layout field slot
+	ternary bool
+	key     int64 // pre-masked for ternary entries
+	mask    int64
+	sel     int64 // 1-based dispatch index; 0 = action outside dispatch list
+	args    []int64
+	actName string // for the outside-dispatch-list error
+}
+
+func (e *isaEntry) matches(v int64) bool {
+	if e.ternary {
+		return v&e.mask == e.key
+	}
+	return v == e.key
+}
+
+// isaTable is one OpMatch target with its entries and default precompiled.
+type isaTable struct {
+	name    string
+	entries []isaEntry
+	hasDef  bool
+	defSel  int64
+	defArgs []int64
+	defName string
+	err     error // the table is unknown to the program (injected ISA)
+}
+
 // ISAMachine executes an assembled ISA program over the same centralized
 // state (match table entries, register arrays) as the table-level Machine.
+// The slot-compiled hot path (ExecSlots) runs packets as layout-ordered
+// []int64 vectors over a reused register file; the map-based exec path is
+// kept as the compatibility layer.
 type ISAMachine struct {
 	prog    *p4.Program
 	isa     *ISAProgram
 	entries *EntrySet
 	hw      HWConfig
 
-	fieldW    []phv.Width
-	regW      []phv.Width
-	registers map[string][]int64
+	fieldW   []phv.Width
+	regW     []phv.Width
+	regBanks [][]int64 // indexed by register-array symbol
+
+	layout      *SlotLayout
+	fieldSlot   []int       // field symbol -> layout slot (-1 = unknown field)
+	aluW        []phv.Width // per-instruction OpALU width
+	matchTables []isaTable  // indexed by table symbol
+	scratch     []int64     // ExecSlots register file, zeroed per packet
 }
 
 // NewISAMachine builds an executor. When isa is nil the program is
 // assembled from the P4 source.
 func NewISAMachine(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWConfig) (*ISAMachine, error) {
+	layout, err := NewSlotLayout(prog)
+	if err != nil {
+		return nil, err
+	}
+	return newISAMachine(prog, isa, entries, hw, layout)
+}
+
+// newISAMachine is NewISAMachine over a shared layout (the differential
+// fuzzer builds both machines over one).
+func newISAMachine(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWConfig, layout *SlotLayout) (*ISAMachine, error) {
 	var err error
 	if isa == nil {
 		isa, err = Assemble(prog)
@@ -563,20 +614,28 @@ func NewISAMachine(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWCo
 		return nil, err
 	}
 	m := &ISAMachine{
-		prog:      prog,
-		isa:       isa,
-		entries:   entries,
-		hw:        hw.Defaults(),
-		registers: map[string][]int64{},
+		prog:    prog,
+		isa:     isa,
+		entries: entries,
+		hw:      hw.Defaults(),
+		layout:  layout,
+		scratch: make([]int64, isa.NumRegs),
 	}
 	m.fieldW = make([]phv.Width, len(isa.Fields))
-	for i := range isa.Fields {
+	m.fieldSlot = make([]int, len(isa.Fields))
+	for i, name := range isa.Fields {
 		m.fieldW[i], err = phv.NewWidth(isa.fieldBits[i])
 		if err != nil {
 			return nil, err
 		}
+		if s, ok := layout.fieldIdx[name]; ok {
+			m.fieldSlot[i] = s
+		} else {
+			m.fieldSlot[i] = -1 // a slot packet "lacks" this field
+		}
 	}
 	m.regW = make([]phv.Width, len(isa.RegArrays))
+	m.regBanks = make([][]int64, len(isa.RegArrays))
 	for i, name := range isa.RegArrays {
 		r := prog.Register(name)
 		if r == nil {
@@ -586,39 +645,108 @@ func NewISAMachine(prog *p4.Program, isa *ISAProgram, entries *EntrySet, hw HWCo
 		if err != nil {
 			return nil, err
 		}
-		m.registers[name] = make([]int64, r.Count)
+		m.regBanks[i] = make([]int64, r.Count)
 	}
+	m.aluW = make([]phv.Width, len(isa.Instrs))
+	for i, in := range isa.Instrs {
+		if in.Op == OpALU {
+			w, err := phv.NewWidth(in.Bits)
+			if err != nil {
+				w = phv.Default32 // aluEval's historical fallback
+			}
+			m.aluW[i] = w
+		}
+	}
+	m.matchTables = m.compileMatchTables()
 	return m, nil
+}
+
+// compileMatchTables resolves every OpMatch target's entries and default
+// against the dispatch lists once, so the hot path's match is a slot scan
+// with no map lookups and no allocation.
+func (m *ISAMachine) compileMatchTables() []isaTable {
+	dispatchIdx := func(tableSym int, action string) int64 {
+		for i, name := range m.isa.Dispatch[tableSym] {
+			if name == action {
+				return int64(i + 1)
+			}
+		}
+		return 0
+	}
+	out := make([]isaTable, len(m.isa.Tables))
+	for ti, name := range m.isa.Tables {
+		mt := &out[ti]
+		mt.name = name
+		t := m.prog.Table(name)
+		if t == nil {
+			// The interpreter reports this the first time the table is
+			// consulted; keep that timing.
+			mt.err = fmt.Errorf("unknown table %q", name)
+			continue
+		}
+		for _, e := range m.entries.ForTable(name) {
+			fs, ok := m.layout.fieldIdx[e.Field]
+			if !ok {
+				continue // a non-program field never matches a slot packet
+			}
+			ie := isaEntry{
+				field:   fs,
+				ternary: e.Kind == p4.MatchTernary,
+				key:     e.Key,
+				mask:    e.Mask,
+				sel:     dispatchIdx(ti, e.Action.Name),
+				args:    e.Action.Args,
+				actName: e.Action.Name,
+			}
+			if ie.ternary {
+				ie.key = e.Key & e.Mask
+			}
+			mt.entries = append(mt.entries, ie)
+		}
+		if t.Default != nil {
+			mt.hasDef = true
+			mt.defSel = dispatchIdx(ti, t.Default.Name)
+			mt.defArgs = t.Default.Args
+			mt.defName = t.Default.Name
+		}
+	}
+	return out
 }
 
 // Program returns the ISA program under execution.
 func (m *ISAMachine) Program() *ISAProgram { return m.isa }
 
-// Clone returns a machine with private register-array state. The P4
-// program, ISA program, table entries, hardware configuration and width
-// tables are immutable after construction and stay shared; campaign workers
-// run shards on clones so no mutable state crosses goroutines.
+// Layout returns the machine's slot layout.
+func (m *ISAMachine) Layout() *SlotLayout { return m.layout }
+
+// Clone returns a machine with private register-array state and scratch.
+// The P4 program, ISA program, table entries, hardware configuration,
+// width tables and precompiled match tables are immutable after
+// construction and stay shared; campaign workers run shards on clones so
+// no mutable state crosses goroutines.
 func (m *ISAMachine) Clone() *ISAMachine {
 	c := *m
-	c.registers = make(map[string][]int64, len(m.registers))
-	for name, cells := range m.registers {
-		c.registers[name] = append([]int64(nil), cells...)
+	c.regBanks = make([][]int64, len(m.regBanks))
+	for i, cells := range m.regBanks {
+		c.regBanks[i] = append([]int64(nil), cells...)
 	}
+	c.scratch = make([]int64, len(m.scratch))
 	return &c
 }
 
 // Register returns a copy of a register array's cells.
 func (m *ISAMachine) Register(name string) ([]int64, bool) {
-	r, ok := m.registers[name]
-	if !ok {
-		return nil, false
+	for i, n := range m.isa.RegArrays {
+		if n == name {
+			return append([]int64(nil), m.regBanks[i]...), true
+		}
 	}
-	return append([]int64(nil), r...), true
+	return nil, false
 }
 
 // ResetState zeroes all register arrays.
 func (m *ISAMachine) ResetState() {
-	for _, r := range m.registers {
+	for _, r := range m.regBanks {
 		for i := range r {
 			r[i] = 0
 		}
@@ -659,8 +787,103 @@ func (m *ISAMachine) Run(packets []*Packet) (*ISAStats, error) {
 	return stats, nil
 }
 
-// exec runs the program on one packet and returns the executed
-// instruction count.
+// ExecSlots runs the program on one layout-ordered slot-vector packet in
+// place — the slot-compiled hot path. The register file is a per-machine
+// scratch zeroed at entry, table matches use the precompiled entry lists,
+// and ALU widths are resolved per instruction at build time, so a clean
+// execution performs no allocation and no map lookups. It returns the
+// executed instruction count (the per-packet latency, one instruction per
+// cycle) and the drop flag. Register-array state accumulates across calls,
+// exactly like exec.
+func (m *ISAMachine) ExecSlots(pkt []int64) (executed int, dropped bool, err error) {
+	regs := m.scratch
+	for i := range regs {
+		regs[i] = 0
+	}
+	pc := 0
+	for pc < len(m.isa.Instrs) {
+		in := &m.isa.Instrs[pc]
+		executed++
+		next := pc + 1
+		switch in.Op {
+		case OpLoadImm:
+			regs[in.Dst] = in.Imm
+		case OpLoadField:
+			s := m.fieldSlot[in.Sym]
+			if s < 0 {
+				return executed, dropped, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym])
+			}
+			regs[in.Dst] = pkt[s]
+		case OpStoreField:
+			s := m.fieldSlot[in.Sym]
+			if s < 0 {
+				return executed, dropped, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym])
+			}
+			pkt[s] = m.fieldW[in.Sym].Trunc(regs[in.A])
+		case OpALU:
+			regs[in.Dst] = aluEvalW(in.AOp, m.aluW[pc], regs[in.A], regs[in.B])
+		case OpLoadReg:
+			cells := m.regBanks[in.Sym]
+			regs[in.Dst] = cells[wrapIndex(regs[in.A], len(cells))]
+		case OpStoreReg:
+			cells := m.regBanks[in.Sym]
+			cells[wrapIndex(regs[in.A], len(cells))] = m.regW[in.Sym].Trunc(regs[in.B])
+		case OpMatch:
+			mt := &m.matchTables[in.Sym]
+			if mt.err != nil {
+				return executed, dropped, mt.err
+			}
+			var sel int64
+			var args []int64
+			matched := false
+			actName := ""
+			for ei := range mt.entries {
+				e := &mt.entries[ei]
+				if e.matches(pkt[e.field]) {
+					matched, sel, args, actName = true, e.sel, e.args, e.actName
+					break
+				}
+			}
+			if !matched && mt.hasDef {
+				matched, sel, args, actName = true, mt.defSel, mt.defArgs, mt.defName
+			}
+			if matched && sel == 0 {
+				return executed, dropped, fmt.Errorf("table %q selected action %q outside its dispatch list", mt.name, actName)
+			}
+			regs[in.Dst] = sel
+			for i := 0; i < m.isa.NumParams; i++ {
+				regs[RegParam0+i] = 0
+			}
+			for i, v := range args {
+				regs[RegParam0+i] = v
+			}
+		case OpBZ:
+			if regs[in.A] == 0 {
+				next = in.Target
+			}
+		case OpBNZ:
+			if regs[in.A] != 0 {
+				next = in.Target
+			}
+		case OpJmp:
+			next = in.Target
+		case OpDrop:
+			dropped = true
+			regs[RegDrop] = 1
+		case OpHalt:
+			return executed, dropped, nil
+		default:
+			return executed, dropped, fmt.Errorf("unknown opcode %d at pc %d", in.Op, pc)
+		}
+		regs[RegZero] = 0 // the zero register is immutable
+		pc = next
+	}
+	return executed, dropped, nil
+}
+
+// exec runs the program on one map packet and returns the executed
+// instruction count: the map-based compatibility path, differentially
+// tested against ExecSlots.
 func (m *ISAMachine) exec(pkt *Packet, stats *ISAStats) (int, error) {
 	regs := make([]int64, m.isa.NumRegs)
 	executed := 0
@@ -688,10 +911,10 @@ func (m *ISAMachine) exec(pkt *Packet, stats *ISAStats) (int, error) {
 		case OpALU:
 			regs[in.Dst] = aluEval(in.AOp, in.Bits, regs[in.A], regs[in.B])
 		case OpLoadReg:
-			cells := m.registers[m.isa.RegArrays[in.Sym]]
+			cells := m.regBanks[in.Sym]
 			regs[in.Dst] = cells[wrapIndex(regs[in.A], len(cells))]
 		case OpStoreReg:
-			cells := m.registers[m.isa.RegArrays[in.Sym]]
+			cells := m.regBanks[in.Sym]
 			cells[wrapIndex(regs[in.A], len(cells))] = m.regW[in.Sym].Trunc(regs[in.B])
 		case OpMatch:
 			stats.MatchOps++
@@ -783,6 +1006,12 @@ func aluEval(op ALUOp, bits int, a, b int64) int64 {
 	if err != nil {
 		w = phv.Default32
 	}
+	return aluEvalW(op, w, a, b)
+}
+
+// aluEvalW is aluEval over a prebuilt width — the slot path resolves the
+// width per instruction at machine-construction time.
+func aluEvalW(op ALUOp, w phv.Width, a, b int64) int64 {
 	a, b = w.Trunc(a), w.Trunc(b)
 	switch op {
 	case ALUAdd:

@@ -12,7 +12,9 @@ import (
 )
 
 // Packet is one packet flowing through the dRMT machine: a bag of header
-// field values plus bookkeeping.
+// field values plus bookkeeping. It is the map-based compatibility
+// representation; the hot path runs on layout-ordered []int64 slot vectors
+// (see slots.go) and never materializes a Packet.
 type Packet struct {
 	ID      int
 	Fields  map[string]int64
@@ -36,12 +38,13 @@ func (p *Packet) Clone() *Packet {
 
 // TrafficGen generates packets "with randomly initialized packet field
 // values based on the fields specified in the P4 file" (§4.2). Packet IDs
-// are assigned from a running counter, so consecutive Next/Batch calls on
-// one generator yield distinct, globally ordered IDs.
+// are assigned from a running counter, so consecutive Next/Fill/Batch calls
+// on one generator yield distinct, globally ordered IDs.
 type TrafficGen struct {
 	rng    *rand.Rand
 	fields []string
 	bits   map[string]int
+	limits []int64 // per-field draw bound, built lazily from bits and max
 	max    int64
 	next   int // next packet ID
 }
@@ -61,14 +64,16 @@ func NewTrafficGen(seed int64, prog *p4.Program, max int64) (*TrafficGen, error)
 	return g, nil
 }
 
-// Next generates one packet.
-func (g *TrafficGen) Next() *Packet {
-	p := &Packet{ID: g.next, Fields: make(map[string]int64, len(g.fields))}
-	g.next++
-	for _, f := range g.fields {
-		// int64(1)<<63 is negative and int64(1)<<64 is 0, either of which
-		// would panic rand.Int63n; fields 63 bits and wider draw from the
-		// full non-negative int64 range instead.
+// ensureLimits computes each field's draw bound once. int64(1)<<63 is
+// negative and int64(1)<<64 is 0, either of which would panic rand.Int63n;
+// fields 63 bits and wider draw from the full non-negative int64 range
+// instead.
+func (g *TrafficGen) ensureLimits() {
+	if g.limits != nil {
+		return
+	}
+	g.limits = make([]int64, len(g.fields))
+	for i, f := range g.fields {
 		limit := int64(math.MaxInt64)
 		if g.bits[f] < 63 {
 			limit = int64(1) << uint(g.bits[f])
@@ -76,7 +81,37 @@ func (g *TrafficGen) Next() *Packet {
 		if g.max > 0 && g.max < limit {
 			limit = g.max
 		}
-		p.Fields[f] = g.rng.Int63n(limit)
+		g.limits[i] = limit
+	}
+}
+
+// Fill writes the next packet's field values into the caller-owned dst
+// buffer — slot order, i.e. sorted field order, matching SlotLayout — and
+// returns the packet's ID. It draws exactly one value per field, so Fill
+// and Next consume the random stream identically: streaming and
+// materializing consumers of the same seed see the same traffic. dst must
+// have at least NumFields entries. Fill performs no allocation after the
+// first call.
+func (g *TrafficGen) Fill(dst []int64) int {
+	g.ensureLimits()
+	id := g.next
+	g.next++
+	for i, limit := range g.limits {
+		dst[i] = g.rng.Int63n(limit)
+	}
+	return id
+}
+
+// NumFields returns the number of values Fill draws per packet.
+func (g *TrafficGen) NumFields() int { return len(g.fields) }
+
+// Next generates one packet.
+func (g *TrafficGen) Next() *Packet {
+	g.ensureLimits()
+	p := &Packet{ID: g.next, Fields: make(map[string]int64, len(g.fields))}
+	g.next++
+	for i, f := range g.fields {
+		p.Fields[f] = g.rng.Int63n(g.limits[i])
 	}
 	return p
 }
@@ -105,7 +140,9 @@ type Stats struct {
 }
 
 // Machine is an executable dRMT configuration: program, schedule, hardware
-// parameters, table entries and register state.
+// parameters, table entries and register state. The program is slot-compiled
+// at construction (see slots.go); the map-based Run/process path is kept as
+// a thin compatibility layer over the same register banks.
 type Machine struct {
 	prog    *p4.Program
 	graph   *dag.Graph
@@ -113,13 +150,26 @@ type Machine struct {
 	hw      HWConfig
 	entries *EntrySet
 
-	widths    map[string]phv.Width
-	registers map[string][]int64
+	layout     *SlotLayout
+	ctables    []compiledTable
+	regBanks   [][]int64 // indexed by layout register slot
+	matchCount []int     // per layout table slot, RunStream scratch
+	params     []int64   // compat-path action-argument scratch
 }
 
 // NewMachine assembles a machine. When sched is nil a greedy schedule is
 // computed from the program's dependency DAG.
 func NewMachine(prog *p4.Program, entries *EntrySet, hw HWConfig, sched *Schedule) (*Machine, error) {
+	layout, err := NewSlotLayout(prog)
+	if err != nil {
+		return nil, err
+	}
+	return newMachine(prog, entries, hw, sched, layout)
+}
+
+// newMachine is NewMachine over a shared layout (the differential fuzzer
+// builds both machines over one).
+func newMachine(prog *p4.Program, entries *EntrySet, hw HWConfig, sched *Schedule, layout *SlotLayout) (*Machine, error) {
 	hw = hw.Defaults()
 	g, err := p4.BuildDAG(prog)
 	if err != nil {
@@ -134,41 +184,37 @@ func NewMachine(prog *p4.Program, entries *EntrySet, hw HWConfig, sched *Schedul
 	if err := sched.Validate(g, DefaultCosts(g), hw); err != nil {
 		return nil, err
 	}
+	ctables, err := compileMachine(prog, entries, layout)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
-		prog:      prog,
-		graph:     g,
-		sched:     sched,
-		hw:        hw,
-		entries:   entries,
-		widths:    map[string]phv.Width{},
-		registers: map[string][]int64{},
-	}
-	for _, f := range prog.FieldNames() {
-		bits, err := prog.FieldBits(f)
-		if err != nil {
-			return nil, err
-		}
-		m.widths[f], err = phv.NewWidth(bits)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, r := range prog.Registers {
-		m.registers[r.Name] = make([]int64, r.Count)
+		prog:       prog,
+		graph:      g,
+		sched:      sched,
+		hw:         hw,
+		entries:    entries,
+		layout:     layout,
+		ctables:    ctables,
+		regBanks:   layout.newRegBanks(),
+		matchCount: make([]int, len(layout.tables)),
 	}
 	return m, nil
 }
 
-// Clone returns a machine with private register state. The program, DAG,
-// schedule, hardware configuration and table entries are immutable after
-// construction and stay shared; campaign workers run shards on clones so no
-// mutable state crosses goroutines.
+// Clone returns a machine with private register state and scratch buffers.
+// The program, DAG, schedule, hardware configuration, table entries, layout
+// and compiled tables are immutable after construction and stay shared;
+// campaign workers run shards on clones so no mutable state crosses
+// goroutines.
 func (m *Machine) Clone() *Machine {
 	c := *m
-	c.registers = make(map[string][]int64, len(m.registers))
-	for name, cells := range m.registers {
-		c.registers[name] = append([]int64(nil), cells...)
+	c.regBanks = make([][]int64, len(m.regBanks))
+	for i, cells := range m.regBanks {
+		c.regBanks[i] = append([]int64(nil), cells...)
 	}
+	c.matchCount = make([]int, len(m.matchCount))
+	c.params = nil
 	return &c
 }
 
@@ -180,16 +226,16 @@ func (m *Machine) Graph() *dag.Graph { return m.graph }
 
 // Register returns a copy of a register's cells.
 func (m *Machine) Register(name string) ([]int64, bool) {
-	r, ok := m.registers[name]
+	i, ok := m.layout.regIdx[name]
 	if !ok {
 		return nil, false
 	}
-	return append([]int64(nil), r...), true
+	return append([]int64(nil), m.regBanks[i]...), true
 }
 
 // ResetState zeroes all registers.
 func (m *Machine) ResetState() {
-	for _, r := range m.registers {
+	for _, r := range m.regBanks {
 		for i := range r {
 			r[i] = 0
 		}
@@ -200,7 +246,8 @@ func (m *Machine) ResetState() {
 // processors round-robin, one packet per cycle (§4.2); each packet runs to
 // completion on its processor per the schedule. Logical effects follow the
 // control order packet by packet (the schedule satisfies all data
-// dependencies, so timing and logical order agree).
+// dependencies, so timing and logical order agree). Run is the map-based
+// compatibility path; the streaming hot path is RunStream/ProcessSlots.
 func (m *Machine) Run(packets []*Packet) (*Stats, error) {
 	stats := &Stats{
 		Packets:        len(packets),
@@ -267,7 +314,19 @@ func (m *Machine) lookup(t *p4.Table, pkt *Packet) *p4.ActionCall {
 	return nil
 }
 
-// apply executes an action's primitives on the packet.
+// fieldWidth returns a field's width, or the zero Width (which truncates
+// everything to 0) for unknown fields — the interpreter's historical
+// behavior for names outside the program.
+func (m *Machine) fieldWidth(name string) phv.Width {
+	if i, ok := m.layout.fieldIdx[name]; ok {
+		return m.layout.fieldW[i]
+	}
+	return phv.Width{}
+}
+
+// apply executes an action's primitives on a map packet. Action arguments
+// are staged in a per-machine scratch slice reused across applies, so even
+// this compatibility path allocates nothing per packet.
 func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 	act := m.prog.Action(call.Name)
 	if act == nil {
@@ -276,10 +335,7 @@ func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 	if len(call.Args) != len(act.Params) {
 		return fmt.Errorf("action %q takes %d args, got %d", call.Name, len(act.Params), len(call.Args))
 	}
-	params := map[string]int64{}
-	for i, p := range act.Params {
-		params[p] = call.Args[i]
-	}
+	m.params = append(m.params[:0], call.Args...)
 	evalOp := func(o p4.Operand) (int64, error) {
 		switch o.Kind {
 		case p4.OpLiteral:
@@ -291,24 +347,30 @@ func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 			}
 			return v, nil
 		case p4.OpParam:
-			return params[o.Name], nil
+			for i, p := range act.Params {
+				if p == o.Name {
+					return m.params[i], nil
+				}
+			}
+			return 0, nil // unknown parameters read as 0, like the old map
 		}
 		return 0, fmt.Errorf("bad operand kind %d", o.Kind)
 	}
-	regIndex := func(reg string, idxOp p4.Operand) (int, error) {
-		cells, ok := m.registers[reg]
+	regIndex := func(reg string, idxOp p4.Operand) (int, []int64, error) {
+		ri, ok := m.layout.regIdx[reg]
 		if !ok {
-			return 0, fmt.Errorf("unknown register %q", reg)
+			return 0, nil, fmt.Errorf("unknown register %q", reg)
 		}
+		cells := m.regBanks[ri]
 		idx, err := evalOp(idxOp)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if len(cells) == 0 {
-			return 0, fmt.Errorf("register %q has no cells", reg)
+			return 0, nil, fmt.Errorf("register %q has no cells", reg)
 		}
 		// Index wraps like a hash-indexed register array.
-		return int(((idx % int64(len(cells))) + int64(len(cells))) % int64(len(cells))), nil
+		return wrapIndex(idx, len(cells)), cells, nil
 	}
 
 	for _, pr := range act.Prims {
@@ -318,16 +380,16 @@ func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 			if err != nil {
 				return err
 			}
-			pkt.Fields[pr.Field] = m.widths[pr.Field].Trunc(v)
+			pkt.Fields[pr.Field] = m.fieldWidth(pr.Field).Trunc(v)
 		case p4.PrimAddToField:
 			v, err := evalOp(pr.Args[0])
 			if err != nil {
 				return err
 			}
-			w := m.widths[pr.Field]
+			w := m.fieldWidth(pr.Field)
 			pkt.Fields[pr.Field] = w.Add(pkt.Fields[pr.Field], w.Trunc(v))
 		case p4.PrimRegWrite:
-			i, err := regIndex(pr.Reg, pr.Args[0])
+			i, cells, err := regIndex(pr.Reg, pr.Args[0])
 			if err != nil {
 				return err
 			}
@@ -335,9 +397,9 @@ func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 			if err != nil {
 				return err
 			}
-			m.registers[pr.Reg][i] = m.regWidth(pr.Reg).Trunc(v)
+			cells[i] = m.regWidth(pr.Reg).Trunc(v)
 		case p4.PrimRegAdd:
-			i, err := regIndex(pr.Reg, pr.Args[0])
+			i, cells, err := regIndex(pr.Reg, pr.Args[0])
 			if err != nil {
 				return err
 			}
@@ -346,13 +408,13 @@ func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 				return err
 			}
 			w := m.regWidth(pr.Reg)
-			m.registers[pr.Reg][i] = w.Add(m.registers[pr.Reg][i], w.Trunc(v))
+			cells[i] = w.Add(cells[i], w.Trunc(v))
 		case p4.PrimRegRead:
-			i, err := regIndex(pr.Reg, pr.Args[0])
+			i, cells, err := regIndex(pr.Reg, pr.Args[0])
 			if err != nil {
 				return err
 			}
-			pkt.Fields[pr.Field] = m.widths[pr.Field].Trunc(m.registers[pr.Reg][i])
+			pkt.Fields[pr.Field] = m.fieldWidth(pr.Field).Trunc(cells[i])
 		case p4.PrimDrop:
 			pkt.Dropped = true
 		case p4.PrimNoOp:
@@ -362,15 +424,10 @@ func (m *Machine) apply(call p4.ActionCall, pkt *Packet) error {
 }
 
 func (m *Machine) regWidth(name string) phv.Width {
-	r := m.prog.Register(name)
-	if r == nil {
-		return phv.Default32
+	if i, ok := m.layout.regIdx[name]; ok {
+		return m.layout.regW[i]
 	}
-	w, err := phv.NewWidth(r.Bits)
-	if err != nil {
-		return phv.Default32
-	}
-	return w
+	return phv.Default32
 }
 
 // FormatStats renders run statistics.
