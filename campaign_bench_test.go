@@ -22,7 +22,7 @@ import (
 
 func campaignJobs(b *testing.B, packets int) []campaign.Job {
 	b.Helper()
-	jobs, err := campaign.Matrix(spec.All(), []core.OptLevel{core.SCCInlining}, nil, packets)
+	jobs, err := campaign.Matrix(spec.All(), []core.OptLevel{core.SCCInlining}, nil, nil, packets)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func BenchmarkCampaignShardOverhead(b *testing.B) {
 	}
 	for _, shard := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("shard=%d", shard), func(b *testing.B) {
-			jobs, err := campaign.Matrix([]*spec.Benchmark{bm}, []core.OptLevel{core.SCCInlining}, nil, packets)
+			jobs, err := campaign.Matrix([]*spec.Benchmark{bm}, []core.OptLevel{core.SCCInlining}, nil, nil, packets)
 			if err != nil {
 				b.Fatal(err)
 			}

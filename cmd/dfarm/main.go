@@ -9,12 +9,22 @@
 // sweeps the Table-1 benchmark matrix over all four pipeline engines
 // (unoptimized, scc, scc+inline, compiled); -arch drmt sweeps the dRMT
 // benchmark set, fuzzing the ISA-level machine (§7) against the
-// interpreted mini-P4 semantics (§4); -arch all runs both.
+// interpreted mini-P4 semantics (§4); -arch all runs both. -traffic adds
+// the boundary-value adversarial regime as a matrix axis, and -procs
+// sweeps dRMT processor-count variants.
+//
+// With -server, dfarm becomes a client of a dfarmd campaign daemon: the
+// same flags are submitted as a JSON matrix, the daemon streams one NDJSON
+// row per job as jobs complete, and dfarm reassembles and renders them
+// byte-identically to an offline run — except that the daemon's
+// content-addressed shard cache replays unchanged work instead of
+// re-executing it (-timing shows the hit counters).
 //
 //	dfarm -packets 50000 -workers 8
 //	dfarm -run flowlets -levels scc+inline,compiled -seeds 1,2,3 -json report.json
-//	dfarm -arch drmt -packets 20000
-//	dfarm -arch all -failfast -timing
+//	dfarm -arch drmt -packets 20000 -procs 2,4,8
+//	dfarm -arch all -traffic uniform,boundary -failfast -timing
+//	dfarm -server http://localhost:8844 -run lru -json report.json
 //
 // Exit status: 0 when every job passes; 1 when any job fails (mismatch,
 // simulation error or abort) or on usage errors.
@@ -26,101 +36,85 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 
 	"druzhba/internal/campaign"
 	"druzhba/internal/cli"
-	"druzhba/internal/core"
-	"druzhba/internal/drmt"
-	"druzhba/internal/spec"
+	"druzhba/internal/farmd"
 )
 
 func main() {
 	fs := flag.NewFlagSet("dfarm", flag.ExitOnError)
 	arch := fs.String("arch", "rmt", "architectures to campaign over: rmt, drmt or all")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); offline mode only")
 	packets := fs.Int("packets", 50000, "random PHVs per job (the paper's workload is 50000)")
 	shard := fs.Int("shard", 4096, "packets per shard (part of the campaign's identity; changing it changes the traffic)")
 	seeds := fs.String("seeds", "1", "comma-separated traffic seeds; each seed adds a full matrix sweep")
 	levels := fs.String("levels", "", "comma-separated optimization levels (empty = unoptimized,scc,scc+inline,compiled)")
+	traffic := fs.String("traffic", "", "comma-separated traffic modes: uniform, boundary (empty = uniform)")
+	procs := fs.String("procs", "", "comma-separated dRMT processor-count variants (empty = benchmark defaults)")
 	run := fs.String("run", "", "only benchmarks whose name contains this substring")
 	maxCE := fs.Int("max-counterexamples", 8, "deduplicated counterexamples kept per job (-1 = unbounded)")
 	failfast := fs.Bool("failfast", false, "cancel the campaign at the first failing shard")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock budget (0 = unbounded)")
+	server := fs.String("server", "", "submit the matrix to this dfarmd base URL instead of executing locally")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file (- for stdout)")
-	timing := fs.Bool("timing", false, "include workers/elapsed/throughput in the report (breaks byte-identity across -workers)")
+	timing := fs.Bool("timing", false, "include workers/elapsed/cache metadata in the report (breaks byte-identity across -workers and cache states)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() > 0 {
 		cli.Fatalf("dfarm: unexpected argument %q (all options are flags)", fs.Arg(0))
 	}
 
-	if *arch != "rmt" && *arch != "drmt" && *arch != "all" {
-		cli.Fatalf("dfarm: -arch %q (want rmt, drmt or all)", *arch)
+	seedList, err := farmd.ParseSeeds(*seeds)
+	if err != nil {
+		cli.Fatalf("dfarm: %v", err)
 	}
-	var optLevels []core.OptLevel
-	if *levels != "" {
-		if *arch == "drmt" {
-			cli.Fatalf("dfarm: -levels applies to the rmt architecture only")
-		}
-		for _, name := range strings.Split(*levels, ",") {
-			lvl, err := cli.ParseLevel(strings.TrimSpace(name))
-			if err != nil {
-				cli.Fatalf("dfarm: %v", err)
-			}
-			optLevels = append(optLevels, lvl)
-		}
+	procList, err := farmd.ParseProcs(*procs)
+	if err != nil {
+		cli.Fatalf("dfarm: %v", err)
 	}
-	var seedList []int64
-	for _, s := range strings.Split(*seeds, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
-		if err != nil {
-			cli.Fatalf("dfarm: bad seed %q: %v", s, err)
-		}
-		seedList = append(seedList, v)
-	}
-
-	var jobs []campaign.Job
-	if *arch == "rmt" || *arch == "all" {
-		benchmarks := spec.Match(*run)
-		if len(benchmarks) == 0 && *arch == "rmt" {
-			cli.Fatalf("dfarm: -run %q matches no rmt benchmark (have %v)", *run, spec.Names())
-		}
-		if len(benchmarks) > 0 {
-			rmtJobs, err := campaign.Matrix(benchmarks, optLevels, seedList, *packets)
-			if err != nil {
-				cli.Fatalf("dfarm: %v", err)
-			}
-			jobs = append(jobs, rmtJobs...)
-		}
-	}
-	if *arch == "drmt" || *arch == "all" {
-		benchmarks := drmt.MatchBenchmarks(*run)
-		if len(benchmarks) == 0 && *arch == "drmt" {
-			cli.Fatalf("dfarm: -run %q matches no dRMT benchmark (have %v)", *run, drmt.BenchmarkNames())
-		}
-		if len(benchmarks) > 0 {
-			drmtJobs, err := campaign.DRMTMatrix(benchmarks, seedList, *packets)
-			if err != nil {
-				cli.Fatalf("dfarm: %v", err)
-			}
-			jobs = append(jobs, drmtJobs...)
-		}
-	}
-	if len(jobs) == 0 {
-		cli.Fatalf("dfarm: -run %q matches no benchmark in any architecture", *run)
+	req := &farmd.MatrixRequest{
+		Arch:               *arch,
+		Run:                *run,
+		Levels:             farmd.SplitList(*levels),
+		Traffic:            farmd.SplitList(*traffic),
+		Procs:              procList,
+		Seeds:              seedList,
+		Packets:            *packets,
+		ShardSize:          *shard,
+		MaxCounterexamples: *maxCE,
+		FailFast:           *failfast,
+		JobTimeoutMS:       (*jobTimeout).Milliseconds(),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	report, runErr := campaign.Run(ctx, jobs, campaign.Options{
-		Workers:            *workers,
-		ShardSize:          *shard,
-		MaxCounterexamples: *maxCE,
-		FailFast:           *failfast,
-	})
-	if report == nil {
-		cli.Fatalf("dfarm: %v", runErr)
+
+	var report *campaign.Report
+	var runErr error
+	if *server != "" {
+		report, runErr = farmd.Submit(ctx, *server, req)
+		// A stream that died mid-campaign still yields the rows received
+		// so far; render them like an offline cancelled run. Only a
+		// submission that produced nothing at all is fatal.
+		if report == nil || (runErr != nil && len(report.Jobs) == 0) {
+			cli.Fatalf("dfarm: %v", runErr)
+		}
+	} else {
+		jobs, err := req.Jobs()
+		if err != nil {
+			cli.Fatalf("dfarm: %v", err)
+		}
+		report, runErr = campaign.Run(ctx, jobs, campaign.Options{
+			Workers:            *workers,
+			ShardSize:          *shard,
+			MaxCounterexamples: *maxCE,
+			FailFast:           *failfast,
+			JobTimeout:         *jobTimeout,
+		})
+		if report == nil {
+			cli.Fatalf("dfarm: %v", runErr)
+		}
 	}
 
 	// With -json - the JSON document owns stdout; the text report moves to

@@ -1,0 +1,79 @@
+// dfarmd is the long-running campaign service: dfarm's engine behind an
+// HTTP daemon with a content-addressed persistent shard-result cache.
+// Clients (dfarm -server, or anything speaking the JSON protocol) POST job
+// matrices to /v1/campaigns and receive one NDJSON row per job as jobs
+// complete, in matrix order, followed by a summary row carrying the
+// verdict, cache counters and timing.
+//
+// Shard results are pure functions of (target fingerprint, shard seed,
+// shard size), so the daemon caches every clean result — in a bounded
+// in-memory LRU, optionally tiered over an on-disk directory that survives
+// restarts — and replays it on resubmission: submitting an unchanged
+// matrix twice executes zero shards the second time while streaming
+// byte-identical job rows.
+//
+//	dfarmd -addr :8844 -cache-dir /var/cache/dfarmd
+//	dfarm -server http://localhost:8844 -run lru -packets 50000
+//
+// Endpoints:
+//
+//	POST /v1/campaigns   submit a matrix (JSON), stream NDJSON rows
+//	GET  /v1/benchmarks  embedded benchmark registries by architecture
+//	GET  /v1/stats       cumulative campaigns/jobs/cache counters
+//	GET  /healthz        liveness probe
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/cli"
+	"druzhba/internal/farmd"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dfarmd", flag.ExitOnError)
+	addr := fs.String("addr", ":8844", "listen address")
+	cacheDir := fs.String("cache-dir", "", "persistent shard-cache directory (empty = in-memory only)")
+	cacheEntries := fs.Int("cache-entries", 4096, "in-memory LRU capacity in shard results (0 = default)")
+	noCache := fs.Bool("no-cache", false, "disable the shard-result cache entirely")
+	workers := fs.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+	maxConcurrent := fs.Int("max-concurrent", 2, "campaigns executing at once; excess submissions queue")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-job wall-clock budget (0 = unbounded)")
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+	if fs.NArg() > 0 {
+		cli.Fatalf("dfarmd: unexpected argument %q (all options are flags)", fs.Arg(0))
+	}
+
+	var cache campaign.ShardCache
+	if !*noCache {
+		mem := farmd.NewMemCache(*cacheEntries)
+		if *cacheDir != "" {
+			disk, err := farmd.NewDirCache(*cacheDir)
+			if err != nil {
+				cli.Fatalf("dfarmd: %v", err)
+			}
+			cache = farmd.NewTiered(mem, disk)
+		} else {
+			cache = mem
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "dfarmd: listening on %s (cache-dir=%q, max-concurrent=%d)\n", *addr, *cacheDir, *maxConcurrent)
+	err := farmd.Serve(ctx, *addr, farmd.Config{
+		Cache:         cache,
+		Workers:       *workers,
+		MaxConcurrent: *maxConcurrent,
+		JobTimeout:    *jobTimeout,
+	})
+	if err != nil {
+		cli.Fatalf("dfarmd: %v", err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"druzhba/internal/codegen"
 	"druzhba/internal/core"
 	"druzhba/internal/domino"
+	"druzhba/internal/farmd"
 	"druzhba/internal/machinecode"
 	"druzhba/internal/phv"
 	"druzhba/internal/sim"
@@ -256,6 +257,52 @@ func RunDRMTCampaign(ctx context.Context, packets int, opts CampaignOptions) (*C
 		return nil, err
 	}
 	return campaign.Run(ctx, jobs, opts)
+}
+
+// ShardCache is the campaign engine's pluggable content-addressed
+// shard-result store: results replay byte-identically into later reports,
+// so a warm cache changes counters, never rows.
+type ShardCache = campaign.ShardCache
+
+// NewShardCache builds the standard cache stack (dfarmd's): a bounded
+// in-memory LRU of memEntries shard results (0 = 4096), tiered over a
+// persistent on-disk directory when dir is non-empty.
+func NewShardCache(memEntries int, dir string) (ShardCache, error) {
+	mem := farmd.NewMemCache(memEntries)
+	if dir == "" {
+		return mem, nil
+	}
+	disk, err := farmd.NewDirCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return farmd.NewTiered(mem, disk), nil
+}
+
+// CampaignServerConfig configures ServeCampaigns (shard cache, per-campaign
+// worker pool, concurrent-campaign bound, default per-job timeout).
+type CampaignServerConfig = farmd.Config
+
+// CampaignMatrixRequest describes a campaign job matrix as data — the JSON
+// protocol of the dfarmd service and the programmatic form of dfarm's
+// flags.
+type CampaignMatrixRequest = farmd.MatrixRequest
+
+// ServeCampaigns runs the long-running campaign service (dfarmd) on addr
+// until ctx is cancelled: clients POST job matrices to /v1/campaigns and
+// receive one NDJSON row per job as jobs complete, in matrix order, plus a
+// summary row; cfg.Cache replays unchanged shards so resubmitted matrices
+// execute nothing.
+func ServeCampaigns(ctx context.Context, addr string, cfg CampaignServerConfig) error {
+	return farmd.Serve(ctx, addr, cfg)
+}
+
+// SubmitCampaign submits a job matrix to a running campaign service and
+// reassembles the streamed rows into a report that renders byte-identically
+// to an offline RunCampaign of the same matrix (the server's cache and
+// timing metadata ride along in Report.Cache/Timing).
+func SubmitCampaign(ctx context.Context, serverURL string, req *CampaignMatrixRequest) (*CampaignReport, error) {
+	return farmd.Submit(ctx, serverURL, req)
 }
 
 // SynthesizeOptions configures Synthesize.

@@ -1,0 +1,118 @@
+// cache.go is the engine's content-addressed shard-result cache hook.
+//
+// Because a shard result is a pure function of (target configuration, shard
+// seed, shard size), it can be cached under a key derived from nothing but
+// those inputs and replayed byte-identically into later reports: the engine
+// consults Options.Cache before executing a shard and stores every clean
+// result after executing one. Re-submitting an unchanged campaign against a
+// warm cache therefore executes zero shards while producing the exact same
+// report.
+//
+// Keys are content-addressed, never name-addressed: a target contributes a
+// Fingerprint hashing the specification source, the machine code or program
+// under test, the architecture, the engine variant and the traffic regime.
+// Editing any of those changes the key and silently invalidates stale
+// entries; renaming a benchmark does not.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+// ShardCache is the engine's pluggable shard-result store. Implementations
+// must be safe for concurrent use; Get must return results that no caller
+// ever mutates (the engine treats cached results as immutable). Package
+// farmd provides an in-memory LRU, an on-disk directory store and a tiered
+// combination.
+type ShardCache interface {
+	// Get returns the result cached under key, or (nil, false). A cache
+	// that cannot trust an entry (corrupt, truncated, mislabeled) must
+	// report a miss — the engine then re-executes the shard, so a damaged
+	// cache can cost time but never a wrong row.
+	Get(key string) (*ShardResult, bool)
+
+	// Put stores res under key. The engine only stores error-free results
+	// (findings included): harness errors may depend on the environment,
+	// so they are always re-executed.
+	Put(key string, res *ShardResult)
+}
+
+// Fingerprinter is implemented by Targets whose configuration can be hashed
+// stably. An empty fingerprint means the target is not cacheable this run
+// (e.g. an opaque spec factory or an injected ISA program the engine cannot
+// hash); the engine then executes its shards unconditionally.
+type Fingerprinter interface {
+	// Fingerprint returns a stable content hash of everything that
+	// determines shard results for this target: specification, program
+	// under test, engine variant, traffic regime and value bounds. Two
+	// targets with equal fingerprints must produce identical ShardResults
+	// for every (seed, n).
+	Fingerprint() string
+}
+
+// CacheStats counts shard-cache outcomes of one campaign run: Hits is the
+// number of shards replayed from the cache, Misses the number executed with
+// caching enabled. Shards of non-fingerprintable targets execute without
+// touching the cache and appear in neither counter.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// buildSalt identifies the engine build producing shard results, so a
+// persistent cache written by one binary is silently invalidated by the
+// next engine change — an upgraded daemon re-executes rather than
+// replaying rows a fixed (or newly broken) engine would no longer produce.
+// The salt is a hash of the running executable itself, which changes with
+// any code change regardless of how the binary was produced (go build,
+// go run's temp binaries, dirty trees); VCS build metadata is only the
+// fallback when the executable cannot be read. Computed once, lazily, on
+// the first keyed shard.
+var buildSalt = sync.OnceValue(func() string {
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return hex.EncodeToString(h.Sum(nil))
+			}
+		}
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	salt := info.Main.Version
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" || s.Key == "vcs.modified" {
+			salt += "|" + s.Key + "=" + s.Value
+		}
+	}
+	return salt
+})
+
+// ShardKey derives the content-addressed cache key of one shard from the
+// target fingerprint, the shard's derived traffic seed and the shard size,
+// salted with the engine build identity. The fingerprint folds in the spec
+// and machine-code/program hashes, the architecture and the engine level,
+// so the key covers every input a shard result depends on.
+func ShardKey(fingerprint string, seed int64, n int) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%s\x00%d\x00%d", buildSalt(), len(fingerprint), fingerprint, seed, n)))
+	return hex.EncodeToString(h[:])
+}
+
+// fingerprintParts hashes length-framed parts into a stable hex string;
+// targets build their fingerprints from it.
+func fingerprintParts(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d\x00%s\x00", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

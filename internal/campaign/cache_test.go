@@ -1,0 +1,402 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"druzhba/internal/core"
+	"druzhba/internal/drmt"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+// mapCache is a minimal in-memory ShardCache for engine tests.
+type mapCache struct {
+	mu      sync.Mutex
+	entries map[string]*ShardResult
+}
+
+func newMapCache() *mapCache { return &mapCache{entries: map[string]*ShardResult{}} }
+
+func (c *mapCache) Get(key string) (*ShardResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[key]
+	return res, ok
+}
+
+func (c *mapCache) Put(key string, res *ShardResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = res
+}
+
+// countingTarget is a fingerprinted stub that counts shard executions.
+type countingTarget struct {
+	fp   string
+	runs int64
+}
+
+func (t *countingTarget) Arch() string               { return "stub" }
+func (t *countingTarget) Engine() string             { return "none" }
+func (t *countingTarget) Fingerprint() string        { return t.fp }
+func (t *countingTarget) Build() (Instance, error)   { return t, nil }
+func (t *countingTarget) NewRunner() (Runner, error) { return t, nil }
+func (t *countingTarget) RunShard(seed int64, n int) ShardResult {
+	atomic.AddInt64(&t.runs, 1)
+	return ShardResult{Checked: n, Ticks: seed % 1000}
+}
+
+// mixedMatrix builds a small two-architecture matrix for cache tests.
+func mixedMatrix(t *testing.T) []Job {
+	t.Helper()
+	rmtJobs, err := Matrix(spec.Match("sampling"), []core.OptLevel{core.SCCInlining, core.Compiled}, nil, nil, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drmtJobs, err := DRMTMatrix([]*drmt.Benchmark{mustBenchmark(t, "counter")}, nil, nil, nil, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(rmtJobs, drmtJobs...)
+}
+
+func mustBenchmark(t *testing.T, name string) *drmt.Benchmark {
+	t.Helper()
+	bm, err := drmt.LookupBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm
+}
+
+// TestCacheWarmRunReplaysByteIdentically: a cold cached run, warm cached
+// runs at several worker counts, and an uncached run all render the exact
+// same report over a real rmt+drmt matrix; the warm runs record zero
+// misses (no shard executed).
+func TestCacheWarmRunReplaysByteIdentically(t *testing.T) {
+	jobs := mixedMatrix(t)
+	opts := Options{Workers: 3, ShardSize: 256}
+
+	base, err := Run(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, base)
+
+	cache := newMapCache()
+	coldOpts := opts
+	coldOpts.Cache = cache
+	cold, err := Run(context.Background(), jobs, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(t, cold); got != want {
+		t.Fatalf("cold cached run differs from uncached run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	totalShards := 0
+	for i := range cold.Jobs {
+		totalShards += cold.Jobs[i].Shards
+	}
+	if cold.Cache == nil || cold.Cache.Hits != 0 || cold.Cache.Misses != int64(totalShards) {
+		t.Fatalf("cold run cache stats = %+v, want 0 hits / %d misses", cold.Cache, totalShards)
+	}
+
+	for _, workers := range []int{1, 4, 7} {
+		warmOpts := coldOpts
+		warmOpts.Workers = workers
+		warm, err := Run(context.Background(), jobs, warmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(t, warm); got != want {
+			t.Fatalf("warm run at workers=%d differs from uncached run", workers)
+		}
+		if warm.Cache == nil || warm.Cache.Misses != 0 || warm.Cache.Hits != int64(totalShards) {
+			t.Fatalf("warm run at workers=%d cache stats = %+v, want %d hits / 0 misses", workers, warm.Cache, totalShards)
+		}
+	}
+}
+
+// TestCacheWarmRunExecutesZeroShards pins the "zero shards executed"
+// guarantee directly with an execution counter.
+func TestCacheWarmRunExecutesZeroShards(t *testing.T) {
+	target := &countingTarget{fp: "stable-fingerprint"}
+	jobs := []Job{{Name: "counted", Target: target, Seed: 7, Packets: 100}}
+	cache := newMapCache()
+	opts := Options{Workers: 2, ShardSize: 16, Cache: cache}
+
+	if _, err := Run(context.Background(), jobs, opts); err != nil {
+		t.Fatal(err)
+	}
+	coldRuns := atomic.LoadInt64(&target.runs)
+	if coldRuns != 7 { // ceil(100/16)
+		t.Fatalf("cold run executed %d shards, want 7", coldRuns)
+	}
+	if _, err := Run(context.Background(), jobs, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&target.runs); got != coldRuns {
+		t.Fatalf("warm run executed %d shards, want 0", got-coldRuns)
+	}
+}
+
+// TestCacheUnfingerprintedTargetsBypass: targets without a fingerprint
+// execute every time and never touch the counters.
+func TestCacheUnfingerprintedTargetsBypass(t *testing.T) {
+	target := &countingTarget{fp: ""}
+	jobs := []Job{{Name: "opaque", Target: target, Packets: 32}}
+	cache := newMapCache()
+	opts := Options{Workers: 1, ShardSize: 16, Cache: cache}
+	for i := 0; i < 2; i++ {
+		rep, err := Run(context.Background(), jobs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cache.Hits != 0 || rep.Cache.Misses != 0 {
+			t.Fatalf("unfingerprinted job counted in cache stats: %+v", rep.Cache)
+		}
+	}
+	if got := atomic.LoadInt64(&target.runs); got != 4 {
+		t.Fatalf("executed %d shards, want 4 (2 shards x 2 runs, no caching)", got)
+	}
+	if len(cache.entries) != 0 {
+		t.Fatalf("cache holds %d entries for an unfingerprintable target", len(cache.entries))
+	}
+}
+
+// TestCacheErroredShardsNotStored: harness errors are re-executed, never
+// replayed.
+func TestCacheErroredShardsNotStored(t *testing.T) {
+	fail := &stubFingerprintedTarget{fp: "errs", run: func(seed int64, n int) ShardResult {
+		return ShardResult{Checked: 1, Err: errors.New("flaky harness")}
+	}}
+	jobs := []Job{{Name: "errs", Target: fail, Packets: 16}}
+	cache := newMapCache()
+	for i := 0; i < 2; i++ {
+		if _, err := Run(context.Background(), jobs, Options{Workers: 1, ShardSize: 16, Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(cache.entries) != 0 {
+		t.Fatalf("errored shard persisted: %d entries", len(cache.entries))
+	}
+}
+
+// stubFingerprintedTarget is stubTarget plus a fingerprint.
+type stubFingerprintedTarget struct {
+	fp  string
+	run func(seed int64, n int) ShardResult
+}
+
+func (t *stubFingerprintedTarget) Arch() string               { return "stub" }
+func (t *stubFingerprintedTarget) Engine() string             { return "none" }
+func (t *stubFingerprintedTarget) Fingerprint() string        { return t.fp }
+func (t *stubFingerprintedTarget) Build() (Instance, error)   { return t, nil }
+func (t *stubFingerprintedTarget) NewRunner() (Runner, error) { return t, nil }
+func (t *stubFingerprintedTarget) RunShard(seed int64, n int) ShardResult {
+	return t.run(seed, n)
+}
+
+// TestFingerprintSensitivity: every axis that changes shard traffic or the
+// system under test must change the target fingerprint, and the shard key
+// must be sensitive to seed and size.
+func TestFingerprintSensitivity(t *testing.T) {
+	bm := spec.Match("sampling")[0]
+	build := func(mutate func(*PipelineTarget)) string {
+		jobs, err := Matrix([]*spec.Benchmark{bm}, []core.OptLevel{core.SCCInlining}, nil, nil, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := jobs[0].Target.(*PipelineTarget)
+		if mutate != nil {
+			mutate(target)
+		}
+		fp := target.Fingerprint()
+		if fp == "" {
+			t.Fatal("matrix-built target has no fingerprint")
+		}
+		return fp
+	}
+	base := build(nil)
+	if build(nil) != base {
+		t.Fatal("fingerprint not stable across identical builds")
+	}
+	mutations := map[string]func(*PipelineTarget){
+		"level":    func(pt *PipelineTarget) { pt.Level = core.Compiled },
+		"traffic":  func(pt *PipelineTarget) { pt.Traffic = sim.TrafficBoundary },
+		"maxinput": func(pt *PipelineTarget) { pt.MaxInput = 7 },
+		"code":     func(pt *PipelineTarget) { pt.Code = pt.Code.Clone(); pt.Code.Set(pt.Code.Names()[0], 1) },
+		"spec":     func(pt *PipelineTarget) { pt.SpecFingerprint = "other" },
+	}
+	for name, mutate := range mutations {
+		if build(mutate) == base {
+			t.Fatalf("changing %s did not change the fingerprint", name)
+		}
+	}
+
+	drmtJobs, err := DRMTMatrix([]*drmt.Benchmark{mustBenchmark(t, "counter")}, nil, nil, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := drmtJobs[0].Target.(*DRMTTarget)
+	dbase := dt.Fingerprint()
+	if dbase == "" {
+		t.Fatal("matrix-built dRMT target has no fingerprint")
+	}
+	if dbase == base {
+		t.Fatal("rmt and drmt fingerprints collide")
+	}
+	procs := *dt
+	procs.HW.Processors = 8
+	if procs.Fingerprint() == dbase {
+		t.Fatal("changing processor count did not change the fingerprint")
+	}
+	injected := *dt
+	injected.ISA = &drmt.ISAProgram{}
+	if injected.Fingerprint() != "" {
+		t.Fatal("injected-ISA target must not be cacheable")
+	}
+
+	if ShardKey(base, 1, 100) == ShardKey(base, 2, 100) {
+		t.Fatal("shard key insensitive to seed")
+	}
+	if ShardKey(base, 1, 100) == ShardKey(base, 1, 200) {
+		t.Fatal("shard key insensitive to shard size")
+	}
+	if ShardKey(base, 1, 100) == ShardKey(dbase, 1, 100) {
+		t.Fatal("shard key insensitive to fingerprint")
+	}
+}
+
+// TestJobTimeoutDoesNotWedgeCampaign: a job whose shards hang is cut off
+// at its wall-clock budget with a timeout error, and later jobs still run
+// to completion.
+func TestJobTimeoutDoesNotWedgeCampaign(t *testing.T) {
+	hang := &stubTarget{run: func(seed int64, n int) ShardResult {
+		time.Sleep(time.Minute)
+		return ShardResult{Checked: n}
+	}}
+	ok := &stubTarget{run: func(seed int64, n int) ShardResult {
+		return ShardResult{Checked: n}
+	}}
+	jobs := []Job{
+		{Name: "wedged", Target: hang, Packets: 64},
+		{Name: "fine", Target: ok, Packets: 64},
+	}
+	start := time.Now()
+	rep, err := Run(context.Background(), jobs, Options{
+		Workers: 2, ShardSize: 16, JobTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("campaign took %v despite 100ms job timeout", elapsed)
+	}
+	byName := map[string]*JobReport{}
+	for i := range rep.Jobs {
+		byName[rep.Jobs[i].Name] = &rep.Jobs[i]
+	}
+	if j := byName["wedged"]; j.Status != StatusError || !strings.Contains(j.Error, "wall-clock budget") {
+		t.Fatalf("wedged job: %+v", j)
+	}
+	if j := byName["fine"]; j.Status != StatusPass || j.Checked != 64 {
+		t.Fatalf("healthy job after a wedged one: %+v", j)
+	}
+}
+
+// TestOnJobReportStreamsInMatrixOrder: rows arrive in job order no matter
+// how shards are scheduled, every job exactly once, and each streamed row
+// equals the corresponding final report row.
+func TestOnJobReportStreamsInMatrixOrder(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		delay := time.Duration(5-i) * 2 * time.Millisecond // later jobs finish sooner
+		jobs = append(jobs, Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Target: &stubTarget{run: func(seed int64, n int) ShardResult {
+				time.Sleep(delay)
+				return ShardResult{Checked: n}
+			}},
+			Packets: 48,
+		})
+	}
+	jobs = append(jobs, Job{Name: "broken", Target: &stubTarget{buildErr: errors.New("nope")}, Packets: 8})
+
+	var mu sync.Mutex
+	var rows []JobReport
+	rep, err := Run(context.Background(), jobs, Options{
+		Workers: 4, ShardSize: 16,
+		OnJobReport: func(jr JobReport) {
+			mu.Lock()
+			rows = append(rows, jr)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(jobs) {
+		t.Fatalf("streamed %d rows, want %d", len(rows), len(jobs))
+	}
+	for i := range rows {
+		if rows[i].Name != jobs[i].Name {
+			t.Fatalf("row %d is %q, want %q (matrix order)", i, rows[i].Name, jobs[i].Name)
+		}
+		if fmt.Sprintf("%+v", rows[i]) != fmt.Sprintf("%+v", rep.Jobs[i]) {
+			t.Fatalf("streamed row %d differs from final report row:\n%+v\n%+v", i, rows[i], rep.Jobs[i])
+		}
+	}
+}
+
+// TestMatrixTrafficAndProcsAxes: non-default axis values suffix the job
+// name, default values keep the pre-axis names, and the boundary-mode
+// matrix still passes end to end on both architectures.
+func TestMatrixTrafficAndProcsAxes(t *testing.T) {
+	bm := spec.Match("sampling")[:1]
+	rmtJobs, err := Matrix(bm, []core.OptLevel{core.SCCInlining}, []sim.TrafficMode{sim.TrafficUniform, sim.TrafficBoundary}, nil, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rmtJobs) != 2 {
+		t.Fatalf("got %d rmt jobs, want 2", len(rmtJobs))
+	}
+	if rmtJobs[0].Name != "rmt/sampling/scc+inline/seed=1" {
+		t.Fatalf("uniform job renamed: %q", rmtJobs[0].Name)
+	}
+	if rmtJobs[1].Name != "rmt/sampling/scc+inline/seed=1/traffic=boundary" {
+		t.Fatalf("boundary job name: %q", rmtJobs[1].Name)
+	}
+
+	drmtJobs, err := DRMTMatrix([]*drmt.Benchmark{mustBenchmark(t, "counter")}, []int{0, 4}, []drmt.TrafficMode{drmt.TrafficBoundary}, nil, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drmtJobs) != 2 {
+		t.Fatalf("got %d drmt jobs, want 2", len(drmtJobs))
+	}
+	if drmtJobs[0].Name != "drmt/counter/seed=1/traffic=boundary" {
+		t.Fatalf("default-procs job name: %q", drmtJobs[0].Name)
+	}
+	if drmtJobs[1].Name != "drmt/counter/seed=1/procs=4/traffic=boundary" {
+		t.Fatalf("procs job name: %q", drmtJobs[1].Name)
+	}
+	if hw := drmtJobs[1].Target.(*DRMTTarget).HW; hw.Processors != 4 {
+		t.Fatalf("procs override not applied: %+v", hw)
+	}
+
+	rep, err := Run(context.Background(), append(rmtJobs, drmtJobs...), Options{Workers: 2, ShardSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("boundary/procs matrix failed:\n%s", rep.Text(false))
+	}
+}

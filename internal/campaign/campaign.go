@@ -26,6 +26,7 @@ package campaign
 import (
 	"fmt"
 	"runtime"
+	"time"
 )
 
 // Job is one cell of the campaign matrix: an architecture-specific target
@@ -82,6 +83,32 @@ type Options struct {
 	// (mismatch or simulation error). Reports from a fail-fast run are
 	// deterministic only up to the set of shards that completed.
 	FailFast bool
+
+	// Cache, when non-nil, is consulted before executing any shard whose
+	// job's target implements Fingerprinter with a non-empty fingerprint,
+	// and filled with every clean result executed. Cached results replay
+	// byte-identically into reports, so caching changes Report.Cache's
+	// counters but never a row.
+	Cache ShardCache
+
+	// JobTimeout bounds each job's wall clock (0 = unbounded): the clock
+	// starts when the job's first shard begins executing, and shards
+	// still running or not yet started at the deadline fail with a
+	// timeout error (StatusError), so one pathological job cannot wedge
+	// the campaign. A shard abandoned mid-execution leaks its goroutine
+	// until it returns; runners abandoned this way are never reused.
+	JobTimeout time.Duration
+
+	// OnJobReport, when non-nil, receives each job's merged report as
+	// soon as the job completes. Calls are serialized and arrive in job
+	// (matrix) order regardless of shard scheduling, and every submitted
+	// job is reported exactly once — cancelled jobs arrive as aborted
+	// after the pool drains. The rows passed here are the same values
+	// assembled into the final Report, so a streaming consumer renders
+	// byte-identical output to a batch consumer. The callback runs on
+	// worker goroutines and blocks shard-completion bookkeeping; it
+	// should not block indefinitely.
+	OnJobReport func(JobReport)
 }
 
 func (o Options) withDefaults() Options {

@@ -27,7 +27,7 @@ func passingJobs(t *testing.T, packets int, seeds ...int64) []Job {
 		}
 		bms = append(bms, bm)
 	}
-	jobs, err := Matrix(bms, []core.OptLevel{core.SCCInlining}, seeds, packets)
+	jobs, err := Matrix(bms, []core.OptLevel{core.SCCInlining}, nil, seeds, packets)
 	if err != nil {
 		t.Fatal(err)
 	}

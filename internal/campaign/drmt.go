@@ -30,11 +30,22 @@ type DRMTTarget struct {
 	// MaxInput bounds generated field values (0 = full field widths).
 	MaxInput int64
 
+	// Traffic selects the traffic-generator mode (empty = uniform; see
+	// drmt.TrafficMode). The mode is part of the job's traffic identity,
+	// so it participates in shard-cache keys.
+	Traffic drmt.TrafficMode
+
 	// Compat runs shards on the map-based compatibility engines instead of
 	// the slot-compiled streaming engines. Reports are byte-identical
 	// either way (the compat-layer guarantee, pinned by tests); the flag
 	// exists so campaigns can differentially check the engines themselves.
 	Compat bool
+
+	// SpecFingerprint is a stable content hash of the program source and
+	// table entries (DRMTMatrix fills it from drmt.Benchmark.Fingerprint).
+	// The parsed Program/Entries structures are opaque to the engine; a
+	// target with an empty SpecFingerprint is simply not cacheable.
+	SpecFingerprint string
 }
 
 // Arch implements Target.
@@ -50,7 +61,32 @@ func (t *DRMTTarget) validate() error {
 	if t.Entries == nil {
 		return fmt.Errorf("no entry set")
 	}
+	if !t.Traffic.Valid() {
+		return fmt.Errorf("unknown traffic mode %q", t.Traffic)
+	}
 	return nil
+}
+
+// Fingerprint implements Fingerprinter: a stable content hash over the
+// program and entries, the normalized hardware configuration, the engine
+// choice and the traffic regime. Targets with an injected ISA program (the
+// bug-injection path) or no SpecFingerprint are not cacheable and return "".
+func (t *DRMTTarget) Fingerprint() string {
+	if t.SpecFingerprint == "" || t.ISA != nil {
+		return ""
+	}
+	traffic := t.Traffic
+	if traffic == "" {
+		traffic = drmt.TrafficUniform // "" means uniform; hash them identically
+	}
+	return fingerprintParts(
+		"drmt",
+		t.SpecFingerprint,
+		fmt.Sprintf("%+v", t.HW.Defaults()),
+		fmt.Sprint(t.MaxInput),
+		string(traffic),
+		fmt.Sprint(t.Compat),
+	)
 }
 
 // Build implements Target: assembling the ISA program and scheduling the
@@ -88,9 +124,9 @@ func (r *drmtRunner) RunShard(seed int64, n int) ShardResult {
 	var rep *drmt.DiffReport
 	var err error
 	if r.t.Compat {
-		rep, err = r.fuzzer.FuzzSeededCompat(seed, n, r.t.MaxInput)
+		rep, err = r.fuzzer.FuzzSeededModeCompat(seed, n, r.t.MaxInput, r.t.Traffic)
 	} else {
-		rep, err = r.fuzzer.FuzzSeeded(seed, n, r.t.MaxInput)
+		rep, err = r.fuzzer.FuzzSeededMode(seed, n, r.t.MaxInput, r.t.Traffic)
 	}
 	if err != nil {
 		return ShardResult{Err: err}

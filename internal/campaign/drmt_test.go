@@ -12,7 +12,7 @@ import (
 // drmtJobs builds the default dRMT job matrix.
 func drmtJobs(t *testing.T, packets int, seeds ...int64) []Job {
 	t.Helper()
-	jobs, err := DRMTMatrix(drmt.Benchmarks(), seeds, packets)
+	jobs, err := DRMTMatrix(drmt.Benchmarks(), nil, nil, seeds, packets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestDRMTCampaignMatchesDirectRun(t *testing.T) {
 		packets   = 2000
 		shardSize = 512
 	)
-	jobs, err := DRMTMatrix([]*drmt.Benchmark{bm}, []int64{seed}, packets)
+	jobs, err := DRMTMatrix([]*drmt.Benchmark{bm}, nil, nil, []int64{seed}, packets)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,9 @@ package campaign
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,8 +54,20 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		masters[i], buildErrs[i] = jobs[i].Target.Build()
 	}
 
+	// Job fingerprints gate the shard cache: only targets that hash their
+	// configuration stably can have shards replayed.
+	fps := make([]string, len(jobs))
+	if o.Cache != nil {
+		for j := range jobs {
+			if f, ok := jobs[j].Target.(Fingerprinter); ok {
+				fps[j] = f.Fingerprint()
+			}
+		}
+	}
+
 	// Shard plan. results[j][s] is written by exactly one worker.
 	results := make([][]*ShardResult, len(jobs))
+	pending := make([]int, len(jobs))
 	var tasks []task
 	for j := range jobs {
 		if masters[j] == nil {
@@ -62,6 +76,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		n := jobs[j].Packets
 		shards := (n + o.ShardSize - 1) / o.ShardSize
 		results[j] = make([]*ShardResult, shards)
+		pending[j] = shards
 		for s := 0; s < shards; s++ {
 			size := o.ShardSize
 			if rem := n - s*o.ShardSize; rem < size {
@@ -71,10 +86,18 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		}
 	}
 
+	// The emitter merges each job the moment its last shard lands and
+	// hands rows to OnJobReport in matrix order; jobs with no shards
+	// (build errors, cancelled builds) are complete already.
+	em := &emitter{jobs: jobs, buildErrs: buildErrs, results: results, pending: pending, o: o, reports: make([]*JobReport, len(jobs))}
+	em.flush()
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var stopped sync.Once
 	stoppedEarly := false
+	timers := jobTimers{deadlines: make([]time.Time, len(jobs))}
+	var hits, misses int64
 
 	taskCh := make(chan task)
 	var wg sync.WaitGroup
@@ -89,23 +112,63 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 			// job indices and a single cached runner suffices — peak memory
 			// stays one clone per worker, not one per (worker, job). Shard
 			// results stay pure functions of (job, shard), so reuse cannot
-			// break report determinism.
+			// break report determinism. Fully cached jobs never build a
+			// runner at all.
 			var ws *workerState
 			wsJob := -1
 			for t := range taskCh {
 				if runCtx.Err() != nil {
-					continue // drain without running
+					continue // drain without running; emitter.finish reports the jobs
 				}
-				if t.job != wsJob {
-					ws = newWorkerState(masters[t.job])
-					wsJob = t.job
+				seed := deriveSeed(jobs[t.job].Seed, t.shard)
+				key := ""
+				var res *ShardResult
+				if o.Cache != nil && fps[t.job] != "" {
+					key = ShardKey(fps[t.job], seed, t.n)
+					if c, ok := o.Cache.Get(key); ok {
+						atomic.AddInt64(&hits, 1)
+						res = c
+					}
 				}
-				res := runShard(&jobs[t.job], ws, t)
+				if res == nil {
+					var deadline time.Time
+					if o.JobTimeout > 0 {
+						deadline = timers.deadline(t.job, o.JobTimeout)
+					}
+					if o.JobTimeout > 0 && time.Until(deadline) <= 0 {
+						// The job's budget is spent: fail the shard without
+						// cloning a runner that would never execute. The
+						// shard never ran, so it counts as neither hit nor
+						// miss.
+						res = &ShardResult{Err: timeoutErr(o.JobTimeout)}
+					} else {
+						if key != "" {
+							atomic.AddInt64(&misses, 1)
+						}
+						if t.job != wsJob || ws == nil {
+							ws = newWorkerState(masters[t.job])
+							wsJob = t.job
+						}
+						if o.JobTimeout > 0 {
+							var alive bool
+							res, alive = runShardTimed(&jobs[t.job], ws, t, deadline, o.JobTimeout)
+							if !alive {
+								ws = nil // runner abandoned mid-shard; never reuse it
+							}
+						} else {
+							res = runShard(&jobs[t.job], ws, t)
+						}
+					}
+					if key != "" && res.Err == nil {
+						o.Cache.Put(key, res)
+					}
+				}
 				results[t.job][t.shard] = res
 				if o.FailFast && res.failed() {
 					stopped.Do(func() { stoppedEarly = true })
 					cancel()
 				}
+				em.shardDone(t.job)
 			}
 		}()
 	}
@@ -119,9 +182,13 @@ feed:
 	}
 	close(taskCh)
 	wg.Wait()
+	em.finish()
 
-	report := merge(jobs, buildErrs, results, o)
+	report := em.assemble()
 	report.StoppedEarly = stoppedEarly || ctx.Err() != nil
+	if o.Cache != nil {
+		report.Cache = &CacheStats{Hits: hits, Misses: misses}
+	}
 	// One elapsed measurement derives both timing figures, so the reported
 	// throughput corresponds exactly to the reported elapsed time.
 	elapsed := time.Since(start)
@@ -157,4 +224,117 @@ func runShard(job *Job, ws *workerState, t task) *ShardResult {
 	}
 	res := ws.runner.RunShard(deriveSeed(job.Seed, t.shard), t.n)
 	return &res
+}
+
+// jobTimers fixes each job's wall-clock deadline at the moment its first
+// shard begins executing (cache replays don't start the clock).
+type jobTimers struct {
+	mu        sync.Mutex
+	deadlines []time.Time
+}
+
+func (jt *jobTimers) deadline(j int, budget time.Duration) time.Time {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if jt.deadlines[j].IsZero() {
+		jt.deadlines[j] = time.Now().Add(budget)
+	}
+	return jt.deadlines[j]
+}
+
+// timeoutErr is the deterministic error a job's shards fail with once its
+// wall-clock budget is spent, so merged reports differ across runs only in
+// which shards happened to be in flight at the deadline.
+func timeoutErr(budget time.Duration) error {
+	return fmt.Errorf("job wall-clock budget %v exceeded", budget)
+}
+
+// runShardTimed is runShard raced against the job's deadline. The second
+// return value reports whether the runner is still usable: a shard that
+// outlives the deadline is abandoned (its goroutine leaks until the runner
+// returns) and its runner must not be reused.
+func runShardTimed(job *Job, ws *workerState, t task, deadline time.Time, budget time.Duration) (*ShardResult, bool) {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return &ShardResult{Err: timeoutErr(budget)}, true
+	}
+	done := make(chan *ShardResult, 1)
+	go func() { done <- runShard(job, ws, t) }()
+	timer := time.NewTimer(remaining)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res, true
+	case <-timer.C:
+		return &ShardResult{Err: timeoutErr(budget)}, false
+	}
+}
+
+// emitter tracks per-job shard completion and merges each job exactly once,
+// in matrix order. The mutex both serializes bookkeeping and publishes
+// workers' result writes to whichever goroutine performs the merge.
+type emitter struct {
+	mu        sync.Mutex
+	jobs      []Job
+	buildErrs []error
+	results   [][]*ShardResult
+	pending   []int
+	o         Options
+	reports   []*JobReport
+	cursor    int
+}
+
+// shardDone records one completed shard and emits every newly complete job
+// at the cursor.
+func (e *emitter) shardDone(j int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending[j]--
+	e.advance()
+}
+
+// flush emits jobs that are complete before any shard runs (build errors,
+// zero-shard plans).
+func (e *emitter) flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advance()
+}
+
+// finish force-completes every remaining job — shards skipped by
+// cancellation merge as aborted. Called after the worker pool drains, so
+// every job is emitted exactly once.
+func (e *emitter) finish() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for j := range e.pending {
+		e.pending[j] = 0
+	}
+	e.advance()
+}
+
+func (e *emitter) advance() {
+	for e.cursor < len(e.jobs) && e.pending[e.cursor] == 0 {
+		j := e.cursor
+		jr := mergeJob(&e.jobs[j], e.buildErrs[j], e.results[j], e.o)
+		e.reports[j] = &jr
+		e.cursor++
+		if e.o.OnJobReport != nil {
+			e.o.OnJobReport(jr)
+		}
+	}
+}
+
+// assemble folds the per-job reports into the campaign report; the rows are
+// the same values OnJobReport streamed.
+func (e *emitter) assemble() *Report {
+	rep := &Report{Passed: true}
+	for _, jr := range e.reports {
+		rep.Jobs = append(rep.Jobs, *jr)
+		if !jr.Passed() {
+			rep.Passed = false
+		}
+		rep.TotalChecked += int64(jr.Checked)
+	}
+	return rep
 }

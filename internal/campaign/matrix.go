@@ -5,20 +5,32 @@ import (
 
 	"druzhba/internal/core"
 	"druzhba/internal/drmt"
+	"druzhba/internal/sim"
 	"druzhba/internal/spec"
 )
 
 // Matrix builds the RMT campaign job matrix for a set of Table-1
-// benchmarks: one job per benchmark × optimization level × seed, each
-// pushing packets random PHVs. It is the programmatic form of dfarm's
-// default workload. An empty levels slice means every engine, the paper's
-// three plus the closure-compiled extension.
-func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64, packets int) ([]Job, error) {
+// benchmarks: one job per benchmark × optimization level × traffic mode ×
+// seed, each pushing packets random PHVs. It is the programmatic form of
+// dfarm's default workload. An empty levels slice means every engine, the
+// paper's three plus the closure-compiled extension; an empty traffic slice
+// means uniform. Default axis values keep the job names they had before
+// the axis existed (only non-default values append a name suffix), so
+// reports from pre-axis campaigns stay comparable.
+func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, traffic []sim.TrafficMode, seeds []int64, packets int) ([]Job, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("campaign: empty benchmark set")
 	}
 	if len(levels) == 0 {
 		levels = core.AllLevels()
+	}
+	if len(traffic) == 0 {
+		traffic = []sim.TrafficMode{sim.TrafficUniform}
+	}
+	for _, mode := range traffic {
+		if !mode.Valid() {
+			return nil, fmt.Errorf("campaign: unknown traffic mode %q", mode)
+		}
 	}
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -37,21 +49,30 @@ func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64,
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %s: %w", bm.Name, err)
 		}
+		fp := bm.Fingerprint()
 		for _, level := range levels {
-			for _, seed := range seeds {
-				jobs = append(jobs, Job{
-					Name: fmt.Sprintf("rmt/%s/%s/seed=%d", bm.Name, level, seed),
-					Target: &PipelineTarget{
-						Spec:       cspec,
-						Code:       code,
-						Level:      level,
-						NewSpec:    bm.SimSpec,
-						Containers: containers,
-						MaxInput:   bm.MaxInput,
-					},
-					Seed:    seed,
-					Packets: packets,
-				})
+			for _, mode := range traffic {
+				for _, seed := range seeds {
+					name := fmt.Sprintf("rmt/%s/%s/seed=%d", bm.Name, level, seed)
+					if mode != "" && mode != sim.TrafficUniform {
+						name += "/traffic=" + string(mode)
+					}
+					jobs = append(jobs, Job{
+						Name: name,
+						Target: &PipelineTarget{
+							Spec:            cspec,
+							Code:            code,
+							Level:           level,
+							NewSpec:         bm.SimSpec,
+							Containers:      containers,
+							MaxInput:        bm.MaxInput,
+							Traffic:         mode,
+							SpecFingerprint: fp,
+						},
+						Seed:    seed,
+						Packets: packets,
+					})
+				}
 			}
 		}
 	}
@@ -60,17 +81,39 @@ func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, seeds []int64,
 
 // Table1Matrix is Matrix over every Table-1 benchmark at every
 // optimization level — the paper's three plus the closure-compiled engine —
-// with seed 1: the paper's full benchmark sweep, run concurrently by dfarm.
+// with uniform traffic and seed 1: the paper's full benchmark sweep, run
+// concurrently by dfarm.
 func Table1Matrix(packets int) ([]Job, error) {
-	return Matrix(spec.All(), core.AllLevels(), nil, packets)
+	return Matrix(spec.All(), core.AllLevels(), nil, nil, packets)
 }
 
 // DRMTMatrix builds the dRMT campaign job matrix: one job per dRMT
-// benchmark × seed, each streaming packets random packets through the
-// ISA-level machine against the interpreted mini-P4 semantics.
-func DRMTMatrix(benchmarks []*drmt.Benchmark, seeds []int64, packets int) ([]Job, error) {
+// benchmark × processor-count variant × traffic mode × seed, each streaming
+// packets random packets through the ISA-level machine against the
+// interpreted mini-P4 semantics. An empty procs slice (or a 0 entry) uses
+// each benchmark's default HWConfig; a positive entry overrides
+// HWConfig.Processors, sweeping the schedule-shaping axis of the dRMT
+// hardware model. An empty traffic slice means uniform. As in Matrix,
+// default axis values keep the pre-axis job names.
+func DRMTMatrix(benchmarks []*drmt.Benchmark, procs []int, traffic []drmt.TrafficMode, seeds []int64, packets int) ([]Job, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("campaign: empty dRMT benchmark set")
+	}
+	if len(procs) == 0 {
+		procs = []int{0}
+	}
+	for _, p := range procs {
+		if p < 0 {
+			return nil, fmt.Errorf("campaign: negative processor count %d", p)
+		}
+	}
+	if len(traffic) == 0 {
+		traffic = []drmt.TrafficMode{drmt.TrafficUniform}
+	}
+	for _, mode := range traffic {
+		if !mode.Valid() {
+			return nil, fmt.Errorf("campaign: unknown traffic mode %q", mode)
+		}
 	}
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -85,25 +128,44 @@ func DRMTMatrix(benchmarks []*drmt.Benchmark, seeds []int64, packets int) ([]Job
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %w", err)
 		}
-		for _, seed := range seeds {
-			jobs = append(jobs, Job{
-				Name: fmt.Sprintf("drmt/%s/seed=%d", bm.Name, seed),
-				Target: &DRMTTarget{
-					Program:  prog,
-					Entries:  entries,
-					HW:       bm.HW,
-					MaxInput: bm.MaxInput,
-				},
-				Seed:    seed,
-				Packets: packets,
-			})
+		fp := bm.Fingerprint()
+		for _, p := range procs {
+			hw := bm.HW
+			if p > 0 {
+				hw.Processors = p
+			}
+			for _, mode := range traffic {
+				for _, seed := range seeds {
+					name := fmt.Sprintf("drmt/%s/seed=%d", bm.Name, seed)
+					if p > 0 {
+						name += fmt.Sprintf("/procs=%d", p)
+					}
+					if mode != "" && mode != drmt.TrafficUniform {
+						name += "/traffic=" + string(mode)
+					}
+					jobs = append(jobs, Job{
+						Name: name,
+						Target: &DRMTTarget{
+							Program:         prog,
+							Entries:         entries,
+							HW:              hw,
+							MaxInput:        bm.MaxInput,
+							Traffic:         mode,
+							SpecFingerprint: fp,
+						},
+						Seed:    seed,
+						Packets: packets,
+					})
+				}
+			}
 		}
 	}
 	return jobs, nil
 }
 
 // DRMTDefaultMatrix is DRMTMatrix over every registered dRMT benchmark
-// with seed 1: dfarm's -arch drmt workload.
+// with default hardware, uniform traffic and seed 1: dfarm's -arch drmt
+// workload.
 func DRMTDefaultMatrix(packets int) ([]Job, error) {
-	return DRMTMatrix(drmt.Benchmarks(), nil, packets)
+	return DRMTMatrix(drmt.Benchmarks(), nil, nil, nil, packets)
 }

@@ -69,85 +69,83 @@ type Report struct {
 
 	// Timing is omitted from deterministic renderings.
 	Timing *Timing `json:"-"`
+
+	// Cache counts shard-cache hits and misses when Options.Cache was
+	// set. Like Timing it is excluded from deterministic renderings: a
+	// warm cache changes the counters, never a row.
+	Cache *CacheStats `json:"-"`
 }
 
-// merge folds per-shard results into the final report, visiting jobs and
-// shards in index order so the outcome is independent of scheduling.
-func merge(jobs []Job, buildErrs []error, results [][]*ShardResult, o Options) *Report {
-	rep := &Report{Passed: true}
-	for j := range jobs {
-		jr := JobReport{
-			Name:    jobs[j].Name,
-			Arch:    jobs[j].Target.Arch(),
-			Engine:  jobs[j].Target.Engine(),
-			Seed:    jobs[j].Seed,
-			Packets: jobs[j].Packets,
-			Shards:  len(results[j]),
-		}
-		if buildErrs[j] != nil {
-			jr.Status = StatusError
-			jr.Error = buildErrs[j].Error()
-			rep.Passed = false
-			rep.Jobs = append(rep.Jobs, jr)
-			continue
-		}
-		if len(results[j]) == 0 {
-			// Build skipped by cancellation: no shards were ever planned.
-			jr.Status = StatusAborted
-			rep.Passed = false
-			rep.Jobs = append(rep.Jobs, jr)
-			continue
-		}
-		seen := map[string]bool{}
-		for s, res := range results[j] {
-			if res == nil {
-				continue // shard skipped by cancellation
-			}
-			jr.ShardsRun++
-			jr.Checked += res.Checked
-			jr.Ticks += res.Ticks
-			if res.Err != nil && jr.Error == "" {
-				jr.Error = fmt.Sprintf("shard %d: %v", s, res.Err)
-			}
-			for _, f := range res.Findings {
-				ce := Counterexample{
-					Packet: s*o.ShardSize + f.Index,
-					Input:  f.Input,
-					Got:    f.Got,
-					Want:   f.Want,
-				}
-				key := ce.Input + "|" + ce.Got + "|" + ce.Want
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				if o.MaxCounterexamples < 0 || len(jr.Counterexamples) < o.MaxCounterexamples {
-					jr.Counterexamples = append(jr.Counterexamples, ce)
-				}
-			}
-		}
-		switch {
-		case jr.Error != "":
-			jr.Status = StatusError
-		case len(jr.Counterexamples) > 0:
-			jr.Status = StatusFail
-		case jr.ShardsRun < jr.Shards:
-			jr.Status = StatusAborted
-		default:
-			jr.Status = StatusPass
-		}
-		if jr.Status != StatusPass {
-			rep.Passed = false
-		}
-		rep.TotalChecked += int64(jr.Checked)
-		rep.Jobs = append(rep.Jobs, jr)
+// mergeJob folds one job's shard results into its report row, visiting
+// shards in index order so the outcome is independent of scheduling. It is
+// called exactly once per job — either the moment the job's last shard
+// lands (streaming consumers) or when the pool drains — and the same value
+// serves both the streamed row and the final report, so the two are
+// byte-identical by construction.
+func mergeJob(job *Job, buildErr error, results []*ShardResult, o Options) JobReport {
+	jr := JobReport{
+		Name:    job.Name,
+		Arch:    job.Target.Arch(),
+		Engine:  job.Target.Engine(),
+		Seed:    job.Seed,
+		Packets: job.Packets,
+		Shards:  len(results),
 	}
-	return rep
+	if buildErr != nil {
+		jr.Status = StatusError
+		jr.Error = buildErr.Error()
+		return jr
+	}
+	if len(results) == 0 {
+		// Build skipped by cancellation: no shards were ever planned.
+		jr.Status = StatusAborted
+		return jr
+	}
+	seen := map[string]bool{}
+	for s, res := range results {
+		if res == nil {
+			continue // shard skipped by cancellation
+		}
+		jr.ShardsRun++
+		jr.Checked += res.Checked
+		jr.Ticks += res.Ticks
+		if res.Err != nil && jr.Error == "" {
+			jr.Error = fmt.Sprintf("shard %d: %v", s, res.Err)
+		}
+		for _, f := range res.Findings {
+			ce := Counterexample{
+				Packet: s*o.ShardSize + f.Index,
+				Input:  f.Input,
+				Got:    f.Got,
+				Want:   f.Want,
+			}
+			key := ce.Input + "|" + ce.Got + "|" + ce.Want
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if o.MaxCounterexamples < 0 || len(jr.Counterexamples) < o.MaxCounterexamples {
+				jr.Counterexamples = append(jr.Counterexamples, ce)
+			}
+		}
+	}
+	switch {
+	case jr.Error != "":
+		jr.Status = StatusError
+	case len(jr.Counterexamples) > 0:
+		jr.Status = StatusFail
+	case jr.ShardsRun < jr.Shards:
+		jr.Status = StatusAborted
+	default:
+		jr.Status = StatusPass
+	}
+	return jr
 }
 
-// Text renders the report for humans. Without timing the text is
-// bit-identical across worker counts.
-func (r *Report) Text(includeTiming bool) string {
+// Text renders the report for humans. includeMeta adds the
+// non-deterministic metadata (timing, cache counters); without it the text
+// is bit-identical across worker counts and cache states.
+func (r *Report) Text(includeMeta bool) string {
 	var b strings.Builder
 	counts := map[string]int{}
 	for i := range r.Jobs {
@@ -169,22 +167,28 @@ func (r *Report) Text(includeTiming bool) string {
 			fmt.Fprintf(&b, "        packet %d: input %s: got %s, want %s\n", ce.Packet, ce.Input, ce.Got, ce.Want)
 		}
 	}
-	if includeTiming && r.Timing != nil {
+	if includeMeta && r.Cache != nil {
+		fmt.Fprintf(&b, "cache: hits=%d misses=%d\n", r.Cache.Hits, r.Cache.Misses)
+	}
+	if includeMeta && r.Timing != nil {
 		fmt.Fprintf(&b, "timing: workers=%d elapsed=%.1fms throughput=%.0f PHVs/sec\n",
 			r.Timing.Workers, r.Timing.ElapsedMS, r.Timing.PHVsPerSec)
 	}
 	return b.String()
 }
 
-// WriteJSON writes the report as indented JSON. Timing is included only on
-// request, keeping the default output deterministic.
-func (r *Report) WriteJSON(w io.Writer, includeTiming bool) error {
-	type timedReport struct {
+// WriteJSON writes the report as indented JSON. The non-deterministic
+// metadata (timing, cache counters) is included only on request, keeping
+// the default output deterministic across worker counts and cache states.
+func (r *Report) WriteJSON(w io.Writer, includeMeta bool) error {
+	type metaReport struct {
 		Report
-		Timing *Timing `json:"timing,omitempty"`
+		Cache  *CacheStats `json:"cache,omitempty"`
+		Timing *Timing     `json:"timing,omitempty"`
 	}
-	out := timedReport{Report: *r}
-	if includeTiming {
+	out := metaReport{Report: *r}
+	if includeMeta {
+		out.Cache = r.Cache
 		out.Timing = r.Timing
 	}
 	enc := json.NewEncoder(w)

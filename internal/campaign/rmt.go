@@ -32,6 +32,17 @@ type PipelineTarget struct {
 
 	// MaxInput bounds traffic-generator values (0 = full datapath width).
 	MaxInput int64
+
+	// Traffic selects the traffic-generator mode (empty = uniform; see
+	// sim.TrafficMode). The mode is part of the job's traffic identity,
+	// so it participates in shard-cache keys.
+	Traffic sim.TrafficMode
+
+	// SpecFingerprint is a stable content hash of the specification
+	// behind NewSpec (Matrix fills it from spec.Benchmark.Fingerprint).
+	// NewSpec itself is an opaque factory the engine cannot hash; a
+	// target with an empty SpecFingerprint is simply not cacheable.
+	SpecFingerprint string
 }
 
 // Arch implements Target.
@@ -44,7 +55,34 @@ func (t *PipelineTarget) validate() error {
 	if t.NewSpec == nil {
 		return fmt.Errorf("no specification factory")
 	}
+	if !t.Traffic.Valid() {
+		return fmt.Errorf("unknown traffic mode %q", t.Traffic)
+	}
 	return nil
+}
+
+// Fingerprint implements Fingerprinter: a stable content hash over the
+// specification, the machine code, the engine level and the traffic
+// regime — everything an RMT shard result depends on besides (seed, n).
+// Targets without a SpecFingerprint are not cacheable and return "".
+func (t *PipelineTarget) Fingerprint() string {
+	if t.SpecFingerprint == "" {
+		return ""
+	}
+	traffic := t.Traffic
+	if traffic == "" {
+		traffic = sim.TrafficUniform // "" means uniform; hash them identically
+	}
+	return fingerprintParts(
+		"rmt",
+		t.SpecFingerprint,
+		fmt.Sprintf("%d/%d/%d/%v", t.Spec.Depth, t.Spec.Width, t.Spec.PHVLen, t.Spec.Bits),
+		t.Code.String(),
+		t.Level.String(),
+		fmt.Sprint(t.Containers),
+		fmt.Sprint(t.MaxInput),
+		string(traffic),
+	)
 }
 
 // Build implements Target: the pipeline is built once and shared read-only;
@@ -88,7 +126,10 @@ type pipelineRunner struct {
 // later in it.
 func (r *pipelineRunner) RunShard(seed int64, n int) ShardResult {
 	pipe := r.fuzzer.Pipeline()
-	gen := sim.NewTrafficGen(seed, pipe.PHVLen(), pipe.Bits(), r.t.MaxInput)
+	gen, err := sim.NewTrafficGenMode(seed, pipe.PHVLen(), pipe.Bits(), r.t.MaxInput, r.t.Traffic)
+	if err != nil {
+		return ShardResult{Err: err}
+	}
 	rep, err := r.fuzzer.FuzzGen(r.spec, gen, n, sim.FuzzOptions{Containers: r.t.Containers}, 0)
 	if err != nil {
 		return ShardResult{Err: err}

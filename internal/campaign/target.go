@@ -48,10 +48,13 @@ type Runner interface {
 // Finding is one diverging packet found in a shard. Index is the packet's
 // offset within its shard (merge converts it to the job-global packet
 // index); Input, Got and Want are canonical, architecture-specific
-// renderings of the diverging packet.
+// renderings of the diverging packet. The JSON tags fix the on-disk form
+// shard caches persist.
 type Finding struct {
-	Index            int
-	Input, Got, Want string
+	Index int    `json:"index"`
+	Input string `json:"input"`
+	Got   string `json:"got"`
+	Want  string `json:"want"`
 }
 
 // ShardResult is the outcome of one shard: a pure function of (job, shard

@@ -5,7 +5,9 @@
 package drmt
 
 import (
+	"crypto/sha256"
 	_ "embed"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -177,6 +179,16 @@ func (b *Benchmark) Program() (*p4.Program, error) {
 		return nil, fmt.Errorf("drmt: benchmark %s: %w", b.Name, err)
 	}
 	return prog, nil
+}
+
+// Fingerprint is a stable content hash of the benchmark's program source
+// and table entries — the dRMT half of a campaign shard's cache identity.
+// Hashing content rather than the registry name means editing a benchmark
+// invalidates every cached shard derived from it.
+func (b *Benchmark) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%s%d\x00%s", len(b.src), b.src, len(b.entries), b.entries)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Entries parses the benchmark's table entries against the program.

@@ -206,7 +206,12 @@ func (f *DiffFuzzer) FuzzCompat(gen *TrafficGen, n int) (*DiffReport, error) {
 // FuzzSeeded is Fuzz over a fresh generator: n packets seeded by seed, with
 // field values bounded by max (0 = full field widths).
 func (f *DiffFuzzer) FuzzSeeded(seed int64, n int, max int64) (*DiffReport, error) {
-	gen, err := NewTrafficGen(seed, f.prog, max)
+	return f.FuzzSeededMode(seed, n, max, TrafficUniform)
+}
+
+// FuzzSeededMode is FuzzSeeded with an explicit traffic mode.
+func (f *DiffFuzzer) FuzzSeededMode(seed int64, n int, max int64, mode TrafficMode) (*DiffReport, error) {
+	gen, err := NewTrafficGenMode(seed, f.prog, max, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +221,12 @@ func (f *DiffFuzzer) FuzzSeeded(seed int64, n int, max int64) (*DiffReport, erro
 // FuzzSeededCompat is FuzzCompat over a fresh generator, the map-based twin
 // of FuzzSeeded.
 func (f *DiffFuzzer) FuzzSeededCompat(seed int64, n int, max int64) (*DiffReport, error) {
-	gen, err := NewTrafficGen(seed, f.prog, max)
+	return f.FuzzSeededModeCompat(seed, n, max, TrafficUniform)
+}
+
+// FuzzSeededModeCompat is FuzzSeededMode on the map-based compat engines.
+func (f *DiffFuzzer) FuzzSeededModeCompat(seed int64, n int, max int64, mode TrafficMode) (*DiffReport, error) {
+	gen, err := NewTrafficGenMode(seed, f.prog, max, mode)
 	if err != nil {
 		return nil, err
 	}

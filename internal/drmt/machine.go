@@ -36,6 +36,25 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// TrafficMode selects the distribution a traffic generator draws field
+// values from: TrafficUniform is the paper's §4.2 regime, TrafficBoundary
+// draws every value from each field's boundary set (zero, one, and the
+// field's maximal drawable value — the all-ones pattern at full declared
+// width), the adversarial regime that sits on ALU carry and comparison
+// edges.
+type TrafficMode string
+
+const (
+	TrafficUniform  TrafficMode = "uniform"
+	TrafficBoundary TrafficMode = "boundary"
+)
+
+// Valid reports whether m names a known traffic mode; the empty string
+// counts as TrafficUniform.
+func (m TrafficMode) Valid() bool {
+	return m == "" || m == TrafficUniform || m == TrafficBoundary
+}
+
 // TrafficGen generates packets "with randomly initialized packet field
 // values based on the fields specified in the P4 file" (§4.2). Packet IDs
 // are assigned from a running counter, so consecutive Next/Fill/Batch calls
@@ -44,15 +63,27 @@ type TrafficGen struct {
 	rng    *rand.Rand
 	fields []string
 	bits   map[string]int
-	limits []int64 // per-field draw bound, built lazily from bits and max
+	limits []int64   // per-field draw bound, built lazily from bits and max
+	bounds [][]int64 // per-field boundary sets, built lazily in boundary mode
 	max    int64
+	mode   TrafficMode
 	next   int // next packet ID
 }
 
 // NewTrafficGen builds a generator for the program's fields. max bounds the
 // generated values (0 = each field's full declared width).
 func NewTrafficGen(seed int64, prog *p4.Program, max int64) (*TrafficGen, error) {
-	g := &TrafficGen{rng: rand.New(rand.NewSource(seed)), max: max, bits: map[string]int{}}
+	return NewTrafficGenMode(seed, prog, max, TrafficUniform)
+}
+
+// NewTrafficGenMode is NewTrafficGen with an explicit traffic mode. Both
+// modes draw exactly one random number per field, so a given mode is
+// deterministic for a given seed across Fill, Next and Batch.
+func NewTrafficGenMode(seed int64, prog *p4.Program, max int64, mode TrafficMode) (*TrafficGen, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("drmt: unknown traffic mode %q (want %s or %s)", mode, TrafficUniform, TrafficBoundary)
+	}
+	g := &TrafficGen{rng: rand.New(rand.NewSource(seed)), max: max, mode: mode, bits: map[string]int{}}
 	g.fields = prog.FieldNames()
 	for _, f := range g.fields {
 		b, err := prog.FieldBits(f)
@@ -83,6 +114,26 @@ func (g *TrafficGen) ensureLimits() {
 		}
 		g.limits[i] = limit
 	}
+	if g.mode == TrafficBoundary {
+		g.bounds = make([][]int64, len(g.limits))
+		for i, limit := range g.limits {
+			set := []int64{0}
+			for _, v := range []int64{1, limit - 1} {
+				if v > 0 && v < limit && v != set[len(set)-1] {
+					set = append(set, v)
+				}
+			}
+			g.bounds[i] = set
+		}
+	}
+}
+
+// draw produces field i's next value under the generator's mode.
+func (g *TrafficGen) draw(i int) int64 {
+	if g.bounds != nil {
+		return g.bounds[i][g.rng.Intn(len(g.bounds[i]))]
+	}
+	return g.rng.Int63n(g.limits[i])
 }
 
 // Fill writes the next packet's field values into the caller-owned dst
@@ -96,8 +147,8 @@ func (g *TrafficGen) Fill(dst []int64) int {
 	g.ensureLimits()
 	id := g.next
 	g.next++
-	for i, limit := range g.limits {
-		dst[i] = g.rng.Int63n(limit)
+	for i := range g.limits {
+		dst[i] = g.draw(i)
 	}
 	return id
 }
@@ -111,7 +162,7 @@ func (g *TrafficGen) Next() *Packet {
 	p := &Packet{ID: g.next, Fields: make(map[string]int64, len(g.fields))}
 	g.next++
 	for i, f := range g.fields {
-		p.Fields[f] = g.rng.Int63n(g.limits[i])
+		p.Fields[f] = g.draw(i)
 	}
 	return p
 }

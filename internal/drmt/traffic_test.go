@@ -1,0 +1,116 @@
+package drmt
+
+import (
+	"testing"
+
+	"druzhba/internal/p4"
+)
+
+// boundaryProg declares fields of several widths, including the widest
+// the mini-P4 parser accepts.
+const boundaryProg = `
+header_type t_t {
+    fields {
+        tiny : 1;
+        mid : 8;
+        wide : 62;
+    }
+}
+header t_t f;
+
+action nop() { }
+
+table pass {
+    reads { f.mid : exact; }
+    actions { nop; }
+    default_action : nop();
+}
+
+control ingress {
+    apply(pass);
+}
+`
+
+// TestDRMTTrafficGenBoundaryMode: boundary mode draws only per-field
+// boundary values — zero, one and each field's maximal drawable value —
+// and Fill consumes the stream identically to Next.
+func TestDRMTTrafficGenBoundaryMode(t *testing.T) {
+	prog, err := p4.Parse(boundaryProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewTrafficGenMode(5, prog, 0, TrafficBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := map[string]int64{}
+	for _, f := range prog.FieldNames() {
+		bits, err := prog.FieldBits(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limits[f] = int64(1) << uint(bits)
+	}
+	seenMax := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		p := g.Next()
+		for f, v := range p.Fields {
+			limit := limits[f]
+			if v != 0 && v != 1 && v != limit-1 {
+				t.Fatalf("field %s drew %d (limit %d)", f, v, limit)
+			}
+			if v == limit-1 {
+				seenMax[f] = true
+			}
+		}
+	}
+	for f := range limits {
+		if limits[f] > 1 && !seenMax[f] {
+			t.Fatalf("field %s never drew its maximum", f)
+		}
+	}
+
+	// Fill and Next are stream-equivalent in boundary mode.
+	gFill, _ := NewTrafficGenMode(7, prog, 0, TrafficBoundary)
+	gNext, _ := NewTrafficGenMode(7, prog, 0, TrafficBoundary)
+	buf := make([]int64, gFill.NumFields())
+	fields := prog.FieldNames()
+	for i := 0; i < 100; i++ {
+		id := gFill.Fill(buf)
+		p := gNext.Next()
+		if id != p.ID {
+			t.Fatalf("packet IDs diverge: %d vs %d", id, p.ID)
+		}
+		for j, f := range fields {
+			if buf[j] != p.Fields[f] {
+				t.Fatalf("packet %d field %s: Fill %d, Next %d", i, f, buf[j], p.Fields[f])
+			}
+		}
+	}
+}
+
+// TestDRMTTrafficGenBoundaryMaxInput: a MaxInput bound caps the boundary
+// set like it caps the uniform range.
+func TestDRMTTrafficGenBoundaryMaxInput(t *testing.T) {
+	prog, err := p4.Parse(boundaryProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewTrafficGenMode(3, prog, 16, TrafficBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		for f, v := range g.Next().Fields {
+			if v != 0 && v != 1 && v != 15 {
+				if f == "f.tiny" && v <= 1 {
+					continue
+				}
+				t.Fatalf("bounded boundary mode drew %s=%d", f, v)
+			}
+		}
+	}
+	if _, err := NewTrafficGenMode(1, prog, 0, "chaotic"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package farmd
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"druzhba/internal/campaign"
+)
+
+// MemCache is a bounded in-memory LRU campaign.ShardCache: the hot tier of
+// a long-running daemon. It is safe for concurrent use.
+type MemCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *memEntry
+	items map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	res *campaign.ShardResult
+}
+
+// NewMemCache returns an LRU cache holding at most capacity shard results
+// (capacity <= 0 means 4096).
+func NewMemCache(capacity int) *MemCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &MemCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get implements campaign.ShardCache.
+func (c *MemCache) Get(key string) (*campaign.ShardResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memEntry).res, true
+}
+
+// Put implements campaign.ShardCache, evicting the least recently used
+// entry when the cache is full.
+func (c *MemCache) Put(key string, res *campaign.ShardResult) {
+	if res == nil || res.Err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*memEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&memEntry{key: key, res: res})
+	for len(c.items) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*memEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *MemCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// diskEntry is DirCache's on-disk form of one shard result. The embedded
+// key lets Get detect renamed or cross-copied files; results with harness
+// errors are never persisted, so the form carries no error field.
+type diskEntry struct {
+	Key      string             `json:"key"`
+	Checked  int                `json:"checked"`
+	Ticks    int64              `json:"ticks"`
+	Findings []campaign.Finding `json:"findings,omitempty"`
+}
+
+// DirCache is an on-disk campaign.ShardCache: one JSON file per shard
+// result, fanned into 256 prefix buckets under a root directory, written
+// atomically (temp file + rename). A corrupt, truncated or mislabeled
+// entry reads as a miss and is deleted, so damage costs re-execution,
+// never a wrong row. DirCache never evicts; the directory is the
+// persistent tier a daemon restart warms from.
+type DirCache struct {
+	dir string
+}
+
+// NewDirCache opens (creating if needed) an on-disk cache rooted at dir.
+func NewDirCache(dir string) (*DirCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farmd: cache dir: %w", err)
+	}
+	return &DirCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *DirCache) Dir() string { return c.dir }
+
+// Path returns the entry file a key maps to (the key's first two hex
+// digits name the bucket).
+func (c *DirCache) Path(key string) string {
+	bucket := "00"
+	if len(key) >= 2 {
+		bucket = key[:2]
+	}
+	return filepath.Join(c.dir, bucket, key+".json")
+}
+
+// Get implements campaign.ShardCache. Every failure mode — unreadable
+// file, invalid JSON, a key mismatch from a renamed or partially written
+// entry — is a miss; the damaged file is removed best-effort so the next
+// Put heals it.
+func (c *DirCache) Get(key string) (*campaign.ShardResult, bool) {
+	path := c.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.Key != key {
+		os.Remove(path)
+		return nil, false
+	}
+	return &campaign.ShardResult{Checked: ent.Checked, Ticks: ent.Ticks, Findings: ent.Findings}, true
+}
+
+// Put implements campaign.ShardCache with an atomic write: concurrent
+// writers race benignly (last rename wins, every version is a valid
+// entry), and readers never observe a partial file.
+func (c *DirCache) Put(key string, res *campaign.ShardResult) {
+	if res == nil || res.Err != nil {
+		return
+	}
+	data, err := json.Marshal(diskEntry{Key: key, Checked: res.Checked, Ticks: res.Ticks, Findings: res.Findings})
+	if err != nil {
+		return
+	}
+	path := c.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Tiered layers a fast cache (typically MemCache) over a slow one
+// (typically DirCache): reads promote slow-tier hits into the fast tier,
+// writes go to both. It is how dfarmd combines a bounded hot set with
+// unbounded persistence.
+type Tiered struct {
+	fast campaign.ShardCache
+	slow campaign.ShardCache
+}
+
+// NewTiered returns a two-tier cache over fast and slow.
+func NewTiered(fast, slow campaign.ShardCache) *Tiered {
+	return &Tiered{fast: fast, slow: slow}
+}
+
+// Get implements campaign.ShardCache.
+func (c *Tiered) Get(key string) (*campaign.ShardResult, bool) {
+	if res, ok := c.fast.Get(key); ok {
+		return res, true
+	}
+	res, ok := c.slow.Get(key)
+	if ok {
+		c.fast.Put(key, res)
+	}
+	return res, ok
+}
+
+// Put implements campaign.ShardCache.
+func (c *Tiered) Put(key string, res *campaign.ShardResult) {
+	c.slow.Put(key, res)
+	c.fast.Put(key, res)
+}

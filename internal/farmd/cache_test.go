@@ -1,0 +1,193 @@
+package farmd
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"druzhba/internal/campaign"
+)
+
+func res(checked int) *campaign.ShardResult {
+	return &campaign.ShardResult{Checked: checked, Ticks: int64(checked) * 3,
+		Findings: []campaign.Finding{{Index: 1, Input: "{in}", Got: "{g}", Want: "{w}"}}}
+}
+
+func TestMemCacheLRUEviction(t *testing.T) {
+	c := NewMemCache(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", res(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestMemCacheRejectsErroredResults(t *testing.T) {
+	c := NewMemCache(4)
+	c.Put("err", &campaign.ShardResult{Err: errors.New("boom")})
+	if _, ok := c.Get("err"); ok {
+		t.Fatal("errored result was cached")
+	}
+}
+
+func TestDirCacheRoundtrip(t *testing.T) {
+	c, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res(42)
+	c.Put("deadbeef", want)
+	got, ok := c.Get("deadbeef")
+	if !ok {
+		t.Fatal("entry missing after Put")
+	}
+	if got.Checked != want.Checked || got.Ticks != want.Ticks || len(got.Findings) != 1 || got.Findings[0] != want.Findings[0] {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", got, want)
+	}
+	if got.Err != nil {
+		t.Fatalf("roundtrip grew an error: %v", got.Err)
+	}
+	if _, ok := c.Get("cafebabe"); ok {
+		t.Fatal("phantom hit for unknown key")
+	}
+}
+
+// TestDirCacheDamagedEntriesAreMisses: garbage, truncated and mislabeled
+// entry files all read as misses and are removed, so a damaged cache can
+// never replay a wrong row.
+func TestDirCacheDamagedEntriesAreMisses(t *testing.T) {
+	c, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func(path string){
+		"garbage":   func(p string) { os.WriteFile(p, []byte("not json at all"), 0o644) },
+		"truncated": func(p string) { data, _ := os.ReadFile(p); os.WriteFile(p, data[:len(data)/2], 0o644) },
+		"mislabeled": func(p string) {
+			other := c.Path("other-key")
+			os.MkdirAll(filepath.Dir(other), 0o755)
+			data, _ := os.ReadFile(p)
+			os.WriteFile(other, data, 0o644) // valid entry copied under the wrong key
+			os.Remove(p)
+		},
+	}
+	for name, corrupt := range damage {
+		t.Run(name, func(t *testing.T) {
+			key := "key-" + name
+			c.Put(key, res(7))
+			if _, ok := c.Get(key); !ok {
+				t.Fatal("entry missing before damage")
+			}
+			corrupt(c.Path(key))
+			if name == "mislabeled" {
+				if _, ok := c.Get("other-key"); ok {
+					t.Fatal("mislabeled entry served under the wrong key")
+				}
+				if _, err := os.Stat(c.Path("other-key")); !os.IsNotExist(err) {
+					t.Fatal("mislabeled entry not removed")
+				}
+				return
+			}
+			if _, ok := c.Get(key); ok {
+				t.Fatalf("%s entry served as a hit", name)
+			}
+			if _, err := os.Stat(c.Path(key)); !os.IsNotExist(err) {
+				t.Fatalf("%s entry not removed", name)
+			}
+		})
+	}
+}
+
+func TestTieredPromotesDiskHits(t *testing.T) {
+	mem := NewMemCache(4)
+	disk, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewTiered(mem, disk)
+	c.Put("k", res(5))
+	if mem.Len() != 1 {
+		t.Fatal("Put did not reach the fast tier")
+	}
+	if _, ok := disk.Get("k"); !ok {
+		t.Fatal("Put did not reach the slow tier")
+	}
+
+	// A fresh fast tier (daemon restart) warms from disk on first Get.
+	mem2 := NewMemCache(4)
+	c2 := NewTiered(mem2, disk)
+	if _, ok := c2.Get("k"); !ok {
+		t.Fatal("disk entry not served after restart")
+	}
+	if mem2.Len() != 1 {
+		t.Fatal("disk hit not promoted into the fast tier")
+	}
+}
+
+// TestDirCacheCorruptionFallsBackToExecution drives the recovery path
+// through the real engine: corrupt one on-disk shard entry between a cold
+// and a warm run, and the warm run must re-execute exactly that shard while
+// producing a byte-identical report.
+func TestDirCacheCorruptionFallsBackToExecution(t *testing.T) {
+	cache, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &MatrixRequest{Arch: "all", Run: "counter", Packets: 600, ShardSize: 128}
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := campaign.Options{Workers: 2, ShardSize: 128, Cache: cache}
+
+	cold, err := campaign.Run(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []string
+	filepath.Walk(cache.Dir(), func(path string, info os.FileInfo, err error) error { //nolint:errcheck // test walk
+		if err == nil && !info.IsDir() {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	if int64(len(entries)) != cold.Cache.Misses {
+		t.Fatalf("disk holds %d entries after %d executed shards", len(entries), cold.Cache.Misses)
+	}
+	victim := entries[0]
+	victimKey := strings.TrimSuffix(filepath.Base(victim), ".json")
+	if err := os.WriteFile(victim, []byte(`{"key":"tampered"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := campaign.Run(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Misses != 1 || warm.Cache.Hits != cold.Cache.Misses-1 {
+		t.Fatalf("warm stats %+v after corrupting one of %d entries", warm.Cache, cold.Cache.Misses)
+	}
+	if warm.Text(false) != cold.Text(false) {
+		t.Fatal("warm report differs after corruption fallback")
+	}
+	// The re-execution healed the damaged entry.
+	if _, ok := cache.Get(victimKey); !ok {
+		t.Fatal("corrupted entry not rewritten by the warm run")
+	}
+}

@@ -1,0 +1,117 @@
+package farmd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"druzhba/internal/campaign"
+)
+
+// Submit posts a matrix request to a dfarmd server and reassembles the
+// streamed rows into a campaign report. The reassembled report carries the
+// same job rows, verdict and totals the server's engine produced — plus the
+// summary row's cache and timing metadata — so rendering it is
+// byte-identical to rendering an offline run of the same matrix.
+//
+// When the stream dies mid-campaign (cancellation, server failure), the
+// partial report reassembled so far is returned together with the error —
+// marked stopped-early and failed — matching the offline engine's
+// partial-report-on-cancel behavior, so already-streamed rows are never
+// thrown away.
+func Submit(ctx context.Context, server string, req *MatrixRequest) (*campaign.Report, error) {
+	return SubmitStream(ctx, server, req, nil)
+}
+
+// SubmitStream is Submit with a per-row callback invoked as rows arrive
+// (nil onRow is allowed); returning an error from the callback abandons
+// the stream. This is the delta-consuming form: a monitoring client can
+// render each job the moment the server finishes it.
+func SubmitStream(ctx context.Context, server string, req *MatrixRequest, onRow func(Row) error) (*campaign.Report, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("farmd: encode request: %w", err)
+	}
+	url := strings.TrimSuffix(server, "/") + "/v1/campaigns"
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("farmd: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("farmd: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &decoded) == nil && decoded.Error != "" {
+			return nil, fmt.Errorf("farmd: server: %s", decoded.Error)
+		}
+		return nil, fmt.Errorf("farmd: server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	rep := &campaign.Report{Passed: true}
+	// partial finalizes the report for a stream that died before its
+	// summary row: the rows received so far are kept, and the verdict
+	// mirrors a cancelled offline run.
+	partial := func(err error) (*campaign.Report, error) {
+		rep.Passed = false
+		rep.StoppedEarly = true
+		for i := range rep.Jobs {
+			rep.TotalChecked += int64(rep.Jobs[i].Checked)
+		}
+		return rep, err
+	}
+	sawSummary := false
+	// ReadBytes rather than a Scanner: an unbounded-counterexample job
+	// row has no a-priori size cap, and a row the server produced must
+	// never fail the client.
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	var readErr error
+	for readErr == nil {
+		var line []byte
+		line, readErr = br.ReadBytes('\n')
+		if readErr != nil && readErr != io.EOF {
+			return partial(fmt.Errorf("farmd: stream: %w", readErr))
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			return partial(fmt.Errorf("farmd: bad stream row: %w", err))
+		}
+		if onRow != nil {
+			if err := onRow(row); err != nil {
+				return partial(err)
+			}
+		}
+		switch {
+		case row.Error != "":
+			return partial(fmt.Errorf("farmd: server: %s", row.Error))
+		case row.Job != nil:
+			rep.Jobs = append(rep.Jobs, *row.Job)
+		case row.Summary != nil:
+			rep.Passed = row.Summary.Passed
+			rep.TotalChecked = row.Summary.TotalChecked
+			rep.StoppedEarly = row.Summary.StoppedEarly
+			rep.Cache = row.Summary.Cache
+			rep.Timing = row.Summary.Timing
+			sawSummary = true
+		}
+	}
+	if !sawSummary {
+		return partial(fmt.Errorf("farmd: stream ended without a summary row (%d job rows received)", len(rep.Jobs)))
+	}
+	return rep, nil
+}

@@ -1,0 +1,231 @@
+// Package farmd is the long-running campaign service behind dfarmd: the
+// serving layer that turns the batch-mode campaign engine of package
+// campaign into a daemon for heavy, repeated traffic.
+//
+// Clients POST a job matrix described as data (MatrixRequest — the JSON
+// form of dfarm's flags) to /v1/campaigns; the server expands it onto the
+// architecture-generic campaign engine and streams one NDJSON row per job
+// back as jobs complete, in matrix order, followed by a summary row. The
+// job rows are the same values the engine assembles into its batch report,
+// so a streamed campaign renders byte-identically to an offline dfarm run
+// at the same settings.
+//
+// Underneath the server sits a content-addressed shard-result cache
+// (campaign.ShardCache): shard results are pure functions of (target
+// fingerprint, shard seed, shard size), so the server stores every clean
+// result and replays it on resubmission. Submitting an unchanged matrix
+// twice executes zero shards the second time — the summary row's cache
+// counters make that observable — while streaming byte-identical job rows.
+// The package provides three stores: MemCache (bounded in-memory LRU),
+// DirCache (one JSON file per shard under a directory, self-validating
+// against corruption), and Tiered (LRU over disk).
+package farmd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/cli"
+	"druzhba/internal/core"
+	"druzhba/internal/drmt"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+// MatrixRequest describes a campaign job matrix as data: the JSON body of
+// POST /v1/campaigns and the request dfarm -server submits. Fields mirror
+// dfarm's flags; zero values take the same defaults.
+type MatrixRequest struct {
+	// Arch selects the architectures to sweep: "rmt", "drmt" or "all"
+	// (empty = "rmt").
+	Arch string `json:"arch,omitempty"`
+
+	// Run keeps only benchmarks whose name contains this substring.
+	Run string `json:"run,omitempty"`
+
+	// Levels lists rmt optimization levels by name (empty = all four).
+	Levels []string `json:"levels,omitempty"`
+
+	// Traffic lists traffic modes ("uniform", "boundary"; empty =
+	// uniform). Each mode adds a full matrix sweep.
+	Traffic []string `json:"traffic,omitempty"`
+
+	// Procs lists dRMT processor-count variants (empty = each
+	// benchmark's default HWConfig; 0 entries also mean the default).
+	Procs []int `json:"procs,omitempty"`
+
+	// Seeds lists traffic seeds (empty = [1]).
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// Packets is the packet budget per job (0 = 50000, the paper's
+	// workload).
+	Packets int `json:"packets,omitempty"`
+
+	// ShardSize is packets per shard (0 = 4096). It is part of the
+	// campaign's traffic identity and therefore of every cache key.
+	ShardSize int `json:"shard_size,omitempty"`
+
+	// MaxCounterexamples caps deduplicated counterexamples per job
+	// (0 = 8, negative = unbounded).
+	MaxCounterexamples int `json:"max_counterexamples,omitempty"`
+
+	// FailFast cancels the campaign at the first failing shard.
+	FailFast bool `json:"failfast,omitempty"`
+
+	// JobTimeoutMS bounds each job's wall clock in milliseconds
+	// (0 = the server's default).
+	JobTimeoutMS int64 `json:"job_timeout_ms,omitempty"`
+}
+
+// JobTimeout returns the request's per-job wall-clock budget.
+func (r *MatrixRequest) JobTimeout() time.Duration {
+	return time.Duration(r.JobTimeoutMS) * time.Millisecond
+}
+
+// Jobs expands the request into the campaign job matrix, applying the same
+// defaults and validation as dfarm's flags.
+func (r *MatrixRequest) Jobs() ([]campaign.Job, error) {
+	arch := r.Arch
+	if arch == "" {
+		arch = "rmt"
+	}
+	if arch != "rmt" && arch != "drmt" && arch != "all" {
+		return nil, fmt.Errorf("farmd: arch %q (want rmt, drmt or all)", arch)
+	}
+	packets := r.Packets
+	if packets == 0 {
+		packets = 50000
+	}
+	var levels []core.OptLevel
+	if len(r.Levels) > 0 {
+		if arch == "drmt" {
+			return nil, fmt.Errorf("farmd: levels apply to the rmt architecture only")
+		}
+		for _, name := range r.Levels {
+			lvl, err := cli.ParseLevel(strings.TrimSpace(name))
+			if err != nil {
+				return nil, fmt.Errorf("farmd: %w", err)
+			}
+			levels = append(levels, lvl)
+		}
+	}
+	if len(r.Procs) > 0 && arch == "rmt" {
+		return nil, fmt.Errorf("farmd: procs apply to the drmt architecture only")
+	}
+	var simModes []sim.TrafficMode
+	var drmtModes []drmt.TrafficMode
+	for _, m := range r.Traffic {
+		m = strings.TrimSpace(m)
+		if !sim.TrafficMode(m).Valid() || m == "" {
+			return nil, fmt.Errorf("farmd: unknown traffic mode %q (want %s or %s)", m, sim.TrafficUniform, sim.TrafficBoundary)
+		}
+		simModes = append(simModes, sim.TrafficMode(m))
+		drmtModes = append(drmtModes, drmt.TrafficMode(m))
+	}
+
+	var jobs []campaign.Job
+	if arch == "rmt" || arch == "all" {
+		benchmarks := spec.Match(r.Run)
+		if len(benchmarks) == 0 && arch == "rmt" {
+			return nil, fmt.Errorf("farmd: run %q matches no rmt benchmark (have %v)", r.Run, spec.Names())
+		}
+		if len(benchmarks) > 0 {
+			rmtJobs, err := campaign.Matrix(benchmarks, levels, simModes, r.Seeds, packets)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, rmtJobs...)
+		}
+	}
+	if arch == "drmt" || arch == "all" {
+		benchmarks := drmt.MatchBenchmarks(r.Run)
+		if len(benchmarks) == 0 && arch == "drmt" {
+			return nil, fmt.Errorf("farmd: run %q matches no dRMT benchmark (have %v)", r.Run, drmt.BenchmarkNames())
+		}
+		if len(benchmarks) > 0 {
+			drmtJobs, err := campaign.DRMTMatrix(benchmarks, r.Procs, drmtModes, r.Seeds, packets)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, drmtJobs...)
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("farmd: run %q matches no benchmark in any architecture", r.Run)
+	}
+	return jobs, nil
+}
+
+// ParseSeeds parses a comma-separated seed list (dfarm's -seeds syntax)
+// into the request form.
+func ParseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseProcs parses a comma-separated processor-count list (dfarm's -procs
+// syntax) into the request form.
+func ParseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SplitList splits a comma-separated flag value into trimmed non-empty
+// elements (dfarm's -levels / -traffic syntax).
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Row is one line of the campaign NDJSON stream: exactly one of Job,
+// Summary or Error is set. Job rows arrive in matrix order as jobs
+// complete; the Summary row terminates a successful stream; an Error row
+// terminates a stream the engine could not finish.
+type Row struct {
+	Job     *campaign.JobReport `json:"job,omitempty"`
+	Summary *Summary            `json:"summary,omitempty"`
+	Error   string              `json:"error,omitempty"`
+}
+
+// Summary is the stream's terminal row: the non-row remainder of the
+// campaign report, including the cache counters that make "the second run
+// executed zero shards" observable, and the run's timing.
+type Summary struct {
+	Passed       bool                 `json:"passed"`
+	Jobs         int                  `json:"jobs"`
+	TotalChecked int64                `json:"total_checked"`
+	StoppedEarly bool                 `json:"stopped_early,omitempty"`
+	Cache        *campaign.CacheStats `json:"cache,omitempty"`
+	Timing       *campaign.Timing     `json:"timing,omitempty"`
+}

@@ -1,0 +1,218 @@
+package farmd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/drmt"
+	"druzhba/internal/spec"
+)
+
+// rowWriteTimeout bounds each NDJSON row write: a client that stalls its
+// stream longer than this has its campaign cancelled rather than wedging
+// the engine's workers and holding an execution slot.
+const rowWriteTimeout = 30 * time.Second
+
+// Config configures a campaign server.
+type Config struct {
+	// Cache is the shard-result store shared by every campaign the
+	// server runs (nil = no caching).
+	Cache campaign.ShardCache
+
+	// Workers is each campaign's worker pool size (0 = GOMAXPROCS).
+	Workers int
+
+	// MaxConcurrent bounds how many campaigns execute at once (0 = 2);
+	// excess submissions queue until a slot frees or the client leaves.
+	MaxConcurrent int
+
+	// JobTimeout is the default per-job wall-clock budget applied when a
+	// request does not set one (0 = unbounded).
+	JobTimeout time.Duration
+}
+
+// Stats is the server's cumulative serving state, exposed on /v1/stats.
+type Stats struct {
+	Campaigns   int64 `json:"campaigns"`    // campaigns completed
+	Jobs        int64 `json:"jobs"`         // job rows streamed
+	CacheHits   int64 `json:"cache_hits"`   // shards replayed from cache
+	CacheMisses int64 `json:"cache_misses"` // shards executed with caching on
+}
+
+// Server is the dfarmd HTTP service: POST /v1/campaigns streams campaign
+// rows as NDJSON, GET /v1/benchmarks lists the embedded benchmark
+// registries, GET /v1/stats reports cumulative serving counters and GET
+// /healthz answers liveness probes.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	mux   *http.ServeMux
+	stats Stats // updated atomically
+}
+
+// NewServer builds a campaign server over cfg.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a snapshot of the cumulative serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Campaigns:   atomic.LoadInt64(&s.stats.Campaigns),
+		Jobs:        atomic.LoadInt64(&s.stats.Jobs),
+		CacheHits:   atomic.LoadInt64(&s.stats.CacheHits),
+		CacheMisses: atomic.LoadInt64(&s.stats.CacheMisses),
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck // terminal write
+}
+
+// handleCampaigns expands the submitted matrix, runs it on the campaign
+// engine and streams rows. Job-matrix errors surface as HTTP 4xx before
+// the stream opens; once the first byte is written the stream terminates
+// with either a summary row or an error row.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	// A matrix request is a few KB of JSON; bound the body so one
+	// oversized submission cannot exhaust the daemon's memory.
+	var req MatrixRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad matrix request: %v", err)
+		return
+	}
+	jobs, err := req.Jobs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Queue for an execution slot; a client that disconnects while
+	// queued never starts its campaign.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		return
+	}
+
+	timeout := req.JobTimeout()
+	if timeout <= 0 {
+		timeout = s.cfg.JobTimeout
+	}
+
+	// The stream owns the connection from here on: rows are flushed as
+	// jobs complete, and a client disconnect cancels the campaign via
+	// the request context.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	writeRow := func(row Row) {
+		// A bounded write deadline per row: a client that stops reading
+		// its stream fails the write instead of blocking the emitter —
+		// and with it every campaign worker — indefinitely. Best effort:
+		// an unsupported controller falls back to unbounded writes.
+		rc.SetWriteDeadline(time.Now().Add(rowWriteTimeout)) //nolint:errcheck // best effort
+		if err := enc.Encode(row); err != nil {
+			cancel()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	opts := campaign.Options{
+		Workers:            s.cfg.Workers,
+		ShardSize:          req.ShardSize,
+		MaxCounterexamples: req.MaxCounterexamples,
+		FailFast:           req.FailFast,
+		JobTimeout:         timeout,
+		Cache:              s.cfg.Cache,
+		OnJobReport: func(jr campaign.JobReport) {
+			atomic.AddInt64(&s.stats.Jobs, 1)
+			writeRow(Row{Job: &jr})
+		},
+	}
+	rep, runErr := campaign.Run(ctx, jobs, opts)
+	if rep == nil {
+		writeRow(Row{Error: runErr.Error()})
+		return
+	}
+	atomic.AddInt64(&s.stats.Campaigns, 1)
+	if rep.Cache != nil {
+		atomic.AddInt64(&s.stats.CacheHits, rep.Cache.Hits)
+		atomic.AddInt64(&s.stats.CacheMisses, rep.Cache.Misses)
+	}
+	writeRow(Row{Summary: &Summary{
+		Passed:       rep.Passed,
+		Jobs:         len(rep.Jobs),
+		TotalChecked: rep.TotalChecked,
+		StoppedEarly: rep.StoppedEarly,
+		Cache:        rep.Cache,
+		Timing:       rep.Timing,
+	}})
+}
+
+// handleBenchmarks lists the embedded benchmark registries by architecture.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{ //nolint:errcheck // terminal write
+		"rmt":  spec.Names(),
+		"drmt": drmt.BenchmarkNames(),
+	})
+}
+
+// handleStats reports the cumulative serving counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats()) //nolint:errcheck // terminal write
+}
+
+// Serve runs a campaign server on addr until ctx is cancelled, then shuts
+// down gracefully (in-flight streams get a short drain window).
+func Serve(ctx context.Context, addr string, cfg Config) error {
+	srv := &http.Server{Addr: addr, Handler: NewServer(cfg)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,253 @@
+package farmd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"druzhba/internal/campaign"
+)
+
+// smallMatrix is the two-architecture request the server tests submit.
+func smallMatrix() *MatrixRequest {
+	return &MatrixRequest{Arch: "all", Run: "counter", Packets: 600, ShardSize: 128}
+}
+
+// rawRows posts req and returns the response's NDJSON lines.
+func rawRows(t *testing.T, url string, req *MatrixRequest) []string {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d rows, want at least one job row plus a summary", len(lines))
+	}
+	return lines
+}
+
+// TestServerCachedResubmissionStreamsIdenticalRows is the acceptance
+// scenario: submitting the same matrix twice executes zero shards the
+// second time (summary cache counters) while the job rows — and the
+// reassembled reports — are byte-identical to each other and to an offline
+// run of the same matrix.
+func TestServerCachedResubmissionStreamsIdenticalRows(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Config{Cache: NewMemCache(0), Workers: 3}))
+	defer srv.Close()
+	req := smallMatrix()
+
+	first := rawRows(t, srv.URL, req)
+	second := rawRows(t, srv.URL, req)
+	if len(first) != len(second) {
+		t.Fatalf("row counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := 0; i < len(first)-1; i++ { // all but the summary row
+		if first[i] != second[i] {
+			t.Fatalf("job row %d differs between submissions:\n%s\n%s", i, first[i], second[i])
+		}
+	}
+	var sum1, sum2 Row
+	if err := json.Unmarshal([]byte(first[len(first)-1]), &sum1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(second[len(second)-1]), &sum2); err != nil {
+		t.Fatal(err)
+	}
+	if sum1.Summary == nil || sum2.Summary == nil {
+		t.Fatal("stream did not end with a summary row")
+	}
+	if sum1.Summary.Cache.Hits != 0 || sum1.Summary.Cache.Misses == 0 {
+		t.Fatalf("first submission cache stats: %+v", sum1.Summary.Cache)
+	}
+	if sum2.Summary.Cache.Misses != 0 || sum2.Summary.Cache.Hits != sum1.Summary.Cache.Misses {
+		t.Fatalf("second submission executed shards: %+v (first ran %+v)", sum2.Summary.Cache, sum1.Summary.Cache)
+	}
+
+	// Client-reassembled reports render byte-identically to an offline
+	// run at the same settings, at several offline worker counts.
+	clientRep, err := Submit(context.Background(), srv.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clientJSON bytes.Buffer
+	if err := clientRep.WriteJSON(&clientJSON, false); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 5} {
+		offline, err := campaign.Run(context.Background(), jobs, campaign.Options{Workers: workers, ShardSize: req.ShardSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var offlineJSON bytes.Buffer
+		if err := offline.WriteJSON(&offlineJSON, false); err != nil {
+			t.Fatal(err)
+		}
+		if clientJSON.String() != offlineJSON.String() {
+			t.Fatalf("streamed report differs from offline report at workers=%d:\n--- client ---\n%s--- offline ---\n%s",
+				workers, clientJSON.String(), offlineJSON.String())
+		}
+		if offline.Text(false) != clientRep.Text(false) {
+			t.Fatalf("text rendering differs at workers=%d", workers)
+		}
+	}
+}
+
+// TestServerStreamsJobRowsInMatrixOrder: rows arrive one per job, in the
+// same order req.Jobs() builds them.
+func TestServerStreamsJobRowsInMatrixOrder(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Config{}))
+	defer srv.Close()
+	req := smallMatrix()
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	rep, err := SubmitStream(context.Background(), srv.URL, req, func(row Row) error {
+		if row.Job != nil {
+			names = append(names, row.Job.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(jobs) || len(rep.Jobs) != len(jobs) {
+		t.Fatalf("streamed %d rows for %d jobs", len(names), len(jobs))
+	}
+	for i := range jobs {
+		if names[i] != jobs[i].Name {
+			t.Fatalf("row %d is %q, want %q", i, names[i], jobs[i].Name)
+		}
+	}
+}
+
+// TestServerRejectsBadMatrix: matrix errors surface as HTTP 400 with a
+// JSON error body, before any stream bytes.
+func TestServerRejectsBadMatrix(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Config{}))
+	defer srv.Close()
+	for name, req := range map[string]*MatrixRequest{
+		"bad arch":       {Arch: "quantum"},
+		"no benchmarks":  {Run: "no-such-benchmark"},
+		"levels on drmt": {Arch: "drmt", Levels: []string{"scc"}},
+		"bad traffic":    {Traffic: []string{"chaotic"}},
+		"procs on rmt":   {Arch: "rmt", Procs: []int{4}},
+	} {
+		if _, err := Submit(context.Background(), srv.URL, req); err == nil {
+			t.Fatalf("%s: submission accepted", name)
+		}
+	}
+}
+
+// TestServerEndpoints: the sidecar endpoints answer.
+func TestServerEndpoints(t *testing.T) {
+	s := NewServer(Config{Cache: NewMemCache(0)})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&benches); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(benches["rmt"]) == 0 || len(benches["drmt"]) == 0 {
+		t.Fatalf("benchmark registries empty: %v", benches)
+	}
+
+	if _, err := Submit(context.Background(), srv.URL, smallMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Campaigns != 1 || stats.Jobs == 0 || stats.CacheMisses == 0 {
+		t.Fatalf("stats after one campaign: %+v", stats)
+	}
+}
+
+// TestSubmitKeepsPartialRowsOnDeadStream: a stream that dies before its
+// summary row still yields the rows received so far, marked stopped-early
+// and failed — already-streamed work is never thrown away.
+func TestSubmitKeepsPartialRowsOnDeadStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		jr := campaign.JobReport{Name: "rmt/x/scc/seed=1", Status: campaign.StatusPass, Checked: 100}
+		json.NewEncoder(w).Encode(Row{Job: &jr}) //nolint:errcheck // test stream
+		// Connection closes with no summary row.
+	}))
+	defer srv.Close()
+	rep, err := Submit(context.Background(), srv.URL, &MatrixRequest{})
+	if err == nil {
+		t.Fatal("dead stream reported no error")
+	}
+	if rep == nil || len(rep.Jobs) != 1 || rep.Jobs[0].Name != "rmt/x/scc/seed=1" {
+		t.Fatalf("partial rows lost: %+v", rep)
+	}
+	if rep.Passed || !rep.StoppedEarly || rep.TotalChecked != 100 {
+		t.Fatalf("partial report not finalized as cancelled: %+v", rep)
+	}
+}
+
+// TestServerJobTimeoutDefault: the server's default job timeout applies
+// when the request sets none, and the report surfaces the timeout without
+// wedging the daemon.
+func TestServerJobTimeoutDefault(t *testing.T) {
+	// The wide-fanin benchmark at a large packet count cannot finish in a
+	// microsecond; the daemon must still answer promptly.
+	srv := httptest.NewServer(NewServer(Config{JobTimeout: time.Microsecond}))
+	defer srv.Close()
+	req := &MatrixRequest{Arch: "drmt", Run: "wide-fanin", Packets: 200000, ShardSize: 4096}
+	start := time.Now()
+	rep, err := Submit(context.Background(), srv.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("timed-out campaign took %v", elapsed)
+	}
+	if rep.Passed {
+		t.Fatal("campaign passed despite an impossible job timeout")
+	}
+	if !strings.Contains(rep.Jobs[0].Error, "wall-clock budget") {
+		t.Fatalf("job error %q does not mention the budget", rep.Jobs[0].Error)
+	}
+}

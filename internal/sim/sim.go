@@ -30,21 +30,74 @@ import (
 	"druzhba/internal/phv"
 )
 
+// TrafficMode selects the distribution a traffic generator draws container
+// values from.
+type TrafficMode string
+
+const (
+	// TrafficUniform draws every value uniformly from [0, max) — the
+	// paper's §3.3 regime and the zero value of the type.
+	TrafficUniform TrafficMode = "uniform"
+
+	// TrafficBoundary draws every value from the boundary set of the draw
+	// range: zero, the minimal nonzero value, and the maximal drawable
+	// value (which is the all-ones pattern at full datapath width). ALU
+	// carry, wrap-around and comparison edges live at exactly these
+	// values, so boundary traffic is the adversarial counterpart of the
+	// uniform regime.
+	TrafficBoundary TrafficMode = "boundary"
+)
+
+// Valid reports whether m names a known traffic mode; the empty string
+// counts as TrafficUniform.
+func (m TrafficMode) Valid() bool {
+	return m == "" || m == TrafficUniform || m == TrafficBoundary
+}
+
 // TrafficGen creates sequences of PHVs whose containers hold random unsigned
 // integers (§3.3). It is deterministic for a given seed.
 type TrafficGen struct {
 	rng    *rand.Rand
 	phvLen int
 	max    int64
+	bounds []phv.Value // non-nil in boundary mode: the candidate values
 }
 
 // NewTrafficGen returns a generator producing PHVs with phvLen containers of
 // values uniform in [0, max). max <= 0 means the full value range of bits.
 func NewTrafficGen(seed int64, phvLen int, bits phv.Width, max int64) *TrafficGen {
+	g, _ := NewTrafficGenMode(seed, phvLen, bits, max, TrafficUniform)
+	return g
+}
+
+// NewTrafficGenMode is NewTrafficGen with an explicit traffic mode. Both
+// modes draw exactly one random number per container, so a given mode is
+// deterministic for a given seed across Fill, Next and Trace.
+func NewTrafficGenMode(seed int64, phvLen int, bits phv.Width, max int64, mode TrafficMode) (*TrafficGen, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("sim: unknown traffic mode %q (want %s or %s)", mode, TrafficUniform, TrafficBoundary)
+	}
 	if max <= 0 {
 		max = bits.Mask() + 1
 	}
-	return &TrafficGen{rng: rand.New(rand.NewSource(seed)), phvLen: phvLen, max: max}
+	g := &TrafficGen{rng: rand.New(rand.NewSource(seed)), phvLen: phvLen, max: max}
+	if mode == TrafficBoundary {
+		g.bounds = boundaryValues(max)
+	}
+	return g, nil
+}
+
+// boundaryValues is the deduplicated boundary set of the draw range
+// [0, limit): zero, one and limit-1 (the all-ones pattern when the limit is
+// a full power-of-two width).
+func boundaryValues(limit int64) []phv.Value {
+	set := []phv.Value{0}
+	for _, v := range []int64{1, limit - 1} {
+		if v > 0 && v < limit && v != set[len(set)-1] {
+			set = append(set, v)
+		}
+	}
+	return set
 }
 
 // Fill writes one PHV's container values into the caller-owned dst buffer,
@@ -52,6 +105,12 @@ func NewTrafficGen(seed int64, phvLen int, bits phv.Width, max int64) *TrafficGe
 // phvLen-sized buffer consumes the stream identically to Next, so streaming
 // and trace-materializing consumers of the same seed see the same traffic.
 func (g *TrafficGen) Fill(dst []phv.Value) {
+	if g.bounds != nil {
+		for i := range dst {
+			dst[i] = g.bounds[g.rng.Intn(len(g.bounds))]
+		}
+		return
+	}
 	for i := range dst {
 		dst[i] = g.rng.Int63n(g.max)
 	}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"druzhba/internal/phv"
+)
+
+// TestTrafficGenBoundaryMode: every value drawn in boundary mode is a
+// boundary of the draw range, both range extremes actually occur, and the
+// stream is deterministic per seed.
+func TestTrafficGenBoundaryMode(t *testing.T) {
+	const max = 1000
+	g, err := NewTrafficGenMode(11, 3, phv.Default32, max, TrafficBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[phv.Value]bool{0: true, 1: true, max - 1: true}
+	seen := map[phv.Value]int{}
+	for i := 0; i < 200; i++ {
+		p := g.Next()
+		for _, v := range p.Raw() {
+			if !allowed[v] {
+				t.Fatalf("boundary mode drew %d (allowed %v)", v, allowed)
+			}
+			seen[v]++
+		}
+	}
+	if seen[0] == 0 || seen[max-1] == 0 {
+		t.Fatalf("extremes missing from boundary stream: %v", seen)
+	}
+
+	g1, _ := NewTrafficGenMode(42, 2, phv.Default32, 0, TrafficBoundary)
+	g2, _ := NewTrafficGenMode(42, 2, phv.Default32, 0, TrafficBoundary)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		for c := range a.Raw() {
+			if a.Raw()[c] != b.Raw()[c] {
+				t.Fatalf("boundary stream not deterministic at packet %d", i)
+			}
+		}
+	}
+}
+
+// TestTrafficGenBoundaryFullWidth: at full datapath width the maximal
+// boundary value is the all-ones container pattern.
+func TestTrafficGenBoundaryFullWidth(t *testing.T) {
+	g, err := NewTrafficGenMode(3, 1, phv.Default32, 0, TrafficBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := phv.Default32.Mask()
+	sawAllOnes := false
+	for i := 0; i < 100; i++ {
+		v := g.Next().Raw()[0]
+		if v != 0 && v != 1 && v != mask {
+			t.Fatalf("full-width boundary mode drew %d", v)
+		}
+		sawAllOnes = sawAllOnes || v == mask
+	}
+	if !sawAllOnes {
+		t.Fatal("all-ones pattern never drawn")
+	}
+}
+
+// TestTrafficGenModeValidation: unknown modes error, the empty mode is
+// uniform, and uniform mode matches NewTrafficGen exactly.
+func TestTrafficGenModeValidation(t *testing.T) {
+	if _, err := NewTrafficGenMode(1, 1, phv.Default32, 0, "chaotic"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	gEmpty, err := NewTrafficGenMode(9, 2, phv.Default32, 100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gUniform := NewTrafficGen(9, 2, phv.Default32, 100)
+	for i := 0; i < 50; i++ {
+		a, b := gEmpty.Next(), gUniform.Next()
+		for c := range a.Raw() {
+			if a.Raw()[c] != b.Raw()[c] {
+				t.Fatal("empty mode does not match uniform")
+			}
+		}
+	}
+}

@@ -17,6 +17,8 @@
 package spec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,6 +50,27 @@ type Benchmark struct {
 
 	// build populates the machine code fixture.
 	build func(b *builder)
+}
+
+// Fingerprint is a stable content hash of everything that defines the
+// benchmark's behavioral specification: the Domino source, the PHV field
+// binding, the Table-1 pipeline dimensions and atom, and the traffic bound.
+// Campaign shard caching keys on this hash (plus the machine code and
+// engine level), so editing any part of a benchmark invalidates its cached
+// shards while leaving every other benchmark's entries valid.
+func (bm *Benchmark) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d/%d/%s/max=%d\x00", bm.Depth, bm.Width, bm.Atom, bm.MaxInput)
+	fmt.Fprintf(h, "%d\x00%s\x00", len(bm.DominoSrc), bm.DominoSrc)
+	fields := make([]string, 0, len(bm.Fields))
+	for f := range bm.Fields {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		fmt.Fprintf(h, "%s=%d\x00", f, bm.Fields[f])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Spec builds the benchmark's pipeline spec (not yet bound to machine code).
