@@ -13,6 +13,18 @@
 // the boundary-value adversarial regime as a matrix axis, and -procs
 // sweeps dRMT processor-count variants.
 //
+// -mode selects the campaign phases. The default, fuzz, is the random
+// differential workload above. -mode verify instead runs SAT-based bounded
+// equivalence proofs (§7) over the rmt benchmarks: each job's cells span a
+// -vbits × -vsteps proof grid, every cell is an independent shard decided
+// on the worker pool, and verdicts (proven, counterexample, unknown) carry
+// the instance's SAT statistics. -mode both chains the two: verification
+// runs first and every counterexample trace it decodes is replayed as seed
+// traffic at the start of each fuzz shard, so a proof refutation
+// immediately becomes a deterministic fuzz regression. Verify cells are
+// pure functions of the (spec, machine code, grid) content, so a daemon's
+// shard cache replays them on resubmission without re-proving anything.
+//
 // With -server, dfarm becomes a client of a dfarmd campaign daemon: the
 // same flags are submitted as a JSON matrix, the daemon streams one NDJSON
 // row per job as jobs complete, and dfarm reassembles and renders them
@@ -24,10 +36,13 @@
 //	dfarm -run flowlets -levels scc+inline,compiled -seeds 1,2,3 -json report.json
 //	dfarm -arch drmt -packets 20000 -procs 2,4,8
 //	dfarm -arch all -traffic uniform,boundary -failfast -timing
+//	dfarm -mode verify -vbits 3,5 -vsteps 2,3
+//	dfarm -mode both -run sampling -packets 10000
 //	dfarm -server http://localhost:8844 -run lru -json report.json
 //
 // Exit status: 0 when every job passes; 1 when any job fails (mismatch,
-// simulation error or abort) or on usage errors.
+// simulation error, unproven verification cell or abort) or on usage
+// errors.
 package main
 
 import (
@@ -54,6 +69,10 @@ func main() {
 	traffic := fs.String("traffic", "", "comma-separated traffic modes: uniform, boundary (empty = uniform)")
 	procs := fs.String("procs", "", "comma-separated dRMT processor-count variants (empty = benchmark defaults)")
 	run := fs.String("run", "", "only benchmarks whose name contains this substring")
+	mode := fs.String("mode", "fuzz", "campaign phases: fuzz, verify, or both (verify first, feeding counterexample traces into the fuzzer)")
+	vbits := fs.String("vbits", "", "comma-separated verification bit widths (verify/both modes; empty = 4,6)")
+	vsteps := fs.String("vsteps", "", "comma-separated transaction-unrolling depths (verify/both modes; empty = 2)")
+	budget := fs.Int64("budget", 0, "solver conflict budget per proof cell (0 = unlimited; exhaustion yields an unknown verdict)")
 	maxCE := fs.Int("max-counterexamples", 8, "deduplicated counterexamples kept per job (-1 = unbounded)")
 	failfast := fs.Bool("failfast", false, "cancel the campaign at the first failing shard")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock budget (0 = unbounded)")
@@ -73,6 +92,14 @@ func main() {
 	if err != nil {
 		cli.Fatalf("dfarm: %v", err)
 	}
+	vbitsList, err := farmd.ParseInts(*vbits)
+	if err != nil {
+		cli.Fatalf("dfarm: -vbits: %v", err)
+	}
+	vstepsList, err := farmd.ParseInts(*vsteps)
+	if err != nil {
+		cli.Fatalf("dfarm: -vsteps: %v", err)
+	}
 	req := &farmd.MatrixRequest{
 		Arch:               *arch,
 		Run:                *run,
@@ -85,6 +112,10 @@ func main() {
 		MaxCounterexamples: *maxCE,
 		FailFast:           *failfast,
 		JobTimeoutMS:       (*jobTimeout).Milliseconds(),
+		Mode:               *mode,
+		VerifyBits:         vbitsList,
+		VerifySteps:        vstepsList,
+		MaxConflicts:       *budget,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,11 +132,7 @@ func main() {
 			cli.Fatalf("dfarm: %v", runErr)
 		}
 	} else {
-		jobs, err := req.Jobs()
-		if err != nil {
-			cli.Fatalf("dfarm: %v", err)
-		}
-		report, runErr = campaign.Run(ctx, jobs, campaign.Options{
+		report, runErr = farmd.RunMatrix(ctx, req, campaign.Options{
 			Workers:            *workers,
 			ShardSize:          *shard,
 			MaxCounterexamples: *maxCE,

@@ -41,6 +41,7 @@ func main() {
 	addr := fs.String("addr", ":8844", "listen address")
 	cacheDir := fs.String("cache-dir", "", "persistent shard-cache directory (empty = in-memory only)")
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory LRU capacity in shard results (0 = default)")
+	cacheMaxMB := fs.Int64("cache-max-mb", 4096, "on-disk cache size cap in MiB; least recently used entries are evicted past it (0 = unbounded)")
 	noCache := fs.Bool("no-cache", false, "disable the shard-result cache entirely")
 	workers := fs.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
 	maxConcurrent := fs.Int("max-concurrent", 2, "campaigns executing at once; excess submissions queue")
@@ -54,7 +55,7 @@ func main() {
 	if !*noCache {
 		mem := farmd.NewMemCache(*cacheEntries)
 		if *cacheDir != "" {
-			disk, err := farmd.NewDirCache(*cacheDir)
+			disk, err := farmd.NewDirCacheLimit(*cacheDir, *cacheMaxMB<<20)
 			if err != nil {
 				cli.Fatalf("dfarmd: %v", err)
 			}

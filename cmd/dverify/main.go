@@ -14,23 +14,97 @@
 //
 // Benchmark mode verifies a built-in Table 1 fixture:
 //
-//	dverify -bench sampling -bits 5 -steps 3
+//	dverify -bench sampling -vbits 5 -steps 3
+//
+// -json emits the result as a machine-readable document instead: verdict
+// (proven, counterexample, unknown), SAT statistics (variables, clauses,
+// conflicts, solve time) and, on refutation, the decoded counterexample
+// input trace with the first diverging transaction. With -bench all the
+// battery streams one JSON row per program. -timeout bounds the solve's
+// wall clock (an expired budget reports unknown); an interrupt (Ctrl-C)
+// abandons the solve the same way instead of wedging.
+//
+// Exit status: 0 when equivalence is proven; 1 on a counterexample or an
+// unknown verdict (budget or timeout exhausted) or on usage errors.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"druzhba/internal/cli"
 	"druzhba/internal/core"
 	"druzhba/internal/domino"
 	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
 	"druzhba/internal/spec"
 	"druzhba/internal/verify"
 )
+
+// jsonResult is -json's output document: the deterministic verdict and SAT
+// statistics, plus the wall-clock solve time (nondeterministic, reported
+// for operators, excluded from nothing here since this output is not
+// diffed across runs).
+type jsonResult struct {
+	Program   string    `json:"program,omitempty"`
+	Verdict   string    `json:"verdict"`
+	Bits      int       `json:"bits"`
+	Steps     int       `json:"steps"`
+	Vars      int       `json:"vars"`
+	Clauses   int       `json:"clauses"`
+	Conflicts int64     `json:"conflicts"`
+	SolveMS   float64   `json:"solve_ms"`
+	Trace     [][]int64 `json:"trace,omitempty"`
+	FailStep  int       `json:"fail_step,omitempty"`
+}
+
+// resultJSON flattens a verification result into the -json document.
+func resultJSON(program string, bits, steps int, res *verify.Result, solveMS float64) jsonResult {
+	out := jsonResult{
+		Program:   program,
+		Bits:      bits,
+		Steps:     steps,
+		Vars:      res.Vars,
+		Clauses:   res.Clauses,
+		Conflicts: res.SolverStats.Conflicts,
+		SolveMS:   solveMS,
+	}
+	switch {
+	case res.Equivalent:
+		out.Verdict = "proven"
+	case res.Unknown:
+		out.Verdict = "unknown"
+	default:
+		out.Verdict = "counterexample"
+		out.FailStep = res.FailStep
+		out.Trace = traceRows(res.Counterexample)
+	}
+	return out
+}
+
+// traceRows decodes a counterexample trace into rows of container values.
+func traceRows(trace *phv.Trace) [][]int64 {
+	if trace == nil {
+		return nil
+	}
+	rows := make([][]int64, 0, trace.Len())
+	for s := 0; s < trace.Len(); s++ {
+		p := trace.At(s)
+		row := make([]int64, p.Len())
+		for c := range row {
+			row[c] = int64(p.Get(c))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
 
 func main() {
 	fs := flag.NewFlagSet("dverify", flag.ExitOnError)
@@ -43,8 +117,18 @@ func main() {
 	steps := fs.Int("steps", 2, "consecutive transactions to unroll")
 	maxVal := fs.Int64("max", 0, "constrain input container values to [0,max) (0 = full width)")
 	budget := fs.Int64("budget", 0, "solver conflict budget (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock solve budget; an expired budget reports unknown (0 = unbounded)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (verdict, counterexample trace, SAT statistics)")
 	stateFlag := fs.String("state", "", "state bindings: domino_state=stage:slot:index, comma separated")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var (
 		hw     core.Spec
@@ -54,7 +138,7 @@ func main() {
 		err    error
 	)
 	if *bench == "all" {
-		battery(*bits, *steps, *budget)
+		battery(ctx, *bits, *steps, *budget, *jsonOut)
 		return
 	}
 	switch {
@@ -103,7 +187,8 @@ func main() {
 	if err != nil {
 		cli.Fatalf("dverify: %v", err)
 	}
-	res, err := verify.Equivalence(hw, code, prog, fields, verify.Options{
+	start := time.Now()
+	res, err := verify.EquivalenceContext(ctx, hw, code, prog, fields, verify.Options{
 		Bits:          *bits,
 		Steps:         *steps,
 		MaxInput:      *maxVal,
@@ -113,7 +198,16 @@ func main() {
 	if err != nil {
 		cli.Fatalf("dverify: %v", err)
 	}
-	fmt.Println(res)
+	solveMS := float64(time.Since(start).Microseconds()) / 1e3
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resultJSON(prog.Name, *bits, *steps, res, solveMS)); err != nil {
+			cli.Fatalf("dverify: %v", err)
+		}
+	} else {
+		fmt.Println(res)
+	}
 	if !res.Equivalent {
 		os.Exit(1)
 	}
@@ -141,10 +235,13 @@ func parseStateBindings(s string) (map[string]verify.StateLoc, error) {
 
 // battery verifies every Table 1 fixture and prints one row per program:
 // the formal-verification counterpart of the paper's §5.2 case-study
-// battery.
-func battery(bits, steps int, budget int64) {
-	fmt.Printf("%-20s %-6s %-6s %-10s %8s %10s %10s\n",
-		"program", "bits", "steps", "verdict", "SATvars", "conflicts", "time")
+// battery. With jsonOut it streams one JSON document per program instead.
+func battery(ctx context.Context, bits, steps int, budget int64, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("%-20s %-6s %-6s %-10s %8s %10s %10s\n",
+			"program", "bits", "steps", "verdict", "SATvars", "conflicts", "time")
+	}
+	enc := json.NewEncoder(os.Stdout)
 	failures := 0
 	for _, bm := range spec.All() {
 		hw, err := bm.Spec()
@@ -160,20 +257,27 @@ func battery(bits, steps int, budget int64) {
 			cli.Fatalf("dverify: %s: %v", bm.Name, err)
 		}
 		start := time.Now()
-		res, err := verify.Equivalence(hw, code, prog, bm.Fields, verify.Options{
+		res, err := verify.EquivalenceContext(ctx, hw, code, prog, bm.Fields, verify.Options{
 			Bits: bits, Steps: steps, MaxInput: bm.MaxInput, MaxConflicts: budget,
 		})
 		if err != nil {
 			cli.Fatalf("dverify: %s: %v", bm.Name, err)
 		}
+		if !res.Equivalent {
+			failures++
+		}
+		if jsonOut {
+			if err := enc.Encode(resultJSON(bm.Name, bits, steps, res, float64(time.Since(start).Microseconds())/1e3)); err != nil {
+				cli.Fatalf("dverify: %v", err)
+			}
+			continue
+		}
 		verdict := "PROVED"
 		switch {
 		case res.Unknown:
 			verdict = "UNKNOWN"
-			failures++
 		case !res.Equivalent:
 			verdict = "REFUTED"
-			failures++
 		}
 		fmt.Printf("%-20s %-6d %-6d %-10s %8d %10d %10s\n",
 			bm.Name, bits, steps, verdict, res.Vars, res.SolverStats.Conflicts,

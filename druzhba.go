@@ -21,6 +21,8 @@
 //	internal/codegen      dgen's Go source emission
 //	internal/sim          dsim: tick simulation, traffic gen, fuzzing
 //	internal/campaign     dfarm: parallel fuzzing campaigns over job matrices
+//	internal/verify       dverify: SAT-based bounded equivalence proofs (§7)
+//	internal/farmd        dfarmd: the campaign daemon and its shard caches
 //	internal/domino       the mini-Domino frontend (specs)
 //	internal/spec         the 12 Table-1 benchmark programs
 //	internal/synth        the Chipmunk-substitute synthesis compiler
@@ -47,6 +49,7 @@ import (
 	"druzhba/internal/machinecode"
 	"druzhba/internal/phv"
 	"druzhba/internal/sim"
+	"druzhba/internal/spec"
 	"druzhba/internal/synth"
 	"druzhba/internal/verify"
 )
@@ -259,6 +262,23 @@ func RunDRMTCampaign(ctx context.Context, packets int, opts CampaignOptions) (*C
 	return campaign.Run(ctx, jobs, opts)
 }
 
+// VerifyCampaign builds the verification campaign job matrix (dfarm -mode
+// verify): one job per Table-1 benchmark, with cells spanning the bits ×
+// steps proof grid (empty slices take the campaign defaults). Each cell is
+// an independent bounded equivalence proof sharded onto the worker pool;
+// maxConflicts bounds solver effort per cell (0 = unlimited).
+func VerifyCampaign(bits, steps []int, maxConflicts int64) ([]CampaignJob, error) {
+	return campaign.VerifyMatrix(spec.All(), bits, steps, nil, maxConflicts)
+}
+
+// RunCampaignMatrix executes every phase of a matrix request (fuzz,
+// verify, or both — dfarm's -mode axis) and returns one merged report. In
+// both mode verification runs first and its counterexample traces are
+// replayed as seed traffic at the start of every fuzz shard.
+func RunCampaignMatrix(ctx context.Context, req *CampaignMatrixRequest, opts CampaignOptions) (*CampaignReport, error) {
+	return farmd.RunMatrix(ctx, req, opts)
+}
+
 // ShardCache is the campaign engine's pluggable content-addressed
 // shard-result store: results replay byte-identically into later reports,
 // so a warm cache changes counters, never rows.
@@ -268,11 +288,18 @@ type ShardCache = campaign.ShardCache
 // in-memory LRU of memEntries shard results (0 = 4096), tiered over a
 // persistent on-disk directory when dir is non-empty.
 func NewShardCache(memEntries int, dir string) (ShardCache, error) {
+	return NewShardCacheLimit(memEntries, dir, 0)
+}
+
+// NewShardCacheLimit is NewShardCache with a byte cap on the on-disk tier:
+// past maxDiskBytes the least recently used entry files are evicted, so a
+// long-running service's disk footprint stays bounded (0 = unbounded).
+func NewShardCacheLimit(memEntries int, dir string, maxDiskBytes int64) (ShardCache, error) {
 	mem := farmd.NewMemCache(memEntries)
 	if dir == "" {
 		return mem, nil
 	}
-	disk, err := farmd.NewDirCache(dir)
+	disk, err := farmd.NewDirCacheLimit(dir, maxDiskBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +364,13 @@ type VerifyResult = verify.Result
 // an internal SAT solver, and returns a counterexample input trace when
 // the machine code is wrong.
 func Prove(cfg Config, code *MachineCode, dominoSrc string, fields map[string]int, opts VerifyOptions) (*VerifyResult, error) {
+	return ProveContext(context.Background(), cfg, code, dominoSrc, fields, opts)
+}
+
+// ProveContext is Prove under a context: cancellation (or a deadline)
+// interrupts the SAT solve and reports an unknown verdict instead of
+// running to completion, so callers can bound proof wall clock.
+func ProveContext(ctx context.Context, cfg Config, code *MachineCode, dominoSrc string, fields map[string]int, opts VerifyOptions) (*VerifyResult, error) {
 	s, err := cfg.coreSpec()
 	if err != nil {
 		return nil, err
@@ -345,7 +379,7 @@ func Prove(cfg Config, code *MachineCode, dominoSrc string, fields map[string]in
 	if err != nil {
 		return nil, err
 	}
-	return verify.Equivalence(s, code, prog, domino.FieldMap(fields), opts)
+	return verify.EquivalenceContext(ctx, s, code, prog, domino.FieldMap(fields), opts)
 }
 
 // Version identifies the library.

@@ -61,6 +61,13 @@ func (j *Job) validate() error {
 	if j.Packets < 1 {
 		return fmt.Errorf("campaign: job %q asks for %d packets", j.Name, j.Packets)
 	}
+	// Targets that constrain the jobs they ride in (verify targets pin
+	// Packets and Seed to their proof grid) check the pairing here.
+	if v, ok := j.Target.(interface{ validateJob(j *Job) error }); ok {
+		if err := v.validateJob(j); err != nil {
+			return fmt.Errorf("campaign: job %q: %w", j.Name, err)
+		}
+	}
 	return nil
 }
 

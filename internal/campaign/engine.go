@@ -65,7 +65,17 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		}
 	}
 
-	// Shard plan. results[j][s] is written by exactly one worker.
+	// Shard plan. results[j][s] is written by exactly one worker. Targets
+	// may override the campaign shard size for their own jobs (ShardSizer):
+	// verification targets shard at one proof cell per shard, so the size
+	// is part of the same per-job arithmetic merge uses for packet indices.
+	sizes := make([]int, len(jobs))
+	for j := range jobs {
+		sizes[j] = o.ShardSize
+		if ss, ok := jobs[j].Target.(ShardSizer); ok {
+			sizes[j] = ss.ShardSize(o.ShardSize)
+		}
+	}
 	results := make([][]*ShardResult, len(jobs))
 	pending := make([]int, len(jobs))
 	var tasks []task
@@ -74,12 +84,12 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 			continue // build failed or skipped by cancellation
 		}
 		n := jobs[j].Packets
-		shards := (n + o.ShardSize - 1) / o.ShardSize
+		shards := (n + sizes[j] - 1) / sizes[j]
 		results[j] = make([]*ShardResult, shards)
 		pending[j] = shards
 		for s := 0; s < shards; s++ {
-			size := o.ShardSize
-			if rem := n - s*o.ShardSize; rem < size {
+			size := sizes[j]
+			if rem := n - s*sizes[j]; rem < size {
 				size = rem
 			}
 			tasks = append(tasks, task{job: j, shard: s, n: size})
@@ -89,7 +99,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 	// The emitter merges each job the moment its last shard lands and
 	// hands rows to OnJobReport in matrix order; jobs with no shards
 	// (build errors, cancelled builds) are complete already.
-	em := &emitter{jobs: jobs, buildErrs: buildErrs, results: results, pending: pending, o: o, reports: make([]*JobReport, len(jobs))}
+	em := &emitter{jobs: jobs, buildErrs: buildErrs, results: results, pending: pending, o: o, sizes: sizes, reports: make([]*JobReport, len(jobs))}
 	em.flush()
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -151,12 +161,12 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 						}
 						if o.JobTimeout > 0 {
 							var alive bool
-							res, alive = runShardTimed(&jobs[t.job], ws, t, deadline, o.JobTimeout)
+							res, alive = runShardTimed(runCtx, &jobs[t.job], ws, t, deadline, o.JobTimeout)
 							if !alive {
 								ws = nil // runner abandoned mid-shard; never reuse it
 							}
 						} else {
-							res = runShard(&jobs[t.job], ws, t)
+							res = runShard(runCtx, &jobs[t.job], ws, t)
 						}
 					}
 					if key != "" && res.Err == nil {
@@ -217,12 +227,19 @@ func newWorkerState(master Instance) *workerState {
 }
 
 // runShard executes one shard on the worker's reusable runner with the
-// shard's deterministic traffic seed.
-func runShard(job *Job, ws *workerState, t task) *ShardResult {
+// shard's deterministic traffic seed. Context-aware runners receive ctx so
+// cancellation (campaign abort, job deadline) interrupts them mid-shard;
+// plain runners just run to completion.
+func runShard(ctx context.Context, job *Job, ws *workerState, t task) *ShardResult {
 	if ws.err != nil {
 		return &ShardResult{Err: ws.err}
 	}
-	res := ws.runner.RunShard(deriveSeed(job.Seed, t.shard), t.n)
+	seed := deriveSeed(job.Seed, t.shard)
+	if cr, ok := ws.runner.(ContextRunner); ok {
+		res := cr.RunShardContext(ctx, seed, t.n)
+		return &res
+	}
+	res := ws.runner.RunShard(seed, t.n)
 	return &res
 }
 
@@ -251,15 +268,22 @@ func timeoutErr(budget time.Duration) error {
 
 // runShardTimed is runShard raced against the job's deadline. The second
 // return value reports whether the runner is still usable: a shard that
-// outlives the deadline is abandoned (its goroutine leaks until the runner
-// returns) and its runner must not be reused.
-func runShardTimed(job *Job, ws *workerState, t task, deadline time.Time, budget time.Duration) (*ShardResult, bool) {
+// outlives the deadline is abandoned and its runner must not be reused.
+// The runner executes under a context bounded by the deadline, so
+// context-aware runners (SAT proofs) stop shortly after abandonment
+// instead of leaking their goroutine indefinitely; plain runners leak
+// until they return, as before.
+func runShardTimed(ctx context.Context, job *Job, ws *workerState, t task, deadline time.Time, budget time.Duration) (*ShardResult, bool) {
 	remaining := time.Until(deadline)
 	if remaining <= 0 {
 		return &ShardResult{Err: timeoutErr(budget)}, true
 	}
+	shardCtx, cancel := context.WithDeadline(ctx, deadline)
 	done := make(chan *ShardResult, 1)
-	go func() { done <- runShard(job, ws, t) }()
+	go func() {
+		defer cancel()
+		done <- runShard(shardCtx, job, ws, t)
+	}()
 	timer := time.NewTimer(remaining)
 	defer timer.Stop()
 	select {
@@ -280,6 +304,7 @@ type emitter struct {
 	results   [][]*ShardResult
 	pending   []int
 	o         Options
+	sizes     []int // per-job shard size (merge's packet-index arithmetic)
 	reports   []*JobReport
 	cursor    int
 }
@@ -316,7 +341,7 @@ func (e *emitter) finish() {
 func (e *emitter) advance() {
 	for e.cursor < len(e.jobs) && e.pending[e.cursor] == 0 {
 		j := e.cursor
-		jr := mergeJob(&e.jobs[j], e.buildErrs[j], e.results[j], e.o)
+		jr := mergeJob(&e.jobs[j], e.buildErrs[j], e.results[j], e.o, e.sizes[j])
 		e.reports[j] = &jr
 		e.cursor++
 		if e.o.OnJobReport != nil {

@@ -5,6 +5,7 @@ import (
 
 	"druzhba/internal/core"
 	"druzhba/internal/drmt"
+	"druzhba/internal/phv"
 	"druzhba/internal/sim"
 	"druzhba/internal/spec"
 )
@@ -18,6 +19,15 @@ import (
 // the axis existed (only non-default values append a name suffix), so
 // reports from pre-axis campaigns stay comparable.
 func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, traffic []sim.TrafficMode, seeds []int64, packets int) ([]Job, error) {
+	return MatrixWithCorpus(benchmarks, levels, traffic, seeds, packets, nil)
+}
+
+// MatrixWithCorpus is Matrix with per-benchmark seed corpora: every job of
+// a benchmark present in corpus replays those packets (in order, from
+// reset state) at the start of each shard before random traffic. Both mode
+// uses this to feed verification counterexample traces back into the
+// fuzzer as deterministic regression inputs.
+func MatrixWithCorpus(benchmarks []*spec.Benchmark, levels []core.OptLevel, traffic []sim.TrafficMode, seeds []int64, packets int, corpus map[string][][]phv.Value) ([]Job, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("campaign: empty benchmark set")
 	}
@@ -67,6 +77,7 @@ func Matrix(benchmarks []*spec.Benchmark, levels []core.OptLevel, traffic []sim.
 							Containers:      containers,
 							MaxInput:        bm.MaxInput,
 							Traffic:         mode,
+							Corpus:          corpus[bm.Name],
 							SpecFingerprint: fp,
 						},
 						Seed:    seed,

@@ -13,6 +13,13 @@ const (
 	StatusFail    = "fail"    // at least one counterexample
 	StatusError   = "error"   // pipeline build or simulation failed
 	StatusAborted = "aborted" // cancelled before every shard ran
+	StatusUnknown = "unknown" // verify only: some cell exhausted its solver budget
+)
+
+// Campaign modes labeling report rows.
+const (
+	ModeFuzz   = "fuzz"   // random differential testing (Fig. 5)
+	ModeVerify = "verify" // SAT-based bounded equivalence proofs (§7)
 )
 
 // Counterexample is one deduplicated diverging PHV. Packet is the global
@@ -28,10 +35,12 @@ type Counterexample struct {
 // JobReport aggregates one job's shards.
 type JobReport struct {
 	Name      string `json:"name"`
+	Mode      string `json:"mode"`   // campaign mode (fuzz, verify)
 	Arch      string `json:"arch"`   // architecture under test (rmt, drmt)
-	Engine    string `json:"engine"` // engine variant (optimization level / execution model)
+	Engine    string `json:"engine"` // engine variant (optimization level / execution model / decision procedure)
+	Benchmark string `json:"benchmark,omitempty"`
 	Seed      int64  `json:"seed"`
-	Packets   int    `json:"packets"` // requested
+	Packets   int    `json:"packets"` // requested (verify: proof cells)
 	Shards    int    `json:"shards"`
 	ShardsRun int    `json:"shards_run"`
 	Checked   int    `json:"checked"` // PHVs actually compared
@@ -43,6 +52,10 @@ type JobReport struct {
 	// outputs count once) and capped by Options.MaxCounterexamples, kept
 	// in ascending packet order.
 	Counterexamples []Counterexample `json:"counterexamples,omitempty"`
+
+	// Cells are the decided verification cells of a verify-mode job, in
+	// (bits, steps) grid order.
+	Cells []VerifyCell `json:"cells,omitempty"`
 }
 
 // Passed reports whether the job completed with no findings.
@@ -82,14 +95,21 @@ type Report struct {
 // lands (streaming consumers) or when the pool drains — and the same value
 // serves both the streamed row and the final report, so the two are
 // byte-identical by construction.
-func mergeJob(job *Job, buildErr error, results []*ShardResult, o Options) JobReport {
+func mergeJob(job *Job, buildErr error, results []*ShardResult, o Options, shardSize int) JobReport {
 	jr := JobReport{
 		Name:    job.Name,
+		Mode:    ModeFuzz,
 		Arch:    job.Target.Arch(),
 		Engine:  job.Target.Engine(),
 		Seed:    job.Seed,
 		Packets: job.Packets,
 		Shards:  len(results),
+	}
+	if m, ok := job.Target.(Moder); ok {
+		jr.Mode = m.Mode()
+	}
+	if b, ok := job.Target.(BenchmarkNamer); ok {
+		jr.Benchmark = b.BenchmarkName()
 	}
 	if buildErr != nil {
 		jr.Status = StatusError
@@ -102,6 +122,7 @@ func mergeJob(job *Job, buildErr error, results []*ShardResult, o Options) JobRe
 		return jr
 	}
 	seen := map[string]bool{}
+	unknown := false
 	for s, res := range results {
 		if res == nil {
 			continue // shard skipped by cancellation
@@ -109,12 +130,18 @@ func mergeJob(job *Job, buildErr error, results []*ShardResult, o Options) JobRe
 		jr.ShardsRun++
 		jr.Checked += res.Checked
 		jr.Ticks += res.Ticks
+		jr.Cells = append(jr.Cells, res.Cells...)
+		for _, c := range res.Cells {
+			if c.Verdict == VerdictUnknown {
+				unknown = true
+			}
+		}
 		if res.Err != nil && jr.Error == "" {
 			jr.Error = fmt.Sprintf("shard %d: %v", s, res.Err)
 		}
 		for _, f := range res.Findings {
 			ce := Counterexample{
-				Packet: s*o.ShardSize + f.Index,
+				Packet: s*shardSize + f.Index,
 				Input:  f.Input,
 				Got:    f.Got,
 				Want:   f.Want,
@@ -136,6 +163,8 @@ func mergeJob(job *Job, buildErr error, results []*ShardResult, o Options) JobRe
 		jr.Status = StatusFail
 	case jr.ShardsRun < jr.Shards:
 		jr.Status = StatusAborted
+	case unknown:
+		jr.Status = StatusUnknown
 	default:
 		jr.Status = StatusPass
 	}
@@ -151,15 +180,33 @@ func (r *Report) Text(includeMeta bool) string {
 	for i := range r.Jobs {
 		counts[r.Jobs[i].Status]++
 	}
-	fmt.Fprintf(&b, "campaign: %d jobs: %d pass, %d fail, %d error, %d aborted; %d PHVs checked\n",
-		len(r.Jobs), counts[StatusPass], counts[StatusFail], counts[StatusError], counts[StatusAborted], r.TotalChecked)
+	fmt.Fprintf(&b, "campaign: %d jobs: %d pass, %d fail, %d error, %d unknown, %d aborted; %d PHVs checked\n",
+		len(r.Jobs), counts[StatusPass], counts[StatusFail], counts[StatusError], counts[StatusUnknown], counts[StatusAborted], r.TotalChecked)
 	if r.StoppedEarly {
 		b.WriteString("campaign stopped early\n")
 	}
 	for i := range r.Jobs {
 		j := &r.Jobs[i]
-		fmt.Fprintf(&b, "%-7s %s  packets=%d shards=%d/%d checked=%d ticks=%d\n",
-			strings.ToUpper(j.Status), j.Name, j.Packets, j.ShardsRun, j.Shards, j.Checked, j.Ticks)
+		if j.Mode == ModeVerify {
+			verdicts := map[string]int{}
+			for _, c := range j.Cells {
+				verdicts[c.Verdict]++
+			}
+			fmt.Fprintf(&b, "%-7s %s  cells=%d/%d proven=%d refuted=%d unknown=%d\n",
+				strings.ToUpper(j.Status), j.Name, j.ShardsRun, j.Shards,
+				verdicts[VerdictProven], verdicts[VerdictCounterexample], verdicts[VerdictUnknown])
+			for _, c := range j.Cells {
+				fmt.Fprintf(&b, "        bits=%d steps=%d: %s (vars=%d clauses=%d conflicts=%d)",
+					c.Bits, c.Steps, c.Verdict, c.Vars, c.Clauses, c.Conflicts)
+				if includeMeta {
+					fmt.Fprintf(&b, " solve=%.1fms", c.SolveMS)
+				}
+				b.WriteByte('\n')
+			}
+		} else {
+			fmt.Fprintf(&b, "%-7s %s  packets=%d shards=%d/%d checked=%d ticks=%d\n",
+				strings.ToUpper(j.Status), j.Name, j.Packets, j.ShardsRun, j.Shards, j.Checked, j.Ticks)
+		}
 		if j.Error != "" {
 			fmt.Fprintf(&b, "        error: %s\n", j.Error)
 		}

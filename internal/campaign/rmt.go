@@ -5,6 +5,7 @@ import (
 
 	"druzhba/internal/core"
 	"druzhba/internal/machinecode"
+	"druzhba/internal/phv"
 	"druzhba/internal/sim"
 )
 
@@ -37,6 +38,13 @@ type PipelineTarget struct {
 	// sim.TrafficMode). The mode is part of the job's traffic identity,
 	// so it participates in shard-cache keys.
 	Traffic sim.TrafficMode
+
+	// Corpus holds concrete seed packets every shard replays (in order,
+	// from reset state) before drawing random traffic — the feedback path
+	// carrying verification counterexample traces into the fuzzer in both
+	// mode. The corpus is part of the job's traffic identity and
+	// participates in shard-cache keys.
+	Corpus [][]phv.Value
 
 	// SpecFingerprint is a stable content hash of the specification
 	// behind NewSpec (Matrix fills it from spec.Benchmark.Fingerprint).
@@ -82,6 +90,7 @@ func (t *PipelineTarget) Fingerprint() string {
 		fmt.Sprint(t.Containers),
 		fmt.Sprint(t.MaxInput),
 		string(traffic),
+		fmt.Sprint(t.Corpus),
 	)
 }
 
@@ -129,6 +138,9 @@ func (r *pipelineRunner) RunShard(seed int64, n int) ShardResult {
 	gen, err := sim.NewTrafficGenMode(seed, pipe.PHVLen(), pipe.Bits(), r.t.MaxInput, r.t.Traffic)
 	if err != nil {
 		return ShardResult{Err: err}
+	}
+	if len(r.t.Corpus) > 0 {
+		gen.SeedCorpus(r.t.Corpus)
 	}
 	rep, err := r.fuzzer.FuzzGen(r.spec, gen, n, sim.FuzzOptions{Containers: r.t.Containers}, 0)
 	if err != nil {

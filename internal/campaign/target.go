@@ -1,5 +1,7 @@
 package campaign
 
+import "context"
+
 // Target is the architecture-generic system under test of one campaign
 // job. The engine builds each job's target exactly once, hands every
 // worker a private runner over it, and executes shards on those runners;
@@ -45,6 +47,39 @@ type Runner interface {
 	RunShard(seed int64, n int) ShardResult
 }
 
+// Moder is an optional Target interface labeling the job's campaign mode
+// in report rows ("fuzz", "verify"). Targets without it report ModeFuzz.
+type Moder interface {
+	Mode() string
+}
+
+// BenchmarkNamer is an optional Target interface naming the Table-1
+// benchmark the job exercises, carried into report rows so downstream
+// consumers (the verify→fuzz corpus harvest) can associate rows with
+// benchmarks without parsing job names.
+type BenchmarkNamer interface {
+	BenchmarkName() string
+}
+
+// ShardSizer is an optional Target interface overriding the campaign-level
+// shard size for this target's jobs. Verification targets return 1: each
+// shard is one (bits, steps) proof cell, so SAT work spreads across the
+// worker pool at cell granularity.
+type ShardSizer interface {
+	ShardSize(dflt int) int
+}
+
+// ContextRunner is an optional Runner interface for targets whose shards
+// can honor cancellation mid-execution. When a runner implements it, the
+// engine passes the campaign context — bounded by the job's wall-clock
+// deadline under Options.JobTimeout — so a wedged shard (a hard SAT
+// instance, say) returns promptly instead of leaking its goroutine. The
+// purity contract of RunShard still applies: for a context that is never
+// cancelled, the result must be a pure function of (seed, n).
+type ContextRunner interface {
+	RunShardContext(ctx context.Context, seed int64, n int) ShardResult
+}
+
 // Finding is one diverging packet found in a shard. Index is the packet's
 // offset within its shard (merge converts it to the job-global packet
 // index); Input, Got and Want are canonical, architecture-specific
@@ -63,7 +98,8 @@ type ShardResult struct {
 	Checked  int
 	Ticks    int64
 	Findings []Finding
-	Err      error // harness or simulation failure
+	Cells    []VerifyCell // verification cells decided by this shard
+	Err      error        // harness or simulation failure
 }
 
 func (r *ShardResult) failed() bool { return r.Err != nil || len(r.Findings) > 0 }

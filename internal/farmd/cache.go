@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"druzhba/internal/campaign"
 )
@@ -76,30 +79,169 @@ func (c *MemCache) Len() int {
 
 // diskEntry is DirCache's on-disk form of one shard result. The embedded
 // key lets Get detect renamed or cross-copied files; results with harness
-// errors are never persisted, so the form carries no error field.
+// errors are never persisted, so the form carries no error field. Verify
+// cells serialize all their deterministic fields; solve wall time is
+// excluded at the type level (VerifyCell.SolveMS is json:"-"), so cached
+// replays never leak one run's timing into another's report.
 type diskEntry struct {
-	Key      string             `json:"key"`
-	Checked  int                `json:"checked"`
-	Ticks    int64              `json:"ticks"`
-	Findings []campaign.Finding `json:"findings,omitempty"`
+	Key      string                `json:"key"`
+	Checked  int                   `json:"checked"`
+	Ticks    int64                 `json:"ticks"`
+	Findings []campaign.Finding    `json:"findings,omitempty"`
+	Cells    []campaign.VerifyCell `json:"cells,omitempty"`
 }
 
 // DirCache is an on-disk campaign.ShardCache: one JSON file per shard
 // result, fanned into 256 prefix buckets under a root directory, written
 // atomically (temp file + rename). A corrupt, truncated or mislabeled
 // entry reads as a miss and is deleted, so damage costs re-execution,
-// never a wrong row. DirCache never evicts; the directory is the
-// persistent tier a daemon restart warms from.
+// never a wrong row.
+//
+// With a byte cap (NewDirCacheLimit) the directory is a size-bounded LRU:
+// opening the cache scans existing entries (oldest-modified = least
+// recent), Get refreshes recency, and Put evicts the least recently used
+// entries once the cap is exceeded — so a long-running daemon's disk
+// footprint stays bounded. Without a cap the directory only grows; it is
+// the persistent tier a daemon restart warms from.
 type DirCache struct {
-	dir string
+	dir      string
+	maxBytes int64
+
+	// LRU accounting, used only when maxBytes > 0. File mutations stay
+	// under mu so eviction never races a concurrent Put's accounting.
+	mu    sync.Mutex
+	size  int64
+	order *list.List // front = most recently used; values are *dirEntry
+	items map[string]*list.Element
 }
 
-// NewDirCache opens (creating if needed) an on-disk cache rooted at dir.
+type dirEntry struct {
+	key  string
+	size int64
+}
+
+// NewDirCache opens (creating if needed) an unbounded on-disk cache rooted
+// at dir.
 func NewDirCache(dir string) (*DirCache, error) {
+	return NewDirCacheLimit(dir, 0)
+}
+
+// NewDirCacheLimit opens (creating if needed) an on-disk cache rooted at
+// dir, holding at most maxBytes of entry files (0 = unbounded). Existing
+// entries are scanned in modification-time order to seed the recency list,
+// and evicted oldest-first if they already exceed the cap.
+func NewDirCacheLimit(dir string, maxBytes int64) (*DirCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("farmd: cache dir: %w", err)
 	}
-	return &DirCache{dir: dir}, nil
+	c := &DirCache{dir: dir, maxBytes: maxBytes}
+	if maxBytes > 0 {
+		c.order = list.New()
+		c.items = map[string]*list.Element{}
+		if err := c.scan(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.evict()
+		c.mu.Unlock()
+	}
+	return c, nil
+}
+
+// scan seeds the LRU accounting from the files already on disk: entries
+// sorted by modification time, oldest first, so the least recently written
+// survivors of the previous process are the first eviction candidates.
+func (c *DirCache) scan() error {
+	type stat struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var stats []stat
+	buckets, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("farmd: cache dir: %w", err)
+	}
+	for _, b := range buckets {
+		if !b.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(c.dir, b.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			stats = append(stats, stat{key: strings.TrimSuffix(name, ".json"), size: info.Size(), mtime: info.ModTime()})
+		}
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].mtime.Before(stats[j].mtime) })
+	for _, s := range stats {
+		c.items[s.key] = c.order.PushFront(&dirEntry{key: s.key, size: s.size})
+		c.size += s.size
+	}
+	return nil
+}
+
+// track records (or refreshes) one entry's accounting. Caller holds mu.
+func (c *DirCache) track(key string, size int64) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*dirEntry)
+		c.size += size - ent.size
+		ent.size = size
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&dirEntry{key: key, size: size})
+	c.size += size
+}
+
+// forget drops one entry's accounting. Caller holds mu.
+func (c *DirCache) forget(key string) {
+	if el, ok := c.items[key]; ok {
+		c.size -= el.Value.(*dirEntry).size
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// evict removes least-recently-used entry files until the cache fits its
+// cap again. The most recent entry always survives, even when it alone
+// exceeds the cap — eviction bounds the tail, it never corrupts or empties
+// the cache. Caller holds mu.
+func (c *DirCache) evict() {
+	for c.size > c.maxBytes && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		ent := oldest.Value.(*dirEntry)
+		os.Remove(c.Path(ent.key))
+		c.size -= ent.size
+		c.order.Remove(oldest)
+		delete(c.items, ent.key)
+	}
+}
+
+// Len returns the number of tracked entries (bounded caches only).
+func (c *DirCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		return 0
+	}
+	return len(c.items)
+}
+
+// Size returns the tracked entry bytes (bounded caches only).
+func (c *DirCache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
 }
 
 // Dir returns the cache's root directory.
@@ -128,9 +270,19 @@ func (c *DirCache) Get(key string) (*campaign.ShardResult, bool) {
 	var ent diskEntry
 	if err := json.Unmarshal(data, &ent); err != nil || ent.Key != key {
 		os.Remove(path)
+		if c.maxBytes > 0 {
+			c.mu.Lock()
+			c.forget(key)
+			c.mu.Unlock()
+		}
 		return nil, false
 	}
-	return &campaign.ShardResult{Checked: ent.Checked, Ticks: ent.Ticks, Findings: ent.Findings}, true
+	if c.maxBytes > 0 {
+		c.mu.Lock()
+		c.track(key, int64(len(data)))
+		c.mu.Unlock()
+	}
+	return &campaign.ShardResult{Checked: ent.Checked, Ticks: ent.Ticks, Findings: ent.Findings, Cells: ent.Cells}, true
 }
 
 // Put implements campaign.ShardCache with an atomic write: concurrent
@@ -140,7 +292,7 @@ func (c *DirCache) Put(key string, res *campaign.ShardResult) {
 	if res == nil || res.Err != nil {
 		return
 	}
-	data, err := json.Marshal(diskEntry{Key: key, Checked: res.Checked, Ticks: res.Ticks, Findings: res.Findings})
+	data, err := json.Marshal(diskEntry{Key: key, Checked: res.Checked, Ticks: res.Ticks, Findings: res.Findings, Cells: res.Cells})
 	if err != nil {
 		return
 	}
@@ -160,6 +312,13 @@ func (c *DirCache) Put(key string, res *campaign.ShardResult) {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return
+	}
+	if c.maxBytes > 0 {
+		c.mu.Lock()
+		c.track(key, int64(len(data)))
+		c.evict()
+		c.mu.Unlock()
 	}
 }
 

@@ -22,6 +22,7 @@
 package farmd
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -31,9 +32,16 @@ import (
 	"druzhba/internal/cli"
 	"druzhba/internal/core"
 	"druzhba/internal/drmt"
+	"druzhba/internal/phv"
 	"druzhba/internal/sim"
 	"druzhba/internal/spec"
 )
+
+// ModeBoth chains a verification phase before the fuzz phase: every
+// counterexample trace the prover decodes is fed back into the fuzzer as
+// seed traffic. The single-phase modes are campaign.ModeFuzz and
+// campaign.ModeVerify.
+const ModeBoth = "both"
 
 // MatrixRequest describes a campaign job matrix as data: the JSON body of
 // POST /v1/campaigns and the request dfarm -server submits. Fields mirror
@@ -78,6 +86,24 @@ type MatrixRequest struct {
 	// JobTimeoutMS bounds each job's wall clock in milliseconds
 	// (0 = the server's default).
 	JobTimeoutMS int64 `json:"job_timeout_ms,omitempty"`
+
+	// Mode selects the campaign phases: "fuzz" (empty = fuzz, the random
+	// differential workload), "verify" (SAT-based bounded equivalence
+	// proofs over the rmt benchmarks), or "both" (verify first, then fuzz
+	// with every counterexample trace seeded into the fuzzer's traffic).
+	Mode string `json:"mode,omitempty"`
+
+	// VerifyBits lists the bit widths of the proof grid (empty =
+	// campaign.DefaultVerifyBits). Verify and both modes only.
+	VerifyBits []int `json:"verify_bits,omitempty"`
+
+	// VerifySteps lists the transaction-unrolling depths of the proof grid
+	// (empty = campaign.DefaultVerifySteps). Verify and both modes only.
+	VerifySteps []int `json:"verify_steps,omitempty"`
+
+	// MaxConflicts bounds solver effort per proof cell (0 = unlimited);
+	// an exhausted budget yields an "unknown" verdict deterministically.
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
 }
 
 // JobTimeout returns the request's per-job wall-clock budget.
@@ -85,9 +111,72 @@ func (r *MatrixRequest) JobTimeout() time.Duration {
 	return time.Duration(r.JobTimeoutMS) * time.Millisecond
 }
 
-// Jobs expands the request into the campaign job matrix, applying the same
-// defaults and validation as dfarm's flags.
+// phases decodes the request's mode into the set of campaign phases to run
+// and rejects flag combinations that cannot apply to them.
+func (r *MatrixRequest) phases() (runVerify, runFuzz bool, err error) {
+	switch r.Mode {
+	case "", campaign.ModeFuzz:
+		return false, true, nil
+	case campaign.ModeVerify:
+		if len(r.Levels) > 0 || len(r.Traffic) > 0 || len(r.Procs) > 0 {
+			return false, false, fmt.Errorf("farmd: levels, traffic and procs apply to fuzz jobs only")
+		}
+		return true, false, nil
+	case ModeBoth:
+		return true, true, nil
+	default:
+		return false, false, fmt.Errorf("farmd: mode %q (want %s, %s or %s)", r.Mode, campaign.ModeFuzz, campaign.ModeVerify, ModeBoth)
+	}
+}
+
+// Validate expands every phase of the request without running anything, so
+// servers can reject a bad matrix before committing a stream to it.
+func (r *MatrixRequest) Validate() error {
+	runVerify, runFuzz, err := r.phases()
+	if err != nil {
+		return err
+	}
+	if runVerify {
+		if _, err := r.VerifyJobs(); err != nil {
+			return err
+		}
+	}
+	if runFuzz {
+		if _, err := r.fuzzJobs(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyJobs expands the request into the verification job matrix: one job
+// per rmt benchmark × seed, with cells spanning the requested proof grid.
+// Proofs cover rmt machine code, so the drmt architecture has no verify
+// phase.
+func (r *MatrixRequest) VerifyJobs() ([]campaign.Job, error) {
+	arch := r.Arch
+	if arch == "" {
+		arch = "rmt"
+	}
+	if arch == "drmt" {
+		return nil, fmt.Errorf("farmd: verification applies to the rmt architecture only")
+	}
+	benchmarks := spec.Match(r.Run)
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("farmd: run %q matches no rmt benchmark to verify (have %v)", r.Run, spec.Names())
+	}
+	return campaign.VerifyMatrix(benchmarks, r.VerifyBits, r.VerifySteps, r.Seeds, r.MaxConflicts)
+}
+
+// Jobs expands the request into the fuzz-mode campaign job matrix, applying
+// the same defaults and validation as dfarm's flags.
 func (r *MatrixRequest) Jobs() ([]campaign.Job, error) {
+	return r.fuzzJobs(nil)
+}
+
+// fuzzJobs is Jobs with per-benchmark seed corpora threaded into the rmt
+// targets — both mode's verify→fuzz feedback path.
+func (r *MatrixRequest) fuzzJobs(corpus map[string][][]phv.Value) ([]campaign.Job, error) {
 	arch := r.Arch
 	if arch == "" {
 		arch = "rmt"
@@ -133,7 +222,7 @@ func (r *MatrixRequest) Jobs() ([]campaign.Job, error) {
 			return nil, fmt.Errorf("farmd: run %q matches no rmt benchmark (have %v)", r.Run, spec.Names())
 		}
 		if len(benchmarks) > 0 {
-			rmtJobs, err := campaign.Matrix(benchmarks, levels, simModes, r.Seeds, packets)
+			rmtJobs, err := campaign.MatrixWithCorpus(benchmarks, levels, simModes, r.Seeds, packets, corpus)
 			if err != nil {
 				return nil, err
 			}
@@ -193,6 +282,23 @@ func ParseProcs(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseInts parses a comma-separated list of positive integers (dfarm's
+// -vbits / -vsteps syntax) into the request form.
+func ParseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q (want a positive integer)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // SplitList splits a comma-separated flag value into trimmed non-empty
 // elements (dfarm's -levels / -traffic syntax).
 func SplitList(s string) []string {
@@ -228,4 +334,82 @@ type Summary struct {
 	StoppedEarly bool                 `json:"stopped_early,omitempty"`
 	Cache        *campaign.CacheStats `json:"cache,omitempty"`
 	Timing       *campaign.Timing     `json:"timing,omitempty"`
+}
+
+// RunMatrix executes every phase of the request on the campaign engine and
+// returns one merged report (verify rows first, then fuzz rows, each block
+// in matrix order — the same order OnJobReport streamed them). In both
+// mode the verify phase runs first, its counterexample traces are decoded
+// into concrete PHV inputs, and the fuzz phase replays them as seed
+// traffic at the start of every shard — so a proof refutation immediately
+// becomes a deterministic fuzz regression. The fuzz phase is skipped when
+// the verify phase was cancelled or tripped fail-fast.
+//
+// Both phases run under the same Options: the worker pool size, the shard
+// cache and the OnJobReport stream are shared, and verify shard results
+// flow through the same content-addressed cache as fuzz shards.
+func RunMatrix(ctx context.Context, req *MatrixRequest, opts campaign.Options) (*campaign.Report, error) {
+	runVerify, runFuzz, err := req.phases()
+	if err != nil {
+		return nil, err
+	}
+	var vrep *campaign.Report
+	var corpus map[string][][]phv.Value
+	if runVerify {
+		vjobs, err := req.VerifyJobs()
+		if err != nil {
+			return nil, err
+		}
+		var verr error
+		vrep, verr = campaign.Run(ctx, vjobs, opts)
+		if vrep == nil {
+			return nil, verr
+		}
+		if !runFuzz || verr != nil || vrep.StoppedEarly {
+			return vrep, verr
+		}
+		corpus = campaign.HarvestVerifyCorpus(vrep)
+	}
+	fjobs, err := req.fuzzJobs(corpus)
+	if err != nil {
+		return vrep, err
+	}
+	frep, ferr := campaign.Run(ctx, fjobs, opts)
+	if frep == nil {
+		return vrep, ferr
+	}
+	if vrep == nil {
+		return frep, ferr
+	}
+	return mergeReports(vrep, frep), ferr
+}
+
+// mergeReports folds two phase reports into one: rows concatenate, the
+// deterministic aggregates combine, and the metadata (cache counters,
+// timing) sums so a both-mode run reports its full cost.
+func mergeReports(a, b *campaign.Report) *campaign.Report {
+	out := &campaign.Report{
+		Passed:       a.Passed && b.Passed,
+		TotalChecked: a.TotalChecked + b.TotalChecked,
+		StoppedEarly: a.StoppedEarly || b.StoppedEarly,
+	}
+	out.Jobs = append(append([]campaign.JobReport{}, a.Jobs...), b.Jobs...)
+	if a.Cache != nil || b.Cache != nil {
+		cs := &campaign.CacheStats{}
+		for _, c := range []*campaign.CacheStats{a.Cache, b.Cache} {
+			if c != nil {
+				cs.Hits += c.Hits
+				cs.Misses += c.Misses
+			}
+		}
+		out.Cache = cs
+	}
+	if a.Timing != nil && b.Timing != nil {
+		t := &campaign.Timing{Workers: a.Timing.Workers, ElapsedMS: a.Timing.ElapsedMS + b.Timing.ElapsedMS}
+		if t.ElapsedMS > 0 {
+			t.PHVsPerSec = float64(out.TotalChecked) / (t.ElapsedMS / 1e3)
+		}
+		out.Timing = t
+	}
+	return out
 }

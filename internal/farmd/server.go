@@ -103,8 +103,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad matrix request: %v", err)
 		return
 	}
-	jobs, err := req.Jobs()
-	if err != nil {
+	if err := req.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -160,7 +159,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 			writeRow(Row{Job: &jr})
 		},
 	}
-	rep, runErr := campaign.Run(ctx, jobs, opts)
+	rep, runErr := RunMatrix(ctx, &req, opts)
 	if rep == nil {
 		writeRow(Row{Error: runErr.Error()})
 		return

@@ -1,0 +1,41 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// An interrupt that is already tripped stops the solve before a verdict.
+func TestInterruptImmediate(t *testing.T) {
+	s := pigeonhole(9, 8)
+	s.Interrupt = func() bool { return true }
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve with tripped interrupt = %v, want Unknown", got)
+	}
+}
+
+// An interrupt that never fires leaves the verdict unchanged.
+func TestInterruptFalseDoesNotChangeVerdict(t *testing.T) {
+	s := pigeonhole(7, 6)
+	s.Interrupt = func() bool { return false }
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve with idle interrupt = %v, want Unsat", got)
+	}
+}
+
+// A time-based interrupt abandons an instance far too hard to decide
+// (PHP(20,19) is astronomically beyond a CDCL solver) within a small
+// multiple of the trip time, instead of running forever.
+func TestInterruptAbandonsHardInstance(t *testing.T) {
+	s := pigeonhole(20, 19)
+	start := time.Now()
+	s.Interrupt = func() bool { return time.Since(start) > 100*time.Millisecond }
+	got := s.Solve()
+	elapsed := time.Since(start)
+	if got != Unknown {
+		t.Fatalf("Solve = %v, want Unknown (interrupted)", got)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("interrupted solve took %v; interrupt did not stop the search promptly", elapsed)
+	}
+}

@@ -136,6 +136,14 @@ type Solver struct {
 	// unlimited. When exhausted Solve returns Unknown.
 	MaxConflicts int64
 
+	// Interrupt, when non-nil, is polled periodically during search; when
+	// it returns true the current Solve call stops and returns Unknown.
+	// This is how callers abandon a wedged proof on context cancellation
+	// without leaking the solving goroutine. The solver stays usable (the
+	// trail is unwound as usual), and a later Solve call simply resumes
+	// from the learned clauses accumulated so far.
+	Interrupt func() bool
+
 	// DisableVSIDS switches branching from activity order to lowest
 	// variable index (ablation knob; see BenchmarkAblation*).
 	DisableVSIDS bool
@@ -166,6 +174,11 @@ func New() *Solver {
 
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently stored
+// (tautologies and top-level-satisfied clauses are dropped on AddClause;
+// learned clauses are not counted).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // NewVar introduces a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -543,6 +556,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if st != Unknown {
 			return st
 		}
+		if s.Interrupt != nil && s.Interrupt() {
+			return Unknown
+		}
 		if conflictBudget > 0 && conflictsTotal >= conflictBudget {
 			return Unknown
 		}
@@ -551,10 +567,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 }
 
-// search runs CDCL until a result, a restart limit, or a conflict budget.
+// search runs CDCL until a result, a restart limit, a conflict budget, or
+// an interrupt.
 func (s *Solver) search(assumptions []Lit, conflictLimit int64, maxLearnts int) (Status, int64) {
-	var conflicts int64
+	var conflicts, iters int64
 	for {
+		// Poll the interrupt hook on a stride so its cost (typically a
+		// ctx.Err() call behind a mutex) stays off the hot path.
+		iters++
+		if s.Interrupt != nil && iters&1023 == 0 && s.Interrupt() {
+			return Unknown, conflicts
+		}
 		confl := s.propagate()
 		if confl != nil {
 			conflicts++

@@ -61,6 +61,9 @@ type TrafficGen struct {
 	phvLen int
 	max    int64
 	bounds []phv.Value // non-nil in boundary mode: the candidate values
+
+	corpus [][]phv.Value // seed packets served before random draws
+	next   int           // corpus cursor
 }
 
 // NewTrafficGen returns a generator producing PHVs with phvLen containers of
@@ -100,11 +103,31 @@ func boundaryValues(limit int64) []phv.Value {
 	return set
 }
 
-// Fill writes one PHV's container values into the caller-owned dst buffer,
-// drawing exactly len(dst) values from the generator's stream. Filling a
-// phvLen-sized buffer consumes the stream identically to Next, so streaming
-// and trace-materializing consumers of the same seed see the same traffic.
+// SeedCorpus installs concrete seed packets that Fill serves, in order,
+// before any random draw — the feedback path that turns verification
+// counterexample traces into deterministic fuzzer regression traffic. The
+// entries are not copied; callers must not mutate them afterwards. A
+// corpus-served packet consumes no random numbers, so generators with the
+// same seed and the same corpus produce identical streams.
+func (g *TrafficGen) SeedCorpus(entries [][]phv.Value) {
+	g.corpus = entries
+	g.next = 0
+}
+
+// Fill writes one PHV's container values into the caller-owned dst buffer.
+// While seed-corpus entries remain it copies the next entry (zero-padding
+// or truncating on length mismatch); afterwards it draws exactly len(dst)
+// values from the generator's stream, so streaming and trace-materializing
+// consumers of the same seed see the same traffic.
 func (g *TrafficGen) Fill(dst []phv.Value) {
+	if g.next < len(g.corpus) {
+		n := copy(dst, g.corpus[g.next])
+		for i := n; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		g.next++
+		return
+	}
 	if g.bounds != nil {
 		for i := range dst {
 			dst[i] = g.bounds[g.rng.Intn(len(g.bounds))]

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"druzhba/internal/atoms"
+	"druzhba/internal/core"
+	"druzhba/internal/domino"
+	"druzhba/internal/machinecode"
+)
+
+// TestPreCancelledContextReportsUnknown: a context cancelled before the
+// solve starts yields Unknown without invoking the solver at all.
+func TestPreCancelledContextReportsUnknown(t *testing.T) {
+	s := core.Spec{Depth: 2, Width: 2, StatelessALU: atoms.MustLoad("stateless_full")}
+	code := zeroCode(t, s)
+	prog := mustDomino(t, `transaction { pkt.a = pkt.a; }`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := SolveCount()
+	res, err := EquivalenceContext(ctx, s, code, prog, domino.FieldMap{"a": 0}, Options{Bits: 8, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unknown || res.Equivalent {
+		t.Fatalf("cancelled proof should report Unknown, got %v", res)
+	}
+	if got := SolveCount() - before; got != 0 {
+		t.Fatalf("cancelled proof performed %d solves, want 0", got)
+	}
+}
+
+// mulChainSetup builds a proof instance that is genuinely hard for the
+// solver: multiplier associativity at 16 bits. The machine code computes
+// a*(b*c) over two stages while the spec computes (a*b)*c; the formulas
+// are equivalent, but proving two 16-bit multiplier chains equal is a
+// classically hard UNSAT instance — far beyond a sub-second solve.
+func mulChainSetup(t *testing.T) (core.Spec, *machinecode.Program, *domino.Program, domino.FieldMap) {
+	t.Helper()
+	s := core.Spec{Depth: 2, Width: 3, StatelessALU: atoms.MustLoad("stateless_full")}
+	code := zeroCode(t, s)
+	mul := func(stage, slot, opA, opB int) {
+		code.Set(machinecode.OperandMuxName(stage, false, slot, 0), int64(opA))
+		code.Set(machinecode.OperandMuxName(stage, false, slot, 1), int64(opB))
+		setALUHole(t, code, stage, false, slot, "alu_op_0", 2) // ALUOpMul
+		setALUHole(t, code, stage, false, slot, "mux3_0", 0)   // operand a = pkt_0
+		setALUHole(t, code, stage, false, slot, "mux3_1", 1)   // operand b = pkt_1
+	}
+	mul(0, 0, 1, 2) // stage 0: slot 0 computes b*c
+	code.Set(machinecode.OutputMuxName(0, 1), 1)
+	mul(1, 0, 0, 1) // stage 1: slot 0 computes a*(b*c)
+	code.Set(machinecode.OutputMuxName(1, 0), 1)
+	prog := mustDomino(t, `transaction { pkt.a = pkt.a * pkt.b * pkt.c; }`)
+	return s, code, prog, domino.FieldMap{"a": 0, "b": 1, "c": 2}
+}
+
+// TestMulChainProvesAtSmallWidth sanity-checks the associativity instance:
+// at 3 bits it proves quickly, confirming the machine code really encodes
+// the equivalent computation (so the hard-instance test below is measuring
+// solver effort, not a refutation found early).
+func TestMulChainProvesAtSmallWidth(t *testing.T) {
+	s, code, prog, fm := mulChainSetup(t)
+	res, err := Equivalence(s, code, prog, fm, Options{Bits: 3, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("mul chain should prove at 3 bits: %v", res)
+	}
+}
+
+// TestCancellationAbandonsHardProof is the job-timeout regression test: a
+// proof the solver cannot finish (16-bit multiplier associativity) must
+// return Unknown shortly after its context is cancelled instead of running
+// unbounded and leaking the worker goroutine.
+func TestCancellationAbandonsHardProof(t *testing.T) {
+	s, code, prog, fm := mulChainSetup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := EquivalenceContext(ctx, s, code, prog, fm, Options{Bits: 16, Steps: 1})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unknown {
+		t.Fatalf("cancelled hard proof should report Unknown, got %v", res)
+	}
+	if elapsed > 15*time.Second {
+		t.Fatalf("cancelled proof returned after %v; cancellation is not honored inside the solve loop", elapsed)
+	}
+}

@@ -21,9 +21,11 @@
 package verify
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"druzhba/internal/aludsl"
 	"druzhba/internal/bv"
@@ -122,7 +124,18 @@ type Result struct {
 	SolverStats sat.Stats
 	// Vars is the number of SAT variables in the instance.
 	Vars int
+	// Clauses is the number of problem clauses in the instance.
+	Clauses int
 }
+
+// solveCount counts SAT solver invocations process-wide. Campaign tests pin
+// the zero-re-proof guarantee of the content-addressed cache on it.
+var solveCount atomic.Int64
+
+// SolveCount returns the number of SAT solves performed by this package
+// since process start. It only ever increases; tests snapshot it around an
+// operation to count the solves the operation performed.
+func SolveCount() int64 { return solveCount.Load() }
 
 // String renders the result for humans.
 func (r *Result) String() string {
@@ -146,6 +159,14 @@ func (r *Result) String() string {
 // hardware spec's Bits field is overridden by opts.Bits; the machine code
 // must validate against the spec.
 func Equivalence(spec core.Spec, code *machinecode.Program, prog *domino.Program, fields domino.FieldMap, opts Options) (*Result, error) {
+	return EquivalenceContext(context.Background(), spec, code, prog, fields, opts)
+}
+
+// EquivalenceContext is Equivalence with cancellation: when ctx is
+// cancelled the SAT search is interrupted and the result reports Unknown
+// (never an invented verdict). This is what lets campaign job timeouts
+// abandon a wedged proof instead of leaking the solving goroutine.
+func EquivalenceContext(ctx context.Context, spec core.Spec, code *machinecode.Program, prog *domino.Program, fields domino.FieldMap, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	w, err := phv.NewWidth(opts.Bits)
 	if err != nil {
@@ -178,6 +199,7 @@ func Equivalence(spec core.Spec, code *machinecode.Program, prog *domino.Program
 
 	solver := sat.New()
 	solver.MaxConflicts = opts.MaxConflicts
+	solver.Interrupt = func() bool { return ctx.Err() != nil }
 	b := bv.NewBuilder(solver)
 
 	pipe, err := newSymPipeline(b, spec, code)
@@ -240,6 +262,13 @@ func Equivalence(spec core.Spec, code *machinecode.Program, prog *domino.Program
 	b.Assert(mismatch)
 
 	res := &Result{Bits: opts.Bits, Steps: opts.Steps}
+	if ctx.Err() != nil {
+		res.Unknown = true
+		res.Vars = solver.NumVars()
+		res.Clauses = solver.NumClauses()
+		return res, nil
+	}
+	solveCount.Add(1)
 	switch solver.Solve() {
 	case sat.Unsat:
 		res.Equivalent = true
@@ -265,6 +294,7 @@ func Equivalence(spec core.Spec, code *machinecode.Program, prog *domino.Program
 	}
 	res.SolverStats = solver.Stats
 	res.Vars = solver.NumVars()
+	res.Clauses = solver.NumClauses()
 	return res, nil
 }
 
@@ -842,19 +872,32 @@ func (env *domEnv) exec(stmts []domino.Stmt) error {
 // programs that read it on the undefined path are rejected by the concrete
 // interpreter, which the fuzz harness runs first).
 func mergeMaps(b *bv.Builder, bits int, c sat.Lit, then, els map[string]bv.Vec) map[string]bv.Vec {
-	out := make(map[string]bv.Vec, len(then))
+	// Keys are visited in sorted order: Ite allocates solver variables, so
+	// iteration order is variable-numbering order, and map order here would
+	// make the formula — and with it the solver's search trajectory and
+	// conflict counts — differ from run to run.
+	keys := make([]string, 0, len(then)+len(els))
+	for k := range then {
+		keys = append(keys, k)
+	}
+	for k := range els {
+		if _, ok := then[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make(map[string]bv.Vec, len(keys))
 	zero := b.Const(bits, 0)
-	for k, tv := range then {
-		ev, ok := els[k]
-		if !ok {
+	for _, k := range keys {
+		tv, tok := then[k]
+		ev, eok := els[k]
+		if !tok {
+			tv = zero
+		}
+		if !eok {
 			ev = zero
 		}
 		out[k] = b.Ite(c, tv, ev)
-	}
-	for k, ev := range els {
-		if _, ok := then[k]; !ok {
-			out[k] = b.Ite(c, zero, ev)
-		}
 	}
 	return out
 }
