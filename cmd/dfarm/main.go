@@ -76,7 +76,8 @@ func main() {
 	maxCE := fs.Int("max-counterexamples", 8, "deduplicated counterexamples kept per job (-1 = unbounded)")
 	failfast := fs.Bool("failfast", false, "cancel the campaign at the first failing shard")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock budget (0 = unbounded)")
-	server := fs.String("server", "", "submit the matrix to this dfarmd base URL instead of executing locally")
+	server := fs.String("server", "", "submit the matrix to this dfarmd/dcoord base URL instead of executing locally")
+	authToken := fs.String("auth-token", "", "bearer token for -server submissions (the fleet's shared secret)")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file (- for stdout)")
 	timing := fs.Bool("timing", false, "include workers/elapsed/cache metadata in the report (breaks byte-identity across -workers and cache states)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
@@ -124,7 +125,10 @@ func main() {
 	var report *campaign.Report
 	var runErr error
 	if *server != "" {
-		report, runErr = farmd.Submit(ctx, *server, req)
+		// Against a fabric coordinator the stream is resumable: a severed
+		// connection reattaches at the last received row while the
+		// campaign keeps running server-side.
+		report, runErr = farmd.SubmitOpts(ctx, *server, req, farmd.StreamOptions{Token: *authToken}, nil)
 		// A stream that died mid-campaign still yields the rows received
 		// so far; render them like an offline cancelled run. Only a
 		// submission that produced nothing at all is fatal.

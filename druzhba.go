@@ -39,12 +39,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"druzhba/internal/atoms"
 	"druzhba/internal/campaign"
 	"druzhba/internal/codegen"
 	"druzhba/internal/core"
 	"druzhba/internal/domino"
+	"druzhba/internal/fabric"
 	"druzhba/internal/farmd"
 	"druzhba/internal/machinecode"
 	"druzhba/internal/phv"
@@ -321,7 +323,7 @@ type CampaignMatrixRequest = farmd.MatrixRequest
 // summary row; cfg.Cache replays unchanged shards so resubmitted matrices
 // execute nothing.
 func ServeCampaigns(ctx context.Context, addr string, cfg CampaignServerConfig) error {
-	return farmd.Serve(ctx, addr, cfg)
+	return farmd.Serve(ctx, addr, cfg, 0)
 }
 
 // SubmitCampaign submits a job matrix to a running campaign service and
@@ -330,6 +332,34 @@ func ServeCampaigns(ctx context.Context, addr string, cfg CampaignServerConfig) 
 // timing metadata ride along in Report.Cache/Timing).
 func SubmitCampaign(ctx context.Context, serverURL string, req *CampaignMatrixRequest) (*CampaignReport, error) {
 	return farmd.Submit(ctx, serverURL, req)
+}
+
+// CampaignCoordinatorConfig configures a distributed campaign coordinator
+// (worker fleet TTL, lease retry/backoff/poison policy, the shared shard
+// store, journal directory, auth token).
+type CampaignCoordinatorConfig = fabric.CoordConfig
+
+// CampaignCoordinator is the distributed campaign fabric's control plane
+// (dcoord): it splits campaign matrices into shard leases dispatched to
+// registered dfarmd workers with retry, backoff and poison quarantine,
+// journals every row for resumable streams and restart recovery, serves
+// the fleet's shared shard store, and degrades gracefully to local
+// execution when the fleet drains — all while streaming reports
+// byte-identical to a single-process run.
+type CampaignCoordinator = fabric.Coordinator
+
+// NewCampaignCoordinator builds a coordinator and recovers its journal:
+// completed campaigns replay from disk, unfinished ones re-run.
+func NewCampaignCoordinator(cfg CampaignCoordinatorConfig) (*CampaignCoordinator, error) {
+	return fabric.NewCoordinator(cfg)
+}
+
+// ServeCampaignCoordinator runs a coordinator on addr until ctx is
+// cancelled, then shuts down gracefully: subscriber streams drain,
+// producers stop (their campaigns stay journaled for the next process) and
+// the shard store's disk tier flushes.
+func ServeCampaignCoordinator(ctx context.Context, addr string, c *CampaignCoordinator, drain time.Duration) error {
+	return fabric.Serve(ctx, addr, c, drain)
 }
 
 // SynthesizeOptions configures Synthesize.

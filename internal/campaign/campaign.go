@@ -98,6 +98,15 @@ type Options struct {
 	// counters but never a row.
 	Cache ShardCache
 
+	// Executor, when non-nil, executes cache-missed shards somewhere other
+	// than the engine's own runners (the distributed fabric's lease
+	// dispatcher). The engine still plans, merges and caches exactly as it
+	// does locally, so a distributed report is byte-identical to a local
+	// one; an executor that answers ErrNoWorkers hands the shard back to
+	// the local path, which is how a coordinator degrades gracefully when
+	// its worker set drains to zero.
+	Executor ShardExecutor
+
 	// JobTimeout bounds each job's wall clock (0 = unbounded): the clock
 	// starts when the job's first shard begins executing, and shards
 	// still running or not yet started at the deadline fail with a

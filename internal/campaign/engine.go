@@ -54,10 +54,12 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		masters[i], buildErrs[i] = jobs[i].Target.Build()
 	}
 
-	// Job fingerprints gate the shard cache: only targets that hash their
-	// configuration stably can have shards replayed.
+	// Job fingerprints gate the shard cache and address remote execution:
+	// only targets that hash their configuration stably can have shards
+	// replayed, and executors forward the fingerprint-derived key so
+	// remote workers share the engine's cache key space.
 	fps := make([]string, len(jobs))
-	if o.Cache != nil {
+	if o.Cache != nil || o.Executor != nil {
 		for j := range jobs {
 			if f, ok := jobs[j].Target.(Fingerprinter); ok {
 				fps[j] = f.Fingerprint()
@@ -132,9 +134,11 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 				}
 				seed := deriveSeed(jobs[t.job].Seed, t.shard)
 				key := ""
-				var res *ShardResult
-				if o.Cache != nil && fps[t.job] != "" {
+				if fps[t.job] != "" {
 					key = ShardKey(fps[t.job], seed, t.n)
+				}
+				var res *ShardResult
+				if o.Cache != nil && key != "" {
 					if c, ok := o.Cache.Get(key); ok {
 						atomic.AddInt64(&hits, 1)
 						res = c
@@ -152,24 +156,32 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 						// miss.
 						res = &ShardResult{Err: timeoutErr(o.JobTimeout)}
 					} else {
-						if key != "" {
+						if o.Cache != nil && key != "" {
 							atomic.AddInt64(&misses, 1)
 						}
-						if t.job != wsJob || ws == nil {
-							ws = newWorkerState(masters[t.job])
-							wsJob = t.job
-						}
-						if o.JobTimeout > 0 {
-							var alive bool
-							res, alive = runShardTimed(runCtx, &jobs[t.job], ws, t, deadline, o.JobTimeout)
-							if !alive {
-								ws = nil // runner abandoned mid-shard; never reuse it
+						if o.Executor != nil {
+							res = runShardRemote(runCtx, o.Executor, ShardTask{Job: &jobs[t.job], Shard: t.shard, Seed: seed, N: t.n, Fingerprint: fps[t.job], Key: key}, deadline, o.JobTimeout)
+							if errors.Is(res.Err, ErrNoWorkers) {
+								res = nil // degrade gracefully to local execution
 							}
-						} else {
-							res = runShard(runCtx, &jobs[t.job], ws, t)
+						}
+						if res == nil {
+							if t.job != wsJob || ws == nil {
+								ws = newWorkerState(masters[t.job])
+								wsJob = t.job
+							}
+							if o.JobTimeout > 0 {
+								var alive bool
+								res, alive = runShardTimed(runCtx, &jobs[t.job], ws, t, deadline, o.JobTimeout)
+								if !alive {
+									ws = nil // runner abandoned mid-shard; never reuse it
+								}
+							} else {
+								res = runShard(runCtx, &jobs[t.job], ws, t)
+							}
 						}
 					}
-					if key != "" && res.Err == nil {
+					if o.Cache != nil && key != "" && res.Err == nil {
 						o.Cache.Put(key, res)
 					}
 				}

@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Heartbeat announces a worker to a coordinator every interval (0 = 5s)
+// until ctx is cancelled: POST /v1/workers with the worker's advertised
+// base URL. Registration is the heartbeat — there is no separate
+// deregistration; a worker that dies (or is SIGKILLed) simply stops
+// announcing and ages out of the registry after the coordinator's TTL,
+// which is the fabric's failure detector. Send failures are retried at the
+// next tick; the fleet heals itself when the coordinator comes back.
+func Heartbeat(ctx context.Context, coordURL, selfURL, token string, interval time.Duration, client *http.Client) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	body, err := json.Marshal(map[string]string{"url": selfURL})
+	if err != nil {
+		return
+	}
+	url := strings.TrimSuffix(coordURL, "/") + "/v1/workers"
+	beat := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12)) //nolint:errcheck // drain for reuse
+		resp.Body.Close()
+	}
+	beat()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			beat()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// RegisterWorker performs one synchronous registration, returning an error
+// when the coordinator rejected or never received it — the startup probe a
+// daemon can use to fail fast on a bad -coord flag.
+func RegisterWorker(ctx context.Context, coordURL, selfURL, token string, client *http.Client) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	body, err := json.Marshal(map[string]string{"url": selfURL})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(coordURL, "/") + "/v1/workers"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fabric: register with %s: %w", coordURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("fabric: register with %s: %s: %s", coordURL, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

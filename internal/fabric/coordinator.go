@@ -1,0 +1,546 @@
+package fabric
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/farmd"
+)
+
+// CoordConfig configures a Coordinator.
+type CoordConfig struct {
+	// Cache is the fleet's shared shard store: consulted by the
+	// coordinator's engine, served to workers over /v1/shards (nil = no
+	// shared cache).
+	Cache campaign.ShardCache
+
+	// JournalDir persists campaign requests and row streams for resumable
+	// clients and restart recovery ("" = in-memory only: streams resume
+	// while the coordinator lives, nothing survives a restart).
+	JournalDir string
+
+	// Workers is the engine pool size per campaign (0 = GOMAXPROCS). With
+	// remote workers leased the pool mostly waits on the network; it is
+	// also the local-fallback execution capacity.
+	Workers int
+
+	// MaxConcurrent bounds campaigns executing at once (0 = 2).
+	MaxConcurrent int
+
+	// JobTimeout is the default per-job wall-clock budget applied when a
+	// request does not set one (0 = unbounded).
+	JobTimeout time.Duration
+
+	// RowWriteTimeout bounds each subscriber row write (0 = 30s, negative
+	// = unbounded). A stalled subscriber only loses its own stream — the
+	// campaign keeps running and the client can resume.
+	RowWriteTimeout time.Duration
+
+	// AuthToken, when non-empty, gates campaign submission, worker
+	// registration and the shard store behind "Authorization: Bearer".
+	// It is also the default lease token sent to workers.
+	AuthToken string
+
+	// WorkerTTL expires workers that stop heartbeating (0 = 15s).
+	WorkerTTL time.Duration
+
+	// Dispatch tunes lease retry, backoff, poisoning and transport.
+	Dispatch DispatchConfig
+}
+
+func (c *CoordConfig) rowTimeout() time.Duration {
+	switch {
+	case c.RowWriteTimeout == 0:
+		return 30 * time.Second
+	case c.RowWriteTimeout < 0:
+		return 0
+	default:
+		return c.RowWriteTimeout
+	}
+}
+
+// CampaignID derives a campaign's identity from its request content: the
+// same matrix is the same campaign, so a resubmission attaches to the
+// running (or journaled) stream instead of re-executing, and a
+// reconnecting client needs no session state beyond the request it already
+// holds.
+func CampaignID(req *farmd.MatrixRequest) (string, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:24], nil
+}
+
+// campaignState is one campaign's in-memory stream: the rows produced so
+// far and a condition variable subscribers wait on. The producer appends
+// under mu and broadcasts; subscribers copy out rows beyond their index.
+type campaignState struct {
+	id string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	rows [][]byte
+	done bool
+}
+
+func newCampaignState(id string) *campaignState {
+	st := &campaignState{id: id}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+func (st *campaignState) append(row []byte) {
+	st.mu.Lock()
+	st.rows = append(st.rows, row)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+func (st *campaignState) finish() {
+	st.mu.Lock()
+	st.done = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// CoordStats is the coordinator's /v1/stats document.
+type CoordStats struct {
+	Campaigns    int64         `json:"campaigns"`      // campaigns completed
+	Rows         int64         `json:"rows"`           // rows journaled/streamed
+	WorkersAlive int           `json:"workers_alive"`  // heartbeating workers
+	ShardHits    int64         `json:"shard_hits"`     // shared-store GET hits
+	ShardMisses  int64         `json:"shard_misses"`   // shared-store GET misses
+	ShardPuts    int64         `json:"shard_puts"`     // shared-store PUTs accepted
+	Dispatch     DispatchStats `json:"dispatch"`       // lease dispatcher counters
+	LocalShards  int64         `json:"local_fallback"` // dispatcher fallbacks (duplicated for convenience)
+}
+
+// Coordinator is the dcoord HTTP service: it accepts campaign matrices,
+// executes them on the campaign engine with shards leased out to the
+// registered dfarmd fleet (falling back to local execution when the fleet
+// drains), journals every row, and serves resumable NDJSON streams plus
+// the fleet's shared shard store.
+//
+// Endpoints:
+//
+//	POST /v1/campaigns    submit a matrix, stream NDJSON rows (resumable
+//	                      via the Last-Row request header; the response's
+//	                      Campaign-Id header advertises resumability)
+//	POST /v1/workers      worker heartbeat {"url": "..."}
+//	GET  /v1/workers      fleet snapshot
+//	GET  /v1/shards/{key} shared shard store read
+//	PUT  /v1/shards/{key} shared shard store write
+//	GET  /v1/stats        counters
+//	GET  /healthz         liveness probe
+type Coordinator struct {
+	cfg     CoordConfig
+	reg     *Registry
+	disp    *Dispatcher
+	journal *Journal // nil when JournalDir is ""
+	mux     *http.ServeMux
+	sem     chan struct{}
+
+	root     context.Context // producer lifetime: campaigns outlive clients
+	stopRoot context.CancelFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+
+	campaignsDone, rowCount, shardHits, shardMisses, shardPuts int64 // atomics
+}
+
+// NewCoordinator builds a coordinator and recovers its journal: completed
+// campaigns become replayable from disk on demand, unfinished ones —
+// campaigns a previous process accepted but never finished — re-run
+// immediately, which determinism plus the shard cache makes cheap and
+// byte-identical to what the dead process would have produced.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.Dispatch.Token == "" {
+		cfg.Dispatch.Token = cfg.AuthToken
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		reg:       NewRegistry(cfg.WorkerTTL),
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		campaigns: map[string]*campaignState{},
+	}
+	c.disp = NewDispatcher(c.reg, cfg.Dispatch)
+	c.root, c.stopRoot = context.WithCancel(context.Background())
+
+	c.mux.HandleFunc("POST /v1/campaigns", c.auth(c.handleCampaigns))
+	c.mux.HandleFunc("POST /v1/workers", c.auth(c.handleWorkerRegister))
+	c.mux.HandleFunc("GET /v1/workers", c.handleWorkerList)
+	c.mux.HandleFunc("GET /v1/shards/{key}", c.auth(c.handleShardGet))
+	c.mux.HandleFunc("PUT /v1/shards/{key}", c.auth(c.handleShardPut))
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	if cfg.JournalDir != "" {
+		j, err := NewJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		ids, err := j.Campaigns()
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if j.Done(id) {
+				continue // replayed from disk on demand
+			}
+			req, ok, err := j.LoadRequest(id)
+			if err != nil || !ok {
+				continue // a torn request file never got a subscriber's ack
+			}
+			st := newCampaignState(id)
+			c.campaigns[id] = st
+			go c.runCampaign(st, req)
+		}
+	}
+	return c, nil
+}
+
+// Registry exposes the worker registry (tests and embedders).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Dispatcher exposes the lease dispatcher (tests and embedders).
+func (c *Coordinator) Dispatcher() *Dispatcher { return c.disp }
+
+// Close cancels every producer. Campaigns interrupted here are
+// deliberately left unfinished in the journal, so the next coordinator
+// process re-runs them to completion.
+func (c *Coordinator) Close() { c.stopRoot() }
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+func (c *Coordinator) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !farmd.CheckBearer(r, c.cfg.AuthToken) {
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck // terminal write
+}
+
+// lookup returns the campaign state for a request, starting the campaign
+// if it is new. Completed journaled campaigns are rehydrated from disk.
+func (c *Coordinator) lookup(id string, req *farmd.MatrixRequest) (*campaignState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.campaigns[id]; ok {
+		return st, nil
+	}
+	if c.journal != nil && c.journal.Done(id) {
+		rows, err := c.journal.LoadRows(id)
+		if err != nil {
+			return nil, err
+		}
+		st := newCampaignState(id)
+		st.rows = rows
+		st.done = true
+		c.campaigns[id] = st
+		return st, nil
+	}
+	st := newCampaignState(id)
+	if c.journal != nil {
+		if err := c.journal.SaveRequest(id, req); err != nil {
+			return nil, err
+		}
+	}
+	c.campaigns[id] = st
+	reqCopy := *req
+	go c.runCampaign(st, &reqCopy)
+	return st, nil
+}
+
+// runCampaign is the producer: it executes the matrix under the
+// coordinator's root context — a subscriber disconnect never cancels the
+// campaign; the journal, not the connection, owns the work — appending
+// each row to the in-memory stream and the journal as it is produced.
+func (c *Coordinator) runCampaign(st *campaignState, req *farmd.MatrixRequest) {
+	defer st.finish()
+
+	// Queue for an execution slot (shutdown drains the queue).
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-c.root.Done():
+		return
+	}
+
+	var writer *RowWriter
+	if c.journal != nil {
+		w, err := c.journal.OpenRows(st.id)
+		if err == nil {
+			writer = w
+			defer writer.Close()
+		}
+	}
+	emit := func(row farmd.Row) {
+		data, err := json.Marshal(row)
+		if err != nil {
+			return
+		}
+		atomic.AddInt64(&c.rowCount, 1)
+		if writer != nil {
+			writer.Append(data) //nolint:errcheck // stream stays authoritative in memory
+		}
+		st.append(data)
+	}
+
+	timeout := req.JobTimeout()
+	if timeout <= 0 {
+		timeout = c.cfg.JobTimeout
+	}
+	optsFor := func(phase string, vrep *campaign.Report) campaign.Options {
+		exec := &PhaseExecutor{
+			Dispatcher: c.disp,
+			Campaign:   st.id,
+			Phase:      phase,
+			Request:    req,
+		}
+		if vrep != nil {
+			// Only verify rows feed the fuzz corpus; sending the rest
+			// would bloat every lease of the phase.
+			for _, j := range vrep.Jobs {
+				if j.Mode == campaign.ModeVerify {
+					exec.VerifyRows = append(exec.VerifyRows, j)
+				}
+			}
+		}
+		return campaign.Options{
+			Workers:            c.cfg.Workers,
+			ShardSize:          req.ShardSize,
+			MaxCounterexamples: req.MaxCounterexamples,
+			FailFast:           req.FailFast,
+			JobTimeout:         timeout,
+			Cache:              c.cfg.Cache,
+			Executor:           exec,
+			OnJobReport:        func(jr campaign.JobReport) { emit(farmd.Row{Job: &jr}) },
+		}
+	}
+
+	rep, runErr := farmd.RunMatrixPhases(c.root, req, optsFor)
+	if c.root.Err() != nil {
+		// Shutdown, not failure: emit no terminal row and leave the
+		// journal unfinished so the next process re-runs the campaign.
+		return
+	}
+	if rep == nil {
+		emit(farmd.Row{Error: runErr.Error()})
+	} else {
+		emit(farmd.Row{Summary: &farmd.Summary{
+			Passed:       rep.Passed,
+			Jobs:         len(rep.Jobs),
+			TotalChecked: rep.TotalChecked,
+			StoppedEarly: rep.StoppedEarly,
+			Cache:        rep.Cache,
+			Timing:       rep.Timing,
+		}})
+	}
+	atomic.AddInt64(&c.campaignsDone, 1)
+	if writer != nil {
+		if err := writer.Close(); err == nil {
+			c.journal.MarkDone(st.id) //nolint:errcheck // next run re-executes, still correct
+		}
+		writer = nil
+	}
+}
+
+// handleCampaigns subscribes the client to its campaign's row stream,
+// starting the campaign if this request is its first arrival. The
+// Campaign-Id response header advertises resumability; a client that
+// reconnects with Last-Row: n receives the stream from row n — rows it
+// already consumed are never re-executed, only replayed from the journal's
+// in-memory image.
+func (c *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	var req farmd.MatrixRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad matrix request: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := CampaignID(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lastRow := 0
+	if h := r.Header.Get("Last-Row"); h != "" {
+		n, err := strconv.Atoi(h)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad Last-Row header %q", h)
+			return
+		}
+		lastRow = n
+	}
+	st, err := c.lookup(id, &req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Campaign-Id", id)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	rowTimeout := c.cfg.rowTimeout()
+
+	// Wake the subscriber loop when the client goes away.
+	stop := context.AfterFunc(r.Context(), func() {
+		st.mu.Lock()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	})
+	defer stop()
+
+	idx := lastRow
+	st.mu.Lock()
+	for {
+		for idx < len(st.rows) {
+			row := st.rows[idx]
+			idx++
+			st.mu.Unlock()
+			if rowTimeout > 0 {
+				rc.SetWriteDeadline(time.Now().Add(rowTimeout)) //nolint:errcheck // best effort
+			}
+			if _, err := w.Write(append(append([]byte{}, row...), '\n')); err != nil {
+				return // subscriber gone; the campaign keeps running
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			st.mu.Lock()
+		}
+		if st.done || r.Context().Err() != nil {
+			break
+		}
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+}
+
+// handleWorkerRegister records a worker heartbeat.
+func (c *Coordinator) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<12)).Decode(&body); err != nil || body.URL == "" {
+		httpError(w, http.StatusBadRequest, "worker registration needs a url")
+		return
+	}
+	c.reg.Register(body.URL)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleWorkerList snapshots the fleet.
+func (c *Coordinator) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.reg.Snapshot()) //nolint:errcheck // terminal write
+}
+
+// shardKeyRe guards the shared store's key space: keys are engine-issued
+// hex digests, and because the disk tier maps keys to file paths, anything
+// else is rejected before it can traverse.
+var shardKeyRe = regexp.MustCompile(`^[0-9a-f]{16,128}$`)
+
+// handleShardGet serves the shared shard store to workers.
+func (c *Coordinator) handleShardGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if c.cfg.Cache == nil || !shardKeyRe.MatchString(key) {
+		httpError(w, http.StatusNotFound, "no such shard")
+		return
+	}
+	res, ok := c.cfg.Cache.Get(key)
+	if !ok {
+		atomic.AddInt64(&c.shardMisses, 1)
+		httpError(w, http.StatusNotFound, "no such shard")
+		return
+	}
+	atomic.AddInt64(&c.shardHits, 1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(farmd.WireResult(res)) //nolint:errcheck // terminal write
+}
+
+// handleShardPut accepts a worker's shard result into the shared store.
+func (c *Coordinator) handleShardPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if c.cfg.Cache == nil || !shardKeyRe.MatchString(key) {
+		httpError(w, http.StatusBadRequest, "bad shard key")
+		return
+	}
+	var wire farmd.WireShardResult
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20)).Decode(&wire); err != nil {
+		httpError(w, http.StatusBadRequest, "bad shard result: %v", err)
+		return
+	}
+	if wire.Error != "" {
+		httpError(w, http.StatusBadRequest, "errored results are not cacheable")
+		return
+	}
+	c.cfg.Cache.Put(key, wire.Result())
+	atomic.AddInt64(&c.shardPuts, 1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStats reports the coordinator's counters.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	ds := c.disp.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(CoordStats{ //nolint:errcheck // terminal write
+		Campaigns:    atomic.LoadInt64(&c.campaignsDone),
+		Rows:         atomic.LoadInt64(&c.rowCount),
+		WorkersAlive: c.reg.AliveCount(),
+		ShardHits:    atomic.LoadInt64(&c.shardHits),
+		ShardMisses:  atomic.LoadInt64(&c.shardMisses),
+		ShardPuts:    atomic.LoadInt64(&c.shardPuts),
+		Dispatch:     ds,
+		LocalShards:  ds.Fallback,
+	})
+}
+
+// Serve runs the coordinator on addr until ctx is cancelled, then shuts
+// down gracefully: the listener closes, subscribers drain for drain,
+// producers stop (their campaigns stay journaled for the next process),
+// and the shard store's disk tier flushes.
+func Serve(ctx context.Context, addr string, c *Coordinator, drain time.Duration) error {
+	flush := func() error {
+		c.Close()
+		if f, ok := c.cfg.Cache.(farmd.Flusher); ok {
+			return f.Flush()
+		}
+		return nil
+	}
+	return farmd.ListenAndServe(ctx, addr, c, drain, flush)
+}

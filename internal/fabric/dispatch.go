@@ -1,0 +1,261 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"druzhba/internal/campaign"
+	"druzhba/internal/farmd"
+)
+
+// DispatchConfig tunes the lease dispatcher's failure handling.
+type DispatchConfig struct {
+	// MaxAttempts bounds total attempts per shard before it is poisoned
+	// (0 = 8).
+	MaxAttempts int
+
+	// PoisonAfter is the number of distinct workers a shard must fail on
+	// before it is poisoned (0 = 3). Failing on distinct workers is the
+	// evidence that the shard — not a worker — is the problem.
+	PoisonAfter int
+
+	// BaseBackoff is the first retry's backoff (0 = 50ms); backoff
+	// doubles per attempt up to MaxBackoff (0 = 2s), with ±50% jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Cooldown is how long a transport failure benches a worker
+	// (0 = 5s); heartbeats clear it early.
+	Cooldown time.Duration
+
+	// LeaseTimeout bounds each attempt's round trip (0 = 10m — a lease
+	// executes a whole shard, so this is an execution budget, not a
+	// network one). The job's own deadline still applies through ctx.
+	LeaseTimeout time.Duration
+
+	// Token authenticates leases to workers (the shared fleet secret).
+	Token string
+
+	// Client performs lease round trips (nil = http.DefaultClient).
+	// Fault-injection tests thread a ChaosTransport through here.
+	Client *http.Client
+
+	// JitterSeed seeds the backoff jitter RNG (0 = unjittered backoff);
+	// jitter spreads retry storms, it never affects results.
+	JitterSeed int64
+}
+
+func (c DispatchConfig) withDefaults() DispatchConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.PoisonAfter <= 0 {
+		c.PoisonAfter = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 10 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// DispatchStats counts the dispatcher's lifetime activity (atomics).
+type DispatchStats struct {
+	Leases   int64 `json:"leases"`   // leases completed with a result
+	Retries  int64 `json:"retries"`  // failed attempts that were retried
+	Poisoned int64 `json:"poisoned"` // shards quarantined
+	Fallback int64 `json:"fallback"` // shards handed back for local execution
+}
+
+// Dispatcher sends shard leases to the registry's workers with capped
+// exponential backoff, distinguishing two failure classes:
+//
+//   - transport failures (connection refused, timeout, injected chaos):
+//     the worker may be dead — it is benched for Cooldown and the attempt
+//     counts toward poisoning;
+//   - protocol failures (a non-200 status): the worker is alive but
+//     cannot run this lease — no cooldown, the attempt counts toward
+//     poisoning.
+//
+// A 200 response is a result, full stop — including one whose Error field
+// carries a deterministic shard failure, because a local run of the same
+// shard would have produced exactly that error; retrying it elsewhere
+// would produce it again.
+//
+// A shard that fails on PoisonAfter distinct workers, or MaxAttempts times
+// in total, is poisoned: returned as an errored result the engine
+// quarantines into the report row, leaving the rest of the campaign
+// intact. When no worker is eligible at any attempt, the dispatcher
+// returns campaign.ErrNoWorkers and the engine runs the shard on the
+// coordinator's own pool — the drain-to-zero degradation path.
+type Dispatcher struct {
+	reg   *Registry
+	cfg   DispatchConfig
+	stats DispatchStats
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter only; nil = no jitter
+}
+
+// NewDispatcher returns a dispatcher scheduling onto reg.
+func NewDispatcher(reg *Registry, cfg DispatchConfig) *Dispatcher {
+	d := &Dispatcher{reg: reg, cfg: cfg.withDefaults()}
+	if cfg.JitterSeed != 0 {
+		d.rng = rand.New(rand.NewSource(cfg.JitterSeed))
+	}
+	return d
+}
+
+// Stats snapshots the dispatcher's counters.
+func (d *Dispatcher) Stats() DispatchStats {
+	return DispatchStats{
+		Leases:   atomic.LoadInt64(&d.stats.Leases),
+		Retries:  atomic.LoadInt64(&d.stats.Retries),
+		Poisoned: atomic.LoadInt64(&d.stats.Poisoned),
+		Fallback: atomic.LoadInt64(&d.stats.Fallback),
+	}
+}
+
+// backoff computes the nth retry's jittered delay (attempt counts from 1).
+func (d *Dispatcher) backoff(attempt int) time.Duration {
+	delay := d.cfg.BaseBackoff << (attempt - 1)
+	if delay > d.cfg.MaxBackoff || delay <= 0 {
+		delay = d.cfg.MaxBackoff
+	}
+	if d.rng != nil {
+		d.mu.Lock()
+		delay = delay/2 + time.Duration(d.rng.Int63n(int64(delay)+1))
+		d.mu.Unlock()
+	}
+	return delay
+}
+
+// Execute runs one lease to completion: a result (possibly a deterministic
+// shard error), a poison verdict, or campaign.ErrNoWorkers.
+func (d *Dispatcher) Execute(ctx context.Context, lease *farmd.ShardLease) *campaign.ShardResult {
+	failed := map[string]bool{} // distinct workers this shard failed on
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return &campaign.ShardResult{Err: err}
+		}
+		url := d.reg.Pick(nil)
+		if url == "" {
+			atomic.AddInt64(&d.stats.Fallback, 1)
+			return &campaign.ShardResult{Err: fmt.Errorf("%w (shard %s/%d)", campaign.ErrNoWorkers, lease.Job, lease.Shard)}
+		}
+		res, err, transport := d.tryLease(ctx, url, lease)
+		d.reg.Done(url)
+		if err == nil {
+			atomic.AddInt64(&d.stats.Leases, 1)
+			return res
+		}
+		if ctx.Err() != nil {
+			// The deadline, not the worker, killed the attempt; don't
+			// charge anyone.
+			return &campaign.ShardResult{Err: ctx.Err()}
+		}
+		lastErr = fmt.Errorf("worker %s: %w", url, err)
+		failed[url] = true
+		if transport {
+			d.reg.Fail(url, d.cfg.Cooldown)
+		}
+		if len(failed) >= d.cfg.PoisonAfter || attempt >= d.cfg.MaxAttempts {
+			atomic.AddInt64(&d.stats.Poisoned, 1)
+			return &campaign.ShardResult{Err: fmt.Errorf(
+				"fabric: shard %s/%d poisoned after %d attempts on %d workers: %w",
+				lease.Job, lease.Shard, attempt, len(failed), lastErr)}
+		}
+		atomic.AddInt64(&d.stats.Retries, 1)
+		select {
+		case <-time.After(d.backoff(attempt)):
+		case <-ctx.Done():
+			return &campaign.ShardResult{Err: ctx.Err()}
+		}
+	}
+}
+
+// tryLease makes one attempt against one worker. transport reports whether
+// a returned error was a transport failure (worker possibly dead) as
+// opposed to a protocol failure (worker alive, lease rejected).
+func (d *Dispatcher) tryLease(ctx context.Context, url string, lease *farmd.ShardLease) (res *campaign.ShardResult, err error, transport bool) {
+	body, err := json.Marshal(lease)
+	if err != nil {
+		return nil, err, false
+	}
+	actx, cancel := context.WithTimeout(ctx, d.cfg.LeaseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, strings.TrimSuffix(url, "/")+"/v1/leases", bytes.NewReader(body))
+	if err != nil {
+		return nil, err, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if d.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+d.cfg.Token)
+	}
+	resp, err := d.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<14))
+		return nil, fmt.Errorf("lease rejected: %s: %s", resp.Status, bytes.TrimSpace(msg)), false
+	}
+	var wire farmd.WireShardResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&wire); err != nil {
+		// A 200 whose body died mid-flight is a transport failure: the
+		// worker ran the shard, the result never arrived intact.
+		return nil, fmt.Errorf("lease result: %w", err), true
+	}
+	return wire.Result(), nil, false
+}
+
+// PhaseExecutor adapts the dispatcher to one campaign phase's
+// campaign.ShardExecutor: it completes shard tasks into leases carrying
+// the phase's matrix request and, for a both-mode fuzz phase, the verify
+// rows whose traces seed the corpus. One dispatcher serves every phase of
+// every campaign; the executor is the per-phase view.
+type PhaseExecutor struct {
+	Dispatcher *Dispatcher
+	Campaign   string
+	Phase      string
+	Request    *farmd.MatrixRequest
+	VerifyRows []campaign.JobReport
+}
+
+// ExecuteShard implements campaign.ShardExecutor.
+func (p *PhaseExecutor) ExecuteShard(ctx context.Context, t campaign.ShardTask) *campaign.ShardResult {
+	return p.Dispatcher.Execute(ctx, &farmd.ShardLease{
+		Proto:      farmd.LeaseProto,
+		Campaign:   p.Campaign,
+		Phase:      p.Phase,
+		Job:        t.Job.Name,
+		Shard:      t.Shard,
+		Seed:       t.Seed,
+		N:          t.N,
+		Key:        t.Key,
+		Request:    p.Request,
+		VerifyRows: p.VerifyRows,
+	})
+}

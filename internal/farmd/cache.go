@@ -322,6 +322,43 @@ func (c *DirCache) Put(key string, res *campaign.ShardResult) {
 	}
 }
 
+// Flusher is the optional cache interface graceful shutdown drives:
+// caches that buffer state (the disk tier's directory metadata) persist it
+// durably before the process exits.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush implements Flusher: it fsyncs the root and bucket directories so
+// every rename Put ever performed is durable, not just visible. Entry
+// files themselves are written atomically by Put; what a crash can lose
+// without the directory syncs is the rename itself.
+func (c *DirCache) Flush() error {
+	dirs := []string{c.dir}
+	if buckets, err := os.ReadDir(c.dir); err == nil {
+		for _, b := range buckets {
+			if b.IsDir() {
+				dirs = append(dirs, filepath.Join(c.dir, b.Name()))
+			}
+		}
+	}
+	var firstErr error
+	for _, dir := range dirs {
+		d, err := os.Open(dir)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := d.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		d.Close()
+	}
+	return firstErr
+}
+
 // Tiered layers a fast cache (typically MemCache) over a slow one
 // (typically DirCache): reads promote slow-tier hits into the fast tier,
 // writes go to both. It is how dfarmd combines a bounded hot set with
@@ -352,4 +389,17 @@ func (c *Tiered) Get(key string) (*campaign.ShardResult, bool) {
 func (c *Tiered) Put(key string, res *campaign.ShardResult) {
 	c.slow.Put(key, res)
 	c.fast.Put(key, res)
+}
+
+// Flush implements Flusher, flushing whichever tiers buffer state.
+func (c *Tiered) Flush() error {
+	var firstErr error
+	for _, tier := range []campaign.ShardCache{c.fast, c.slow} {
+		if f, ok := tier.(Flusher); ok {
+			if err := f.Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }

@@ -8,10 +8,129 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"druzhba/internal/campaign"
 )
+
+// StreamOptions configures a campaign submission stream.
+type StreamOptions struct {
+	// Token, when non-empty, is sent as "Authorization: Bearer <Token>".
+	Token string
+
+	// LastRow is the number of stream rows already received; a resumable
+	// server (one that answers with a Campaign-Id header) replays the
+	// stream from this index instead of restarting the campaign.
+	LastRow int
+
+	// Client is the HTTP client to submit with (nil = http.DefaultClient).
+	// Fault-injection tests thread a chaos transport through here.
+	Client *http.Client
+
+	// NoResume disables automatic reconnection on mid-stream transport
+	// failures even when the server advertises resumability.
+	NoResume bool
+}
+
+func (o *StreamOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+// Stream is one open NDJSON campaign stream: rows are read with Next until
+// io.EOF. CampaignID is non-empty when the server can replay this stream
+// from an index (the fabric coordinator); plain dfarmd streams are not
+// resumable because a re-submission would re-run the campaign.
+type Stream struct {
+	// CampaignID identifies the campaign for resumption ("" = stream is
+	// not resumable).
+	CampaignID string
+
+	body io.ReadCloser
+	br   *bufio.Reader
+
+	// Rows is the count of rows received over this stream's lifetime,
+	// including rows inherited from a resumed predecessor — exactly the
+	// Last-Row index a successor stream should ask for.
+	Rows int
+}
+
+// OpenStream posts a matrix request and returns the open row stream. A
+// non-2xx response is decoded into an error; the campaign never started
+// (or, for a resume, the stream did not reattach).
+func OpenStream(ctx context.Context, server string, req *MatrixRequest, opts StreamOptions) (*Stream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("farmd: encode request: %w", err)
+	}
+	url := strings.TrimSuffix(server, "/") + "/v1/campaigns"
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("farmd: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if opts.Token != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+opts.Token)
+	}
+	if opts.LastRow > 0 {
+		httpReq.Header.Set("Last-Row", strconv.Itoa(opts.LastRow))
+	}
+	resp, err := opts.client().Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("farmd: submit: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &decoded) == nil && decoded.Error != "" {
+			return nil, fmt.Errorf("farmd: server: %s", decoded.Error)
+		}
+		return nil, fmt.Errorf("farmd: server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return &Stream{
+		CampaignID: resp.Header.Get("Campaign-Id"),
+		body:       resp.Body,
+		// ReadBytes rather than a Scanner: an unbounded-counterexample job
+		// row has no a-priori size cap, and a row the server produced must
+		// never fail the client.
+		br:   bufio.NewReaderSize(resp.Body, 64<<10),
+		Rows: opts.LastRow,
+	}, nil
+}
+
+// Next returns the stream's next row; io.EOF means the server closed the
+// stream cleanly after its last row.
+func (s *Stream) Next() (Row, error) {
+	for {
+		line, err := s.br.ReadBytes('\n')
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			if err != nil {
+				if err == io.EOF {
+					return Row{}, io.EOF
+				}
+				return Row{}, fmt.Errorf("farmd: stream: %w", err)
+			}
+			continue
+		}
+		var row Row
+		if uerr := json.Unmarshal(line, &row); uerr != nil {
+			return Row{}, fmt.Errorf("farmd: bad stream row: %w", uerr)
+		}
+		s.Rows++
+		return row, nil
+	}
+}
+
+// Close releases the stream's connection.
+func (s *Stream) Close() error { return s.body.Close() }
 
 // Submit posts a matrix request to a dfarmd server and reassembles the
 // streamed rows into a campaign report. The reassembled report carries the
@@ -25,7 +144,7 @@ import (
 // partial-report-on-cancel behavior, so already-streamed rows are never
 // thrown away.
 func Submit(ctx context.Context, server string, req *MatrixRequest) (*campaign.Report, error) {
-	return SubmitStream(ctx, server, req, nil)
+	return SubmitOpts(ctx, server, req, StreamOptions{}, nil)
 }
 
 // SubmitStream is Submit with a per-row callback invoked as rows arrive
@@ -33,32 +152,22 @@ func Submit(ctx context.Context, server string, req *MatrixRequest) (*campaign.R
 // the stream. This is the delta-consuming form: a monitoring client can
 // render each job the moment the server finishes it.
 func SubmitStream(ctx context.Context, server string, req *MatrixRequest, onRow func(Row) error) (*campaign.Report, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("farmd: encode request: %w", err)
-	}
-	url := strings.TrimSuffix(server, "/") + "/v1/campaigns"
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("farmd: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("farmd: submit: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		var decoded struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(msg, &decoded) == nil && decoded.Error != "" {
-			return nil, fmt.Errorf("farmd: server: %s", decoded.Error)
-		}
-		return nil, fmt.Errorf("farmd: server: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
+	return SubmitOpts(ctx, server, req, StreamOptions{}, onRow)
+}
 
+// resumeAttempts bounds consecutive reconnections of a resumable stream;
+// any successfully received row resets the count.
+const resumeAttempts = 5
+
+// SubmitOpts is SubmitStream with explicit stream options. Against a
+// server that advertises resumability (the fabric coordinator's
+// Campaign-Id header), a stream severed mid-campaign is transparently
+// reattached with the Last-Row index, so the reassembled report — and any
+// NDJSON a caller renders from onRow — is byte-identical to an unsevered
+// run; the campaign itself keeps executing server-side while the client is
+// away. Non-resumable streams fail as before, returning the partial
+// report.
+func SubmitOpts(ctx context.Context, server string, req *MatrixRequest, opts StreamOptions, onRow func(Row) error) (*campaign.Report, error) {
 	rep := &campaign.Report{Passed: true}
 	// partial finalizes the report for a stream that died before its
 	// summary row: the rows received so far are kept, and the verdict
@@ -71,26 +180,45 @@ func SubmitStream(ctx context.Context, server string, req *MatrixRequest, onRow 
 		}
 		return rep, err
 	}
-	sawSummary := false
-	// ReadBytes rather than a Scanner: an unbounded-counterexample job
-	// row has no a-priori size cap, and a row the server produced must
-	// never fail the client.
-	br := bufio.NewReaderSize(resp.Body, 64<<10)
-	var readErr error
-	for readErr == nil {
-		var line []byte
-		line, readErr = br.ReadBytes('\n')
-		if readErr != nil && readErr != io.EOF {
-			return partial(fmt.Errorf("farmd: stream: %w", readErr))
-		}
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
+
+	stream, err := OpenStream(ctx, server, req, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { stream.Close() }()
+
+	attempts := 0
+	for {
+		row, err := stream.Next()
+		if err != nil {
+			if err == io.EOF {
+				return partial(fmt.Errorf("farmd: stream ended without a summary row (%d rows received)", stream.Rows))
+			}
+			if opts.NoResume || stream.CampaignID == "" || ctx.Err() != nil {
+				return partial(err)
+			}
+			// The campaign is still running server-side; reattach at the
+			// row after the last one received.
+			attempts++
+			if attempts > resumeAttempts {
+				return partial(fmt.Errorf("farmd: stream resume gave up after %d attempts: %w", resumeAttempts, err))
+			}
+			select {
+			case <-time.After(time.Duration(attempts) * 100 * time.Millisecond):
+			case <-ctx.Done():
+				return partial(err)
+			}
+			ropts := opts
+			ropts.LastRow = stream.Rows
+			next, rerr := OpenStream(ctx, server, req, ropts)
+			if rerr != nil {
+				continue
+			}
+			stream.Close()
+			stream = next
 			continue
 		}
-		var row Row
-		if err := json.Unmarshal(line, &row); err != nil {
-			return partial(fmt.Errorf("farmd: bad stream row: %w", err))
-		}
+		attempts = 0
 		if onRow != nil {
 			if err := onRow(row); err != nil {
 				return partial(err)
@@ -107,11 +235,7 @@ func SubmitStream(ctx context.Context, server string, req *MatrixRequest, onRow 
 			rep.StoppedEarly = row.Summary.StoppedEarly
 			rep.Cache = row.Summary.Cache
 			rep.Timing = row.Summary.Timing
-			sawSummary = true
+			return rep, nil
 		}
 	}
-	if !sawSummary {
-		return partial(fmt.Errorf("farmd: stream ended without a summary row (%d job rows received)", len(rep.Jobs)))
-	}
-	return rep, nil
 }

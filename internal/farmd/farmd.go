@@ -142,7 +142,7 @@ func (r *MatrixRequest) Validate() error {
 		}
 	}
 	if runFuzz {
-		if _, err := r.fuzzJobs(nil); err != nil {
+		if _, err := r.FuzzJobs(nil); err != nil {
 			return err
 		}
 	}
@@ -171,12 +171,15 @@ func (r *MatrixRequest) VerifyJobs() ([]campaign.Job, error) {
 // Jobs expands the request into the fuzz-mode campaign job matrix, applying
 // the same defaults and validation as dfarm's flags.
 func (r *MatrixRequest) Jobs() ([]campaign.Job, error) {
-	return r.fuzzJobs(nil)
+	return r.FuzzJobs(nil)
 }
 
-// fuzzJobs is Jobs with per-benchmark seed corpora threaded into the rmt
-// targets — both mode's verify→fuzz feedback path.
-func (r *MatrixRequest) fuzzJobs(corpus map[string][][]phv.Value) ([]campaign.Job, error) {
+// FuzzJobs is Jobs with per-benchmark seed corpora threaded into the rmt
+// targets — both mode's verify→fuzz feedback path. Distributed workers call
+// it to rebuild the exact job a shard lease addresses: the expansion is a
+// pure function of (request, corpus), so every process holding the same
+// benchmark registries derives the same matrix.
+func (r *MatrixRequest) FuzzJobs(corpus map[string][][]phv.Value) ([]campaign.Job, error) {
 	arch := r.Arch
 	if arch == "" {
 		arch = "rmt"
@@ -349,6 +352,17 @@ type Summary struct {
 // cache and the OnJobReport stream are shared, and verify shard results
 // flow through the same content-addressed cache as fuzz shards.
 func RunMatrix(ctx context.Context, req *MatrixRequest, opts campaign.Options) (*campaign.Report, error) {
+	return RunMatrixPhases(ctx, req, func(string, *campaign.Report) campaign.Options { return opts })
+}
+
+// RunMatrixPhases is RunMatrix with per-phase options: optsFor is called
+// once per phase that actually runs, with the phase name (PhaseVerify,
+// PhaseFuzz) and — for the fuzz phase of a both-mode run — the completed
+// verify report. The distributed coordinator uses it to hand each phase an
+// executor whose leases carry exactly the context a remote worker needs to
+// rebuild that phase's jobs (the fuzz phase of a both-mode matrix depends
+// on the verify phase's counterexample rows).
+func RunMatrixPhases(ctx context.Context, req *MatrixRequest, optsFor func(phase string, verifyReport *campaign.Report) campaign.Options) (*campaign.Report, error) {
 	runVerify, runFuzz, err := req.phases()
 	if err != nil {
 		return nil, err
@@ -361,7 +375,7 @@ func RunMatrix(ctx context.Context, req *MatrixRequest, opts campaign.Options) (
 			return nil, err
 		}
 		var verr error
-		vrep, verr = campaign.Run(ctx, vjobs, opts)
+		vrep, verr = campaign.Run(ctx, vjobs, optsFor(PhaseVerify, nil))
 		if vrep == nil {
 			return nil, verr
 		}
@@ -370,11 +384,11 @@ func RunMatrix(ctx context.Context, req *MatrixRequest, opts campaign.Options) (
 		}
 		corpus = campaign.HarvestVerifyCorpus(vrep)
 	}
-	fjobs, err := req.fuzzJobs(corpus)
+	fjobs, err := req.FuzzJobs(corpus)
 	if err != nil {
 		return vrep, err
 	}
-	frep, ferr := campaign.Run(ctx, fjobs, opts)
+	frep, ferr := campaign.Run(ctx, fjobs, optsFor(PhaseFuzz, vrep))
 	if frep == nil {
 		return vrep, ferr
 	}

@@ -1,0 +1,279 @@
+package farmd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"druzhba/internal/campaign"
+)
+
+// postLease POSTs a lease and returns the response.
+func postLease(t *testing.T, url string, lease *ShardLease, token string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(lease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/leases", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestLeaseMatchesLocalExecution pins the fabric's relocation invariant at
+// the worker boundary: a shard executed through POST /v1/leases returns
+// exactly the result a local runner produces for the same (job, seed, n) —
+// the property that makes retries, re-issues and worker death invisible in
+// reports.
+func TestLeaseMatchesLocalExecution(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Config{Workers: 2}))
+	defer srv.Close()
+	req := smallMatrix()
+	jobs, err := req.LeaseJobs(PhaseFuzz, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("matrix expanded to no jobs")
+	}
+	for _, job := range jobs {
+		inst, err := job.Target.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner, err := inst.NewRunner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := int64(12345)
+		want := runner.RunShard(seed, 128)
+		if want.Err != nil {
+			t.Fatal(want.Err)
+		}
+
+		resp := postLease(t, srv.URL, &ShardLease{
+			Proto: LeaseProto, Job: job.Name, Seed: seed, N: 128, Request: req,
+		}, "")
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("lease for %s: %s: %s", job.Name, resp.Status, msg)
+		}
+		var wire WireShardResult
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+
+		gotJSON, _ := json.Marshal(wire)
+		wantJSON, _ := json.Marshal(WireResult(&want))
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("leased shard of %s differs from local execution:\nlease: %s\nlocal: %s", job.Name, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestLeaseCachesUnderCoordinatorKey: the worker stores the result under
+// the coordinator-issued key verbatim (key spaces are salted per binary,
+// so recomputing would file it under the wrong name), and a second lease
+// for the same key replays from cache.
+func TestLeaseCachesUnderCoordinatorKey(t *testing.T) {
+	cache := NewMemCache(0)
+	s := NewServer(Config{Cache: cache, Workers: 2})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	req := smallMatrix()
+	jobs, err := req.LeaseJobs(PhaseFuzz, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32) // a coordinator-space key, opaque here
+	lease := &ShardLease{Proto: LeaseProto, Job: jobs[0].Name, Seed: 7, N: 64, Key: key, Request: req}
+
+	resp := postLease(t, srv.URL, lease, "")
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first lease: %s", resp.Status)
+	}
+	if _, ok := cache.Get(key); !ok {
+		t.Fatal("result not cached under the coordinator-issued key")
+	}
+	before := s.Stats().CacheHits
+	resp = postLease(t, srv.URL, lease, "")
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if got := s.Stats().CacheHits; got != before+1 {
+		t.Fatalf("second lease cache hits %d, want %d", got, before+1)
+	}
+}
+
+// TestLeaseRejections pins the dispatch protocol's 4xx surface: protocol
+// skew, unknown jobs and malformed bodies are explicit rejections, never
+// silent wrong rows.
+func TestLeaseRejections(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Config{}))
+	defer srv.Close()
+	req := smallMatrix()
+	cases := []struct {
+		name  string
+		lease *ShardLease
+		want  int
+	}{
+		{"protocol skew", &ShardLease{Proto: LeaseProto + 1, Job: "x", N: 1, Request: req}, http.StatusConflict},
+		{"no request", &ShardLease{Proto: LeaseProto, Job: "x", N: 1}, http.StatusBadRequest},
+		{"no packets", &ShardLease{Proto: LeaseProto, Job: "x", Request: req}, http.StatusBadRequest},
+		{"unknown job", &ShardLease{Proto: LeaseProto, Job: "no/such/job", N: 1, Request: req}, http.StatusUnprocessableEntity},
+		{"bad phase", &ShardLease{Proto: LeaseProto, Phase: "anneal", Job: "x", N: 1, Request: req}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp := postLease(t, srv.URL, tc.lease, "")
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestServerAuth pins the fleet-secret gate: with a token configured,
+// mutating endpoints 401 without (or with a wrong) bearer token, while
+// read-only probes stay open; the right token passes.
+func TestServerAuth(t *testing.T) {
+	srv := httptest.NewServer(NewServer(Config{AuthToken: "s3cret", Workers: 1}))
+	defer srv.Close()
+
+	post := func(path, token string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	matrix, _ := json.Marshal(smallMatrix())
+	for _, path := range []string{"/v1/campaigns", "/v1/leases"} {
+		if got := post(path, "", matrix); got != http.StatusUnauthorized {
+			t.Errorf("POST %s without token: %d, want 401", path, got)
+		}
+		if got := post(path, "wrong", matrix); got != http.StatusUnauthorized {
+			t.Errorf("POST %s with wrong token: %d, want 401", path, got)
+		}
+	}
+	for _, path := range []string{"/healthz", "/v1/benchmarks", "/v1/stats"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d, want 200 (read-only endpoints stay open)", path, resp.StatusCode)
+		}
+	}
+	if got := post("/v1/campaigns", "s3cret", matrix); got != http.StatusOK {
+		t.Errorf("POST /v1/campaigns with the right token: %d, want 200", got)
+	}
+
+	// The client helper threads the token through StreamOptions.
+	if _, err := SubmitOpts(context.Background(), srv.URL, smallMatrix(), StreamOptions{Token: "s3cret"}, nil); err != nil {
+		t.Fatalf("authorized SubmitOpts: %v", err)
+	}
+	if _, err := SubmitOpts(context.Background(), srv.URL, smallMatrix(), StreamOptions{}, nil); err == nil || !strings.Contains(err.Error(), "bearer") {
+		t.Fatalf("unauthorized SubmitOpts error = %v, want bearer rejection", err)
+	}
+}
+
+// TestRowWriteTimeoutCancelsStalledClient is the satellite regression
+// test: a client that opens a campaign stream and never reads it must have
+// its campaign cancelled by the configured row-write deadline — and must
+// release its execution slot — instead of wedging engine workers forever.
+func TestRowWriteTimeoutCancelsStalledClient(t *testing.T) {
+	s := NewServer(Config{Workers: 2, MaxConcurrent: 1, RowWriteTimeout: time.Nanosecond})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// With a 1ns deadline every row write is already expired when it
+	// happens — the deterministic stand-in for a client that stopped
+	// reading — so the first write must fail and cancel the campaign
+	// promptly.
+	body, err := json.Marshal(smallMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	// The expired deadline may tear the connection down before the
+	// response headers ever leave the server — that IS the cancellation
+	// path firing; only a complete stream would be the regression.
+	if err == nil {
+		rows, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && strings.Contains(string(rows), `"summary"`) {
+			t.Fatalf("stalled client received a full stream:\n%s", rows)
+		}
+	}
+
+	// The slot must be free again: with MaxConcurrent=1, a campaign
+	// wedged on its stalled client would park this submission in the
+	// queue until the context expired. Its own stream hits the same 1ns
+	// deadline (EOF is fine) — what it must not do is time out queueing.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	req2, err := http.NewRequestWithContext(ctx2, http.MethodPost, srv.URL+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req2)
+	if err == nil {
+		io.Copy(io.Discard, resp2.Body) //nolint:errcheck
+		resp2.Body.Close()
+	}
+	if ctx2.Err() != nil {
+		t.Fatal("second submission timed out queueing: the stalled campaign never released its execution slot")
+	}
+}
+
+// TestTieredFlushReachesDiskTier pins the graceful-shutdown flush path
+// through the tier stack.
+func TestTieredFlushReachesDiskTier(t *testing.T) {
+	disk, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(NewMemCache(0), disk)
+	tiered.Put("aa"+strings.Repeat("0", 62), &campaign.ShardResult{Checked: 1})
+	if err := tiered.Flush(); err != nil {
+		t.Fatalf("tiered flush: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package farmd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"druzhba/internal/campaign"
+)
+
+// RemoteCache is a campaign.ShardCache client against a fabric
+// coordinator's shared shard store (GET/PUT /v1/shards/{key}). Stacked
+// under a worker's local tiers it turns the fleet's shard work into a
+// common pool: a shard any worker ever executed — under the
+// coordinator-issued key, so key spaces agree across binaries — is a hit
+// for every other worker, and for the coordinator's own engine after a
+// worker dies.
+//
+// All failures (network, non-2xx, undecodable body) degrade to a miss or a
+// dropped write: the remote tier can only save work, never lose or corrupt
+// a result, so chaos on the cache path is invisible in reports.
+type RemoteCache struct {
+	base   string
+	token  string
+	client *http.Client
+}
+
+// NewRemoteCache returns a remote cache against the coordinator at
+// baseURL, authenticating writes with token (empty = no auth). client nil
+// means a dedicated client with a short timeout — the remote tier is an
+// optimization and must never wedge shard execution behind a dead
+// coordinator.
+func NewRemoteCache(baseURL, token string, client *http.Client) *RemoteCache {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &RemoteCache{base: strings.TrimSuffix(baseURL, "/"), token: token, client: client}
+}
+
+func (c *RemoteCache) url(key string) string { return c.base + "/v1/shards/" + key }
+
+func (c *RemoteCache) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+}
+
+// Get implements campaign.ShardCache.
+func (c *RemoteCache) Get(key string) (*campaign.ShardResult, bool) {
+	req, err := http.NewRequest(http.MethodGet, c.url(key), nil)
+	if err != nil {
+		return nil, false
+	}
+	c.authorize(req)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // drain for reuse
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var wire WireShardResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&wire); err != nil || wire.Error != "" {
+		return nil, false
+	}
+	return wire.Result(), true
+}
+
+// Put implements campaign.ShardCache; results with errors are never
+// shipped, matching the local tiers.
+func (c *RemoteCache) Put(key string, res *campaign.ShardResult) {
+	if res == nil || res.Err != nil {
+		return
+	}
+	body, err := json.Marshal(WireResult(res))
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, c.url(key), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // drain for reuse
+	resp.Body.Close()
+}

@@ -2,10 +2,13 @@ package farmd
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -14,10 +17,11 @@ import (
 	"druzhba/internal/spec"
 )
 
-// rowWriteTimeout bounds each NDJSON row write: a client that stalls its
-// stream longer than this has its campaign cancelled rather than wedging
-// the engine's workers and holding an execution slot.
-const rowWriteTimeout = 30 * time.Second
+// defaultRowWriteTimeout bounds each NDJSON row write when Config does not
+// set one: a client that stalls its stream longer than this has its
+// campaign cancelled rather than wedging the engine's workers and holding
+// an execution slot.
+const defaultRowWriteTimeout = 30 * time.Second
 
 // Config configures a campaign server.
 type Config struct {
@@ -35,25 +39,53 @@ type Config struct {
 	// JobTimeout is the default per-job wall-clock budget applied when a
 	// request does not set one (0 = unbounded).
 	JobTimeout time.Duration
+
+	// RowWriteTimeout bounds each NDJSON row write; a client that stalls
+	// its stream longer than this has its campaign cancelled. 0 means 30s;
+	// negative disables the bound.
+	RowWriteTimeout time.Duration
+
+	// AuthToken, when non-empty, is the shared fleet secret: every
+	// mutating endpoint (campaign submission, shard leases) requires
+	// "Authorization: Bearer <AuthToken>". Read-only probes (/healthz,
+	// /v1/benchmarks, /v1/stats) stay open for load balancers and
+	// monitoring.
+	AuthToken string
+}
+
+// rowTimeout resolves the configured row-write deadline.
+func (c *Config) rowTimeout() time.Duration {
+	switch {
+	case c.RowWriteTimeout == 0:
+		return defaultRowWriteTimeout
+	case c.RowWriteTimeout < 0:
+		return 0
+	default:
+		return c.RowWriteTimeout
+	}
 }
 
 // Stats is the server's cumulative serving state, exposed on /v1/stats.
 type Stats struct {
 	Campaigns   int64 `json:"campaigns"`    // campaigns completed
 	Jobs        int64 `json:"jobs"`         // job rows streamed
+	Leases      int64 `json:"leases"`       // shard leases executed
 	CacheHits   int64 `json:"cache_hits"`   // shards replayed from cache
 	CacheMisses int64 `json:"cache_misses"` // shards executed with caching on
 }
 
 // Server is the dfarmd HTTP service: POST /v1/campaigns streams campaign
-// rows as NDJSON, GET /v1/benchmarks lists the embedded benchmark
-// registries, GET /v1/stats reports cumulative serving counters and GET
-// /healthz answers liveness probes.
+// rows as NDJSON, POST /v1/leases executes one shard lease for a fabric
+// coordinator, GET /v1/benchmarks lists the embedded benchmark registries,
+// GET /v1/stats reports cumulative serving counters and GET /healthz
+// answers liveness probes.
 type Server struct {
-	cfg   Config
-	sem   chan struct{}
-	mux   *http.ServeMux
-	stats Stats // updated atomically
+	cfg       Config
+	sem       chan struct{}
+	leaseSem  chan struct{}
+	mux       *http.ServeMux
+	instances *instanceCache
+	stats     Stats // updated atomically
 }
 
 // NewServer builds a campaign server over cfg.
@@ -61,8 +93,19 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
-	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	leaseSlots := cfg.Workers
+	if leaseSlots <= 0 {
+		leaseSlots = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		leaseSem:  make(chan struct{}, leaseSlots),
+		mux:       http.NewServeMux(),
+		instances: newInstanceCache(16),
+	}
+	s.mux.HandleFunc("POST /v1/campaigns", s.auth(s.handleCampaigns))
+	s.mux.HandleFunc("POST /v1/leases", s.auth(s.handleLease))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -74,11 +117,35 @@ func NewServer(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// auth gates a mutating handler behind the shared fleet secret; with no
+// token configured it is a no-op.
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !CheckBearer(r, s.cfg.AuthToken) {
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// CheckBearer reports whether the request carries "Authorization: Bearer
+// <token>". An empty token disables the check. The comparison is constant
+// time, so a fleet secret cannot be recovered byte-by-byte through timing.
+func CheckBearer(r *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
 // Stats returns a snapshot of the cumulative serving counters.
 func (s *Server) Stats() Stats {
 	return Stats{
 		Campaigns:   atomic.LoadInt64(&s.stats.Campaigns),
 		Jobs:        atomic.LoadInt64(&s.stats.Jobs),
+		Leases:      atomic.LoadInt64(&s.stats.Leases),
 		CacheHits:   atomic.LoadInt64(&s.stats.CacheHits),
 		CacheMisses: atomic.LoadInt64(&s.stats.CacheMisses),
 	}
@@ -132,12 +199,15 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	rc := http.NewResponseController(w)
+	rowTimeout := s.cfg.rowTimeout()
 	writeRow := func(row Row) {
 		// A bounded write deadline per row: a client that stops reading
 		// its stream fails the write instead of blocking the emitter —
 		// and with it every campaign worker — indefinitely. Best effort:
 		// an unsupported controller falls back to unbounded writes.
-		rc.SetWriteDeadline(time.Now().Add(rowWriteTimeout)) //nolint:errcheck // best effort
+		if rowTimeout > 0 {
+			rc.SetWriteDeadline(time.Now().Add(rowTimeout)) //nolint:errcheck // best effort
+		}
 		if err := enc.Encode(row); err != nil {
 			cancel()
 			return
@@ -179,6 +249,98 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}})
 }
 
+// handleLease executes one shard lease and answers with its wire result.
+// The status code is the dispatch protocol: 200 carries a result (possibly
+// an application failure in its Error field — the shard ran and failed
+// deterministically), 4xx means the lease itself is unusable on this
+// worker (bad body, protocol skew, job not in the matrix), and a transport
+// failure with no status at all is what the coordinator reads as worker
+// death. Results are cached under the coordinator-issued key — the worker
+// never recomputes keys, because cache keys are salted per binary and a
+// worker-computed key would land in a different key space than the
+// coordinator's.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var lease ShardLease
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&lease); err != nil {
+		httpError(w, http.StatusBadRequest, "bad shard lease: %v", err)
+		return
+	}
+	if lease.Proto != LeaseProto {
+		httpError(w, http.StatusConflict, "lease protocol %d, worker speaks %d", lease.Proto, LeaseProto)
+		return
+	}
+	if lease.Request == nil {
+		httpError(w, http.StatusBadRequest, "lease has no matrix request")
+		return
+	}
+	if lease.N < 1 {
+		httpError(w, http.StatusBadRequest, "lease asks for %d packets", lease.N)
+		return
+	}
+
+	// Bound concurrent lease execution by the worker pool size so a
+	// coordinator fanning out cannot oversubscribe the host.
+	select {
+	case s.leaseSem <- struct{}{}:
+		defer func() { <-s.leaseSem }()
+	case <-r.Context().Done():
+		return
+	}
+
+	writeResult := func(res *campaign.ShardResult) {
+		atomic.AddInt64(&s.stats.Leases, 1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(WireResult(res)) //nolint:errcheck // terminal write
+	}
+
+	// The local cache stack (memory, disk, and — when the daemon points
+	// back at a coordinator — the shared remote tier) may already hold
+	// this shard from an earlier lease or a previous campaign.
+	if s.cfg.Cache != nil && lease.Key != "" {
+		if res, ok := s.cfg.Cache.Get(lease.Key); ok {
+			atomic.AddInt64(&s.stats.CacheHits, 1)
+			writeResult(res)
+			return
+		}
+		atomic.AddInt64(&s.stats.CacheMisses, 1)
+	}
+
+	ent, err := s.instances.get(&lease)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	runner, err := ent.runner()
+	if err != nil {
+		writeResult(&campaign.ShardResult{Err: err})
+		return
+	}
+	var res campaign.ShardResult
+	if cr, ok := runner.(campaign.ContextRunner); ok {
+		res = cr.RunShardContext(r.Context(), lease.Seed, lease.N)
+	} else {
+		res = runner.RunShard(lease.Seed, lease.N)
+	}
+	if res.Err == nil {
+		// Reuse only runners whose shard completed cleanly; a runner that
+		// just errored (or was cancelled mid-proof) is dropped so its
+		// state cannot leak into the next lease.
+		ent.release(runner)
+		if s.cfg.Cache != nil && lease.Key != "" {
+			s.cfg.Cache.Put(lease.Key, &res)
+		}
+	}
+	if r.Context().Err() != nil {
+		// The coordinator gave up on this lease (deadline, campaign
+		// abort); the connection is dead, so skip the write the
+		// dispatcher will never read. A cancelled context-aware run
+		// carried ctx.Err() as its result error, so it was not cached
+		// above either.
+		return
+	}
+	writeResult(&res)
+}
+
 // handleBenchmarks lists the embedded benchmark registries by architecture.
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -195,23 +357,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Serve runs a campaign server on addr until ctx is cancelled, then shuts
-// down gracefully (in-flight streams get a short drain window).
-func Serve(ctx context.Context, addr string, cfg Config) error {
-	srv := &http.Server{Addr: addr, Handler: NewServer(cfg)}
+// down gracefully: in-flight streams get drain to finish, and the disk
+// cache tier (when the cache implements Flusher) is flushed before the
+// process exits. drain <= 0 means 5s.
+func Serve(ctx context.Context, addr string, cfg Config, drain time.Duration) error {
+	var flush func() error
+	if f, ok := cfg.Cache.(Flusher); ok {
+		flush = f.Flush
+	}
+	return ListenAndServe(ctx, addr, NewServer(cfg), drain, flush)
+}
+
+// ListenAndServe runs h on addr until ctx is cancelled — the caller wires
+// ctx to SIGINT/SIGTERM — then shuts down gracefully: the listener closes
+// immediately (no new campaigns), in-flight streams get drain to finish
+// (then the server hard-closes), and flush, when non-nil, runs before
+// return so buffered state (the disk cache tier) survives the restart.
+// Both dfarmd and dcoord serve through this helper so the fleet shares one
+// shutdown discipline.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, drain time.Duration, flush func() error) error {
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	srv := &http.Server{Addr: addr, Handler: h}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	var err error
 	select {
-	case err := <-errCh:
-		return err
+	case err = <-errCh:
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		if serr := srv.Shutdown(shutdownCtx); serr != nil {
 			srv.Close()
 		}
-		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
-			return err
+		cancel()
+		if err = <-errCh; errors.Is(err, http.ErrServerClosed) {
+			err = nil
 		}
-		return nil
 	}
+	if flush != nil {
+		if ferr := flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
