@@ -1,0 +1,90 @@
+// dvet statically enforces the repo's two load-bearing invariants —
+// byte-identical reports and zero-allocation hot paths — plus their
+// supporting rules (injected clocks, cancellable blocking calls).
+//
+// Standalone:
+//
+//	dvet ./...                     # analyze packages, print findings
+//
+// As a go vet tool (what CI runs; covers test-variant packages too):
+//
+//	go build -o /tmp/dvet ./cmd/dvet
+//	go vet -vettool=/tmp/dvet ./...
+//
+// The analyzers and the //dvet: annotation vocabulary are documented in
+// README.md ("Static analysis") and the internal/vet/* package docs.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"druzhba/internal/vet/driver"
+	"druzhba/internal/vet/suite"
+)
+
+func main() {
+	// go vet's handshake: `dvet -V=full` must print "dvet version <id>"
+	// where id keys the vet result cache, and `dvet -flags` must print
+	// the tool's analyzer flags as JSON (dvet has none).
+	versionFlag := flag.String("V", "", "print version (go vet protocol; use -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		fmt.Printf("dvet version %s\n", toolID())
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := driver.RunConfig(args[0], suite.Analyzers())
+		exit(diags, err, 2)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := driver.RunStandalone(args, suite.Analyzers())
+	exit(diags, err, 1)
+}
+
+func exit(diags []driver.Diag, err error, failCode int) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Posn, d.Message, d.Analyzer)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvet: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		os.Exit(failCode)
+	}
+	os.Exit(0)
+}
+
+// toolID hashes the running binary so go vet's cache invalidates
+// whenever the suite is rebuilt with different analyzer code.
+func toolID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -115,6 +115,14 @@ type Options struct {
 	// until it returns; runners abandoned this way are never reused.
 	JobTimeout time.Duration
 
+	// Now is the engine's clock seam: every wall-clock read the engine
+	// makes (job deadlines, the report's Timing block) goes through it,
+	// which is what lets the walltime analyzer guarantee no other
+	// per-run input leaks into results. Nil means time.Now. Timing
+	// figures derived from it are excluded from report serialization,
+	// so reports stay byte-identical across clocks.
+	Now func() time.Time
+
 	// OnJobReport, when non-nil, receives each job's merged report as
 	// soon as the job completes. Calls are serialized and arrive in job
 	// (matrix) order regardless of shard scheduling, and every submitted
@@ -136,6 +144,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxCounterexamples == 0 {
 		o.MaxCounterexamples = 8
+	}
+	if o.Now == nil {
+		o.Now = time.Now //dvet:walltime-ok the one approved default for the clock seam
 	}
 	return o
 }

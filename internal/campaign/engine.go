@@ -38,7 +38,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		}
 		seen[jobs[i].Name] = true
 	}
-	start := time.Now()
+	start := o.Now()
 
 	// Build every target once, up front. A failed build is a test finding
 	// (configuration incompatible with the architecture model — the
@@ -108,7 +108,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 	defer cancel()
 	var stopped sync.Once
 	stoppedEarly := false
-	timers := jobTimers{deadlines: make([]time.Time, len(jobs))}
+	timers := jobTimers{deadlines: make([]time.Time, len(jobs)), now: o.Now}
 	var hits, misses int64
 
 	taskCh := make(chan task)
@@ -149,7 +149,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 					if o.JobTimeout > 0 {
 						deadline = timers.deadline(t.job, o.JobTimeout)
 					}
-					if o.JobTimeout > 0 && time.Until(deadline) <= 0 {
+					if o.JobTimeout > 0 && !deadline.After(o.Now()) {
 						// The job's budget is spent: fail the shard without
 						// cloning a runner that would never execute. The
 						// shard never ran, so it counts as neither hit nor
@@ -172,7 +172,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 							}
 							if o.JobTimeout > 0 {
 								var alive bool
-								res, alive = runShardTimed(runCtx, &jobs[t.job], ws, t, deadline, o.JobTimeout)
+								res, alive = runShardTimed(runCtx, &jobs[t.job], ws, t, deadline, o.JobTimeout, o.Now)
 								if !alive {
 									ws = nil // runner abandoned mid-shard; never reuse it
 								}
@@ -213,7 +213,7 @@ feed:
 	}
 	// One elapsed measurement derives both timing figures, so the reported
 	// throughput corresponds exactly to the reported elapsed time.
-	elapsed := time.Since(start)
+	elapsed := o.Now().Sub(start)
 	report.Timing = &Timing{
 		Workers:    o.Workers,
 		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
@@ -256,17 +256,19 @@ func runShard(ctx context.Context, job *Job, ws *workerState, t task) *ShardResu
 }
 
 // jobTimers fixes each job's wall-clock deadline at the moment its first
-// shard begins executing (cache replays don't start the clock).
+// shard begins executing (cache replays don't start the clock). Reads go
+// through the engine's clock seam.
 type jobTimers struct {
 	mu        sync.Mutex
 	deadlines []time.Time
+	now       func() time.Time
 }
 
 func (jt *jobTimers) deadline(j int, budget time.Duration) time.Time {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	if jt.deadlines[j].IsZero() {
-		jt.deadlines[j] = time.Now().Add(budget)
+		jt.deadlines[j] = jt.now().Add(budget)
 	}
 	return jt.deadlines[j]
 }
@@ -285,8 +287,8 @@ func timeoutErr(budget time.Duration) error {
 // context-aware runners (SAT proofs) stop shortly after abandonment
 // instead of leaking their goroutine indefinitely; plain runners leak
 // until they return, as before.
-func runShardTimed(ctx context.Context, job *Job, ws *workerState, t task, deadline time.Time, budget time.Duration) (*ShardResult, bool) {
-	remaining := time.Until(deadline)
+func runShardTimed(ctx context.Context, job *Job, ws *workerState, t task, deadline time.Time, budget time.Duration, now func() time.Time) (*ShardResult, bool) {
+	remaining := deadline.Sub(now())
 	if remaining <= 0 {
 		return &ShardResult{Err: timeoutErr(budget)}, true
 	}

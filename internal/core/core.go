@@ -524,6 +524,8 @@ func (p *Pipeline) Prechecked() bool { return p.level != Unoptimized }
 // the interpreter still guards them) propagate as panics; run-loop callers
 // install a single recover and convert with AsExecError. Calling this on a
 // pipeline for which Prechecked is false panics.
+//
+//dvet:hotpath allocs=0
 func (p *Pipeline) ExecuteStageFast(si int, in, out []phv.Value) {
 	if !p.Prechecked() {
 		panic("core: ExecuteStageFast on an unoptimized pipeline")
@@ -553,6 +555,8 @@ func (p *Pipeline) ExecuteStageFast(si int, in, out []phv.Value) {
 // runALUFast executes one prechecked ALU: operand muxes are baked indices
 // and the body is either a compiled closure or the interpreter without its
 // per-execution recover boundary.
+//
+//dvet:hotpath allocs=0
 func runALUFast(a *compiledALU, in []phv.Value) phv.Value {
 	ops := a.env.Operands
 	for op, idx := range a.operandMux {

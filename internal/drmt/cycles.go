@@ -69,7 +69,23 @@ func (m *Machine) CycleAccurate(n int) (*CycleStats, error) {
 			}
 		}
 	}
-	for k, v := range matchIssues {
+	// Iterate issue counters in sorted (cycle, proc) order: which
+	// capacity violation gets reported must not depend on map order.
+	sortedKeys := func(m map[key]int) []key {
+		ks := make([]key, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool {
+			if ks[i].cycle != ks[j].cycle {
+				return ks[i].cycle < ks[j].cycle
+			}
+			return ks[i].proc < ks[j].proc
+		})
+		return ks
+	}
+	for _, k := range sortedKeys(matchIssues) {
+		v := matchIssues[k]
 		if v > stats.MaxMatchIssues {
 			stats.MaxMatchIssues = v
 		}
@@ -77,7 +93,8 @@ func (m *Machine) CycleAccurate(n int) (*CycleStats, error) {
 			return nil, fmt.Errorf("drmt: processor %d issues %d matches at cycle %d (capacity %d)", k.proc, v, k.cycle, m.hw.MatchCapacity)
 		}
 	}
-	for k, v := range actionIssues {
+	for _, k := range sortedKeys(actionIssues) {
+		v := actionIssues[k]
 		if v > stats.MaxActionIssues {
 			stats.MaxActionIssues = v
 		}
@@ -85,8 +102,10 @@ func (m *Machine) CycleAccurate(n int) (*CycleStats, error) {
 			return nil, fmt.Errorf("drmt: processor %d issues %d actions at cycle %d (capacity %d)", k.proc, v, k.cycle, m.hw.ActionCapacity)
 		}
 	}
+	//dvet:nondeterministic-ok per-table max over disjoint keys, order-free
 	for t, byCycle := range cluster {
 		peak := 0
+		//dvet:nondeterministic-ok pure max reduction, order-free
 		for _, v := range byCycle {
 			if v > peak {
 				peak = v

@@ -257,6 +257,7 @@ func samePacket(a, b *Packet) bool {
 	if a.Dropped != b.Dropped {
 		return false
 	}
+	//dvet:nondeterministic-ok pure equality predicate, order-free
 	for f, v := range a.Fields {
 		if b.Fields[f] != v {
 			return false

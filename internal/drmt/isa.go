@@ -795,6 +795,8 @@ func (m *ISAMachine) Run(packets []*Packet) (*ISAStats, error) {
 // executed instruction count (the per-packet latency, one instruction per
 // cycle) and the drop flag. Register-array state accumulates across calls,
 // exactly like exec.
+//
+//dvet:hotpath allocs=0
 func (m *ISAMachine) ExecSlots(pkt []int64) (executed int, dropped bool, err error) {
 	regs := m.scratch
 	for i := range regs {
@@ -811,13 +813,13 @@ func (m *ISAMachine) ExecSlots(pkt []int64) (executed int, dropped bool, err err
 		case OpLoadField:
 			s := m.fieldSlot[in.Sym]
 			if s < 0 {
-				return executed, dropped, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym])
+				return executed, dropped, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym]) //dvet:alloc-ok malformed-packet error path
 			}
 			regs[in.Dst] = pkt[s]
 		case OpStoreField:
 			s := m.fieldSlot[in.Sym]
 			if s < 0 {
-				return executed, dropped, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym])
+				return executed, dropped, fmt.Errorf("packet lacks field %q", m.isa.Fields[in.Sym]) //dvet:alloc-ok malformed-packet error path
 			}
 			pkt[s] = m.fieldW[in.Sym].Trunc(regs[in.A])
 		case OpALU:
@@ -848,7 +850,7 @@ func (m *ISAMachine) ExecSlots(pkt []int64) (executed int, dropped bool, err err
 				matched, sel, args, actName = true, mt.defSel, mt.defArgs, mt.defName
 			}
 			if matched && sel == 0 {
-				return executed, dropped, fmt.Errorf("table %q selected action %q outside its dispatch list", mt.name, actName)
+				return executed, dropped, fmt.Errorf("table %q selected action %q outside its dispatch list", mt.name, actName) //dvet:alloc-ok config-error path
 			}
 			regs[in.Dst] = sel
 			for i := 0; i < m.isa.NumParams; i++ {
@@ -873,7 +875,7 @@ func (m *ISAMachine) ExecSlots(pkt []int64) (executed int, dropped bool, err err
 		case OpHalt:
 			return executed, dropped, nil
 		default:
-			return executed, dropped, fmt.Errorf("unknown opcode %d at pc %d", in.Op, pc)
+			return executed, dropped, fmt.Errorf("unknown opcode %d at pc %d", in.Op, pc) //dvet:alloc-ok corrupt-program error path
 		}
 		regs[RegZero] = 0 // the zero register is immutable
 		pc = next

@@ -30,6 +30,7 @@ type Packet struct {
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Fields = make(map[string]int64, len(p.Fields))
+	//dvet:nondeterministic-ok map-to-map copy, order-free
 	for k, v := range p.Fields {
 		q.Fields[k] = v
 	}
@@ -143,6 +144,8 @@ func (g *TrafficGen) draw(i int) int64 {
 // materializing consumers of the same seed see the same traffic. dst must
 // have at least NumFields entries. Fill performs no allocation after the
 // first call.
+//
+//dvet:hotpath allocs=0
 func (g *TrafficGen) Fill(dst []int64) int {
 	g.ensureLimits()
 	id := g.next

@@ -225,9 +225,11 @@ func OptimalSchedule(g *dag.Graph, costs map[string]TableCost, hw HWConfig) (*Sc
 				ActionStart: map[string]int{},
 				Makespan:    span,
 			}
+			//dvet:nondeterministic-ok map-to-map copy, order-free
 			for k, v := range cur.MatchStart {
 				clone.MatchStart[k] = v
 			}
+			//dvet:nondeterministic-ok map-to-map copy, order-free
 			for k, v := range cur.ActionStart {
 				clone.ActionStart[k] = v
 			}
@@ -298,6 +300,7 @@ func FormatSchedule(s *Schedule) string {
 		ms, as int
 	}
 	var rows []row
+	//dvet:nondeterministic-ok rows are fully sorted below before rendering
 	for n, ms := range s.MatchStart {
 		rows = append(rows, row{n, ms, s.ActionStart[n]})
 	}

@@ -366,6 +366,8 @@ func (m *Machine) Layout() *SlotLayout { return m.layout }
 // finishes its action, then skips every later table). Register state
 // accumulates across calls; crossbar accesses accumulate in matchCount
 // until the next RunStream. It performs no allocation.
+//
+//dvet:hotpath allocs=0
 func (m *Machine) ProcessSlots(pkt []int64) (dropped bool) {
 	for ti := range m.ctables {
 		if dropped {
@@ -392,6 +394,8 @@ func (m *Machine) ProcessSlots(pkt []int64) (dropped bool) {
 }
 
 // applySlots executes a compiled action body on a slot-vector packet.
+//
+//dvet:hotpath allocs=0
 func (m *Machine) applySlots(act *compiledAction, pkt []int64) (dropped bool) {
 	for i := range act.prims {
 		p := &act.prims[i]

@@ -433,6 +433,7 @@ func (c *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 			idx++
 			st.mu.Unlock()
 			if rowTimeout > 0 {
+				//dvet:walltime-ok I/O write deadline for a stalled subscriber, never report content
 				rc.SetWriteDeadline(time.Now().Add(rowTimeout)) //nolint:errcheck // best effort
 			}
 			if _, err := w.Write(append(append([]byte{}, row...), '\n')); err != nil {

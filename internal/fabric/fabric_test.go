@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -168,15 +169,21 @@ func TestChaosByteIdentity(t *testing.T) {
 
 // dyingWorker wraps a worker handler: after surviving leases, every
 // connection is severed mid-request — the unit-test stand-in for SIGKILL
-// (the CI smoke test does it with a real signal).
+// (the CI smoke test does it with a real signal). onDeath, if set, runs
+// once, before the first severed request's error reaches the dispatcher.
 type dyingWorker struct {
 	inner    http.Handler
 	survives int64
 	served   int64
+	onDeath  func()
+	died     sync.Once
 }
 
 func (d *dyingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if atomic.AddInt64(&d.served, 1) > d.survives {
+		if d.onDeath != nil {
+			d.died.Do(d.onDeath)
+		}
 		panic(http.ErrAbortHandler)
 	}
 	d.inner.ServeHTTP(w, r)
@@ -203,7 +210,14 @@ func TestWorkerDeathMidCampaign(t *testing.T) {
 	dts := httptest.NewServer(dying)
 	t.Cleanup(dts.Close)
 	c.Registry().Register(dts.URL)
-	startWorker(t, c, farmd.Config{Workers: 2})
+	// The survivor is up from the start but joins the registry only when
+	// the dying worker dies: every pre-death lease must land on the dying
+	// worker, so the death is always exercised mid-campaign (with both
+	// registered up front, least-loaded picking could drain the whole
+	// matrix through the survivor and never deliver the fatal lease).
+	sts := httptest.NewServer(farmd.NewServer(farmd.Config{Workers: 2}))
+	t.Cleanup(sts.Close)
+	dying.onDeath = func() { c.Registry().Register(sts.URL) }
 
 	gotText, gotJSON := submitRender(t, ts.URL, smallMatrix(), farmd.StreamOptions{})
 	if gotText != wantText || gotJSON != wantJSON {

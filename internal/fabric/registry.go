@@ -42,6 +42,7 @@ func NewRegistry(ttl time.Duration) *Registry {
 	if ttl <= 0 {
 		ttl = 15 * time.Second
 	}
+	//dvet:walltime-ok the approved default for the registry's injected clock seam
 	return &Registry{ttl: ttl, now: time.Now, workers: map[string]*workerEntry{}}
 }
 
@@ -77,6 +78,7 @@ func (r *Registry) Pick(exclude map[string]bool) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var best *workerEntry
+	//dvet:nondeterministic-ok min-reduction with lexicographic total tie-break, order-free
 	for _, w := range r.workers {
 		if exclude[w.url] || now.Sub(w.lastSeen) > r.ttl || now.Before(w.coolOff) {
 			continue
@@ -121,6 +123,7 @@ func (r *Registry) AliveCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := 0
+	//dvet:nondeterministic-ok pure count, order-free
 	for _, w := range r.workers {
 		if now.Sub(w.lastSeen) <= r.ttl {
 			n++
@@ -134,6 +137,7 @@ func (r *Registry) Snapshot() []WorkerInfo {
 	now := r.now()
 	r.mu.Lock()
 	out := make([]WorkerInfo, 0, len(r.workers))
+	//dvet:nondeterministic-ok rows are fully sorted by URL before returning
 	for _, w := range r.workers {
 		out = append(out, WorkerInfo{
 			URL:      w.url,

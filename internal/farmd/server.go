@@ -206,6 +206,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		// and with it every campaign worker — indefinitely. Best effort:
 		// an unsupported controller falls back to unbounded writes.
 		if rowTimeout > 0 {
+			//dvet:walltime-ok I/O write deadline for a stalled client, never report content
 			rc.SetWriteDeadline(time.Now().Add(rowTimeout)) //nolint:errcheck // best effort
 		}
 		if err := enc.Encode(row); err != nil {

@@ -230,6 +230,8 @@ func (s *Stream) Reset() {
 // owned by the Stream, valid until the next Tick or Reset; a nil result
 // means no PHV completed. Execution errors (possible only on pipelines for
 // which Prechecked is false) abort the tick.
+//
+//dvet:hotpath allocs=0
 func (s *Stream) Tick(in []phv.Value) ([]phv.Value, error) {
 	// The completion slot is consumed at the start of the next tick, not at
 	// the end of the tick it surfaced, so snapshots taken between ticks
@@ -237,6 +239,7 @@ func (s *Stream) Tick(in []phv.Value) ([]phv.Value, error) {
 	s.occ[s.depth] = false
 	if in != nil {
 		if len(in) != s.phvLen {
+			//dvet:alloc-ok harness-misuse error path, never taken in a clean run
 			return nil, fmt.Errorf("sim: input PHV has %d containers, pipeline expects %d", len(in), s.phvLen)
 		}
 		copy(s.slots[0], in)
@@ -271,7 +274,10 @@ func (s *Stream) Tick(in []phv.Value) ([]phv.Value, error) {
 // recover guards the whole sweep, converting the (build-time impossible,
 // interpreter-guarded) evaluation panics back into the error ExecuteStage
 // would have returned.
+//
+//dvet:hotpath allocs=0
 func (s *Stream) tickFast() (err error) {
+	//dvet:alloc-ok non-escaping recover closure; the zero-alloc tests pin it to the stack
 	defer func() {
 		if r := recover(); r != nil {
 			if e, ok := core.AsExecError(r); ok {
@@ -563,7 +569,10 @@ func NewFuzzer(p *core.Pipeline) *Fuzzer {
 func (f *Fuzzer) Pipeline() *core.Pipeline { return f.pipe }
 
 // FuzzGen runs the streaming comparison over n PHVs drawn from gen.
+//
+//dvet:hotpath allocs=3
 func (f *Fuzzer) FuzzGen(spec Spec, gen *TrafficGen, n int, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
+	//dvet:alloc-ok generator adapter closure, allocated once per run, not per PHV
 	return f.Fuzz(spec, n, func(dst []phv.Value) error {
 		gen.Fill(dst)
 		return nil
@@ -577,16 +586,19 @@ func (f *Fuzzer) FuzzGen(spec Spec, gen *TrafficGen, n int, opts FuzzOptions, ma
 // pipeline's state, the stream and the specification are reset first. Like
 // Fuzz, simulation failures land in BatchReport.Err; only harness misuse
 // returns a non-nil error.
+//
+//dvet:hotpath allocs=3
 func (f *Fuzzer) Fuzz(spec Spec, n int, next func(dst []phv.Value) error, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
 	if n <= 0 {
 		return nil, errors.New("sim: empty input trace")
 	}
-	report := &BatchReport{SpecName: spec.Name()}
+	report := &BatchReport{SpecName: spec.Name()} //dvet:alloc-ok one report per run, not per PHV
 	f.pipe.ResetState()
 	f.stream.Reset()
 	spec.Reset()
 	ss, streaming := spec.(StreamSpec)
 	fed, compared := 0, 0
+	//dvet:alloc-ok per-run epilogue closure, not per PHV
 	finish := func() *BatchReport {
 		report.Checked = compared
 		report.Ticks = f.stream.Ticks()
@@ -604,23 +616,23 @@ func (f *Fuzzer) Fuzz(spec Spec, n int, next func(dst []phv.Value) error, opts F
 			// Lock step: the spec consumes packet i on the tick of its
 			// admission, so spec state advances in packet order.
 			if streaming {
-				f.want[slot] = append(f.want[slot][:0], in...)
+				f.want[slot] = append(f.want[slot][:0], in...) //dvet:alloc-ok append into the ring's cap-pinned backing, never grows
 				if err := ss.ProcessStream(f.want[slot]); err != nil {
-					return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), fed, err)
+					return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), fed, err) //dvet:alloc-ok spec-failure error path
 				}
 			} else {
 				copy(f.specIn.Raw(), in)
 				out, err := spec.Process(f.specIn)
 				if err != nil {
-					return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), fed, err)
+					return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), fed, err) //dvet:alloc-ok spec-failure error path
 				}
-				f.want[slot] = append(f.want[slot][:0], out.Raw()...)
+				f.want[slot] = append(f.want[slot][:0], out.Raw()...) //dvet:alloc-ok append into the ring's cap-pinned backing, never grows
 			}
 			fed++
 		}
 		out, err := f.stream.Tick(in)
 		if err != nil {
-			report.Err = fmt.Errorf("sim: tick %d: %w", f.stream.Ticks(), err)
+			report.Err = fmt.Errorf("sim: tick %d: %w", f.stream.Ticks(), err) //dvet:alloc-ok finding path, at most once per run
 			return finish(), nil
 		}
 		if out == nil {
@@ -628,6 +640,7 @@ func (f *Fuzzer) Fuzz(spec Spec, n int, next func(dst []phv.Value) error, opts F
 		}
 		slot := compared % f.win
 		if !equalVals(out, f.want[slot], opts.Containers) {
+			//dvet:alloc-ok mismatch collection is the cold path; clean runs never reach it
 			report.Mismatches = append(report.Mismatches, Mismatch{
 				Index: compared,
 				Input: phv.FromValues(f.inputs[slot]),

@@ -339,7 +339,15 @@ func (r *Result) replay(spec core.Spec, code *machinecode.Program, prog *domino.
 		diverged := false
 		pipeState := map[string]phv.Value{}
 		specState := map[string]phv.Value{}
-		for name, loc := range bindings {
+		// Sorted order so which broken binding gets reported first is
+		// run-independent.
+		names := make([]string, 0, len(bindings))
+		for name := range bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			loc := bindings[name]
 			dv, ok := dspec.Machine().State(name)
 			if !ok {
 				return fmt.Errorf("verify: replay: Domino has no state %q", name)
@@ -778,7 +786,16 @@ func (d *symDomino) step(in []bv.Vec, fm domino.FieldMap) ([]bv.Vec, error) {
 		fields: map[string]bv.Vec{},
 		locals: map[string]bv.Vec{},
 	}
-	for name, c := range fm {
+	// Sorted field order: the first out-of-range binding reported must
+	// not depend on map order, and two fields bound to one container
+	// must write back deterministically.
+	names := make([]string, 0, len(fm))
+	for name := range fm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := fm[name]
 		if c < 0 || c >= len(in) {
 			return nil, fmt.Errorf("verify: field %q bound to container %d, PHV has %d", name, c, len(in))
 		}
@@ -788,8 +805,8 @@ func (d *symDomino) step(in []bv.Vec, fm domino.FieldMap) ([]bv.Vec, error) {
 		return nil, err
 	}
 	out := cloneVecs(in)
-	for name, c := range fm {
-		out[c] = env.fields[name]
+	for _, name := range names {
+		out[fm[name]] = env.fields[name]
 	}
 	d.state = env.state
 	return out, nil
@@ -818,6 +835,7 @@ func (env *domEnv) clone() *domEnv {
 
 func cloneMap(m map[string]bv.Vec) map[string]bv.Vec {
 	out := make(map[string]bv.Vec, len(m))
+	//dvet:nondeterministic-ok map-to-map copy, order-free
 	for k, v := range m {
 		out[k] = v
 	}
@@ -880,6 +898,7 @@ func mergeMaps(b *bv.Builder, bits int, c sat.Lit, then, els map[string]bv.Vec) 
 	for k := range then {
 		keys = append(keys, k)
 	}
+	//dvet:nondeterministic-ok guarded key collection, fully sorted below
 	for k := range els {
 		if _, ok := then[k]; !ok {
 			keys = append(keys, k)

@@ -1,0 +1,231 @@
+package allocgate
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"druzhba/internal/core"
+	"druzhba/internal/drmt"
+	"druzhba/internal/phv"
+	"druzhba/internal/sim"
+	"druzhba/internal/spec"
+)
+
+// repoRoot locates the module root from this file's own position, so the
+// gate scans the same tree no matter where go test is invoked from.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "..")
+}
+
+// runners measures each exported hotpath. The key set must match the
+// //dvet:hotpath annotations in source exactly (TestGateCoversAnnotations
+// enforces both directions); each runner warms its fixture and returns
+// the steady-state allocations per call as measured by AllocsPerRun.
+var runners = map[string]func(t *testing.T) float64{
+	"internal/core.Pipeline.ExecuteStageFast": func(t *testing.T) float64 {
+		pipe := benchPipeline(t)
+		in := make([]phv.Value, pipe.PHVLen())
+		out := make([]phv.Value, pipe.PHVLen())
+		pipe.ExecuteStageFast(0, in, out)
+		return testing.AllocsPerRun(100, func() { pipe.ExecuteStageFast(0, in, out) })
+	},
+	"internal/sim.Stream.Tick": func(t *testing.T) float64 {
+		pipe := benchPipeline(t)
+		s := sim.NewStream(pipe)
+		in := make([]phv.Value, pipe.PHVLen())
+		for i := 0; i < pipe.Depth()+2; i++ { // warm: fill and drain the ladder once
+			if _, err := s.Tick(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(100, func() {
+			if _, err := s.Tick(in); err != nil {
+				panic(err)
+			}
+		})
+	},
+	"internal/sim.Fuzzer.Fuzz": func(t *testing.T) float64 {
+		f, sp, gen, opts := benchFuzzer(t)
+		next := func(dst []phv.Value) error {
+			gen.Fill(dst)
+			return nil
+		}
+		fuzzRun := func() {
+			rep, err := f.Fuzz(sp, 256, next, opts, 0)
+			if err != nil {
+				panic(err)
+			}
+			if !rep.Passed() {
+				panic("fuzz mismatch")
+			}
+		}
+		fuzzRun() // warm ring, arena, spec scratch
+		return testing.AllocsPerRun(10, fuzzRun)
+	},
+	"internal/sim.Fuzzer.FuzzGen": func(t *testing.T) float64 {
+		f, sp, gen, opts := benchFuzzer(t)
+		fuzzRun := func() {
+			rep, err := f.FuzzGen(sp, gen, 256, opts, 0)
+			if err != nil {
+				panic(err)
+			}
+			if !rep.Passed() {
+				panic("fuzz mismatch")
+			}
+		}
+		fuzzRun()
+		return testing.AllocsPerRun(10, fuzzRun)
+	},
+	"internal/drmt.TrafficGen.Fill": func(t *testing.T) float64 {
+		_, _, gen, buf := benchMachines(t)
+		gen.Fill(buf) // warm: builds the draw-limit table
+		return testing.AllocsPerRun(100, func() { gen.Fill(buf) })
+	},
+	"internal/drmt.ISAMachine.ExecSlots": func(t *testing.T) float64 {
+		isaM, _, gen, buf := benchMachines(t)
+		gen.Fill(buf)
+		return testing.AllocsPerRun(100, func() {
+			gen.Fill(buf)
+			if _, _, err := isaM.ExecSlots(buf); err != nil {
+				panic(err)
+			}
+		})
+	},
+	"internal/drmt.Machine.ProcessSlots": func(t *testing.T) float64 {
+		_, tabM, gen, buf := benchMachines(t)
+		gen.Fill(buf)
+		return testing.AllocsPerRun(100, func() {
+			gen.Fill(buf)
+			tabM.ProcessSlots(buf)
+		})
+	},
+}
+
+// benchPipeline builds the first Table-1 benchmark's pipeline at the
+// compiled level — a prechecked pipeline, eligible for the fast path.
+func benchPipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	bms := spec.All()
+	if len(bms) == 0 {
+		t.Fatal("no spec benchmarks")
+	}
+	pipe, err := bms[0].Pipeline(core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+// benchFuzzer builds a warm streaming fuzzer over the first Table-1
+// benchmark together with its spec, generator and compare options.
+func benchFuzzer(t *testing.T) (*sim.Fuzzer, sim.Spec, *sim.TrafficGen, sim.FuzzOptions) {
+	t.Helper()
+	bms := spec.All()
+	if len(bms) == 0 {
+		t.Fatal("no spec benchmarks")
+	}
+	bm := bms[0]
+	pipe, err := bm.Pipeline(core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := bm.SimSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	containers, err := bm.CompareContainers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sim.NewTrafficGen(1, pipe.PHVLen(), pipe.Bits(), bm.MaxInput)
+	return sim.NewFuzzer(pipe), sp, gen, sim.FuzzOptions{Containers: containers}
+}
+
+// benchMachines builds both dRMT slot engines and a generator over the
+// first embedded dRMT benchmark.
+func benchMachines(t *testing.T) (*drmt.ISAMachine, *drmt.Machine, *drmt.TrafficGen, []int64) {
+	t.Helper()
+	bms := drmt.Benchmarks()
+	if len(bms) == 0 {
+		t.Fatal("no drmt benchmarks")
+	}
+	bm := bms[0]
+	prog, err := bm.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := bm.Entries(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isaM, err := drmt.NewISAMachine(prog, nil, entries, bm.HW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabM, err := drmt.NewMachine(prog, entries, bm.HW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := drmt.NewTrafficGen(1, prog, bm.MaxInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return isaM, tabM, gen, make([]int64, gen.NumFields())
+}
+
+// TestGateCoversAnnotations asserts the runner table and the
+// //dvet:hotpath annotations cannot drift: every exported annotated
+// function has a runner and every runner points at an annotation.
+func TestGateCoversAnnotations(t *testing.T) {
+	hps, err := Scan(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := map[string]bool{}
+	for _, hp := range hps {
+		if !hp.Exported {
+			continue
+		}
+		annotated[hp.Key] = true
+		if _, ok := runners[hp.Key]; !ok {
+			t.Errorf("%s: //dvet:hotpath %s has no alloc-gate runner; add one to the runners table", hp.Pos, hp.Key)
+		}
+	}
+	for key := range runners {
+		if !annotated[key] {
+			t.Errorf("runner %s matches no //dvet:hotpath annotation; remove it or re-annotate the function", key)
+		}
+	}
+}
+
+// TestAllocBudgets runs every exported hotpath under AllocsPerRun and
+// holds it to the budget its annotation declares.
+func TestAllocBudgets(t *testing.T) {
+	hps, err := Scan(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hp := range hps {
+		if !hp.Exported {
+			continue
+		}
+		run, ok := runners[hp.Key]
+		if !ok {
+			continue // TestGateCoversAnnotations reports the gap
+		}
+		t.Run(hp.Key, func(t *testing.T) {
+			allocs := run(t)
+			if allocs > float64(hp.Budget) {
+				t.Errorf("%s allocates %v per run, budget is allocs=%d (%s)", hp.Key, allocs, hp.Budget, hp.Pos)
+			} else {
+				t.Logf("%s: %v allocs per run (budget %d)", hp.Key, allocs, hp.Budget)
+			}
+		})
+	}
+}

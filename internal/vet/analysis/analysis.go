@@ -1,0 +1,67 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, vendored in-tree because this module
+// builds fully offline and cannot pull the external dependency.
+//
+// The subset covers exactly what the dvet suite needs: named analyzers
+// with a Run function over a type-checked package, position-carrying
+// diagnostics, and a Reportf convenience. Facts, Requires chains, and
+// SuggestedFixes are intentionally omitted; the field and method names
+// match x/tools so a future PR can swap the import path without
+// touching the analyzers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check: a name (used in diagnostics
+// and as the go vet sub-analyzer key), user-facing documentation, and
+// the Run function applied to each package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report is called once per diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consult
+// populated, so all drivers (unitchecker, standalone, vettest) present
+// identical passes.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

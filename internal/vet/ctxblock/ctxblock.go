@@ -1,0 +1,125 @@
+// Package ctxblock flags blocking sleeps and context-free network
+// calls in dispatcher/coordinator/server code. The fabric's liveness
+// guarantees (drain on SIGTERM, lease re-issue on worker death, resume
+// after severed streams) all depend on every wait being cancellable; a
+// bare time.Sleep or http.Get in a retry loop holds shutdown hostage
+// for its full duration.
+//
+// Allowed: <-time.After(d) inside a select that also waits on a
+// Done() channel (the canonical context-aware sleep), bounded
+// deadline-carrying calls, and sites justified with //dvet:block-ok.
+package ctxblock
+
+import (
+	"go/ast"
+
+	"druzhba/internal/vet/analysis"
+	"druzhba/internal/vet/directive"
+	"druzhba/internal/vet/vetcfg"
+	"druzhba/internal/vet/vetutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxblock",
+	Doc:  "flags blocking sleeps and context-free network calls in dispatcher/coordinator/server packages",
+	Run:  run,
+}
+
+var httpHelpers = map[string]bool{"Get": true, "Head": true, "Post": true, "PostForm": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !vetcfg.CtxCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if vetutil.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		dirs := directive.ForFile(pass.Fset, f)
+		allowed := cancellableAfters(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var msg string
+			pkg, name := vetutil.PkgFunc(pass.TypesInfo, call)
+			switch {
+			case pkg == "time" && name == "Sleep":
+				msg = "time.Sleep blocks uncancellably: select on the context and a timer instead"
+			case pkg == "time" && name == "After" && !allowed[call]:
+				msg = "time.After outside a Done()-guarded select blocks uncancellably"
+			case pkg == "net/http" && httpHelpers[name]:
+				msg = "http." + name + " carries no context: use http.NewRequestWithContext + Client.Do"
+			case pkg == "net" && name == "Dial":
+				msg = "net.Dial carries no context: use net.Dialer.DialContext"
+			default:
+				if rp, rt, m := vetutil.Method(pass.TypesInfo, call); rp == "net/http" && rt == "Client" && httpHelpers[m] {
+					msg = "(*http.Client)." + m + " carries no context: use http.NewRequestWithContext + Client.Do"
+				} else {
+					return true
+				}
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if d, ok := dirs.At(line, "block-ok"); ok {
+				if d.Args == "" {
+					pass.Reportf(d.Pos, "//dvet:block-ok needs a justification")
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s in %s (or annotate //dvet:block-ok <reason>)", msg, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// cancellableAfters returns the time.After calls that appear as a comm
+// expression of a select statement that also selects on some Done()
+// channel — the pattern `select { case <-ctx.Done(): ...; case
+// <-time.After(d): ... }`.
+func cancellableAfters(f *ast.File) map[*ast.CallExpr]bool {
+	allowed := map[*ast.CallExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDone := false
+		for _, cl := range sel.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if s, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+						hasDone = true
+					}
+				}
+				return true
+			})
+		}
+		if !hasDone {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if s, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+						if id, ok := s.X.(*ast.Ident); ok && id.Name == "time" && s.Sel.Name == "After" {
+							allowed[c] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return allowed
+}

@@ -1,0 +1,16 @@
+package ctxblock_test
+
+import (
+	"testing"
+
+	"druzhba/internal/vet/ctxblock"
+	"druzhba/internal/vet/vettest"
+)
+
+func TestDispatcherPackage(t *testing.T) {
+	vettest.Run(t, "testdata/src/dispatch", ctxblock.Analyzer, "druzhba/internal/fabric")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	vettest.Run(t, "testdata/src/outofscope", ctxblock.Analyzer, "druzhba/internal/sim")
+}

@@ -1,0 +1,58 @@
+// Package dispatch is a ctxblock fixture type-checked under the
+// in-scope import path druzhba/internal/fabric.
+package dispatch
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+func sleeps(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep blocks uncancellably`
+}
+
+func bareAfter(d time.Duration) {
+	<-time.After(d) // want `time.After outside a Done\(\)-guarded select`
+}
+
+func guardedAfter(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func unguardedSelect(done chan struct{}, d time.Duration) bool {
+	select {
+	case <-done:
+		return false
+	case <-time.After(d): // want `time.After outside a Done\(\)-guarded select`
+		return true
+	}
+}
+
+func helpers(url string, c *http.Client) {
+	http.Get(url)                  // want `http.Get carries no context`
+	c.Post(url, "text/plain", nil) // want `\(\*http.Client\).Post carries no context`
+	net.Dial("tcp", url)           // want `net.Dial carries no context`
+}
+
+func withContext(ctx context.Context, url string, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func justified(d time.Duration) {
+	time.Sleep(d) //dvet:block-ok startup backoff before the listener exists, no ctx yet
+}

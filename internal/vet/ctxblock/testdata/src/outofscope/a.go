@@ -1,0 +1,7 @@
+// Package outofscope is type-checked under druzhba/internal/sim, which
+// is not dispatcher/coordinator/server code.
+package outofscope
+
+import "time"
+
+func unflagged(d time.Duration) { time.Sleep(d) }

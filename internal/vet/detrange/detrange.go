@@ -1,0 +1,98 @@
+// Package detrange flags map iteration in determinism-critical
+// packages. Go randomizes map iteration order per run, so any map
+// range whose body's effect is order-sensitive makes reports, cache
+// entries, or solver state run-dependent — the exact bug class behind
+// the PR-6 mergeMaps fix, where iterating a map while allocating SAT
+// variables made conflict counts differ between runs.
+//
+// A site is accepted when it is the key-collection idiom
+// (`for k := range m { keys = append(keys, k) }`, whose result is
+// sorted before use) or when it carries a justified
+// //dvet:nondeterministic-ok directive. Everything else must iterate
+// sorted keys instead.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"druzhba/internal/vet/analysis"
+	"druzhba/internal/vet/directive"
+	"druzhba/internal/vet/vetcfg"
+	"druzhba/internal/vet/vetutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags range over maps in determinism-critical packages unless keys are collected for sorting or the site is justified with //dvet:nondeterministic-ok",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !vetcfg.DeterminismCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if vetutil.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		dirs := directive.ForFile(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectionLoop(rs) {
+				return true
+			}
+			line := pass.Fset.Position(rs.Pos()).Line
+			if d, ok := dirs.At(line, "nondeterministic-ok"); ok {
+				if d.Args == "" {
+					pass.Reportf(d.Pos, "//dvet:nondeterministic-ok needs a justification")
+				}
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s in determinism-critical package %s: iterate sorted keys, or annotate //dvet:nondeterministic-ok <reason>", types.ExprString(rs.X), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isCollectionLoop recognizes the body `s = append(s, k)` where k is
+// the range key or value variable: the order-erasing half of the
+// collect-then-sort idiom (`keys := ...; for k := range m { keys =
+// append(keys, k) }; sort.Slice(keys, ...)`).
+func isCollectionLoop(rs *ast.RangeStmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	for _, rv := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := rv.(*ast.Ident); ok && id.Name == arg.Name {
+			return true
+		}
+	}
+	return false
+}

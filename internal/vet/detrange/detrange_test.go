@@ -1,0 +1,16 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"druzhba/internal/vet/detrange"
+	"druzhba/internal/vet/vettest"
+)
+
+func TestCriticalPackage(t *testing.T) {
+	vettest.Run(t, "testdata/src/campaign", detrange.Analyzer, "druzhba/internal/campaign")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	vettest.Run(t, "testdata/src/outofscope", detrange.Analyzer, "druzhba/internal/codegen")
+}

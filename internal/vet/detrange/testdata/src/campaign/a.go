@@ -1,0 +1,71 @@
+// Package campaign is a detrange fixture type-checked under the
+// in-scope import path druzhba/internal/campaign.
+package campaign
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m in determinism-critical package`
+		total += v
+	}
+	return total
+}
+
+func keyCollectionAllowed(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func valueCollectionAllowed(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func justified(m map[string]int) int {
+	n := 0
+	//dvet:nondeterministic-ok only counts entries, order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+func justifiedTrailing(m map[string]int) int {
+	n := 0
+	for range m { //dvet:nondeterministic-ok only counts entries, order-free
+		n++
+	}
+	return n
+}
+
+func bareJustification(m map[string]int) int {
+	n := 0
+	/*dvet:nondeterministic-ok*/ // want `needs a justification`
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRangeFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func pointerToMap(pm *map[string]int) {
+	for k := range *pm { // want `range over map \*pm in determinism-critical package`
+		_ = k
+	}
+}

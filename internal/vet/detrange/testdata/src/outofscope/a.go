@@ -1,0 +1,11 @@
+// Package outofscope is type-checked under druzhba/internal/codegen,
+// which is not determinism-critical: nothing here is flagged.
+package outofscope
+
+func unflagged(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

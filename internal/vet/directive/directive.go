@@ -1,0 +1,106 @@
+// Package directive parses //dvet: comment directives.
+//
+// The vocabulary:
+//
+//	//dvet:hotpath allocs=N        — on a function's doc comment: the body
+//	                                 must be allocation-free per hotalloc,
+//	                                 and the alloc gate enforces the budget.
+//	//dvet:nondeterministic-ok R   — suppresses detrange at this line.
+//	//dvet:alloc-ok R              — suppresses hotalloc at this line.
+//	//dvet:walltime-ok R           — suppresses walltime at this line.
+//	//dvet:block-ok R              — suppresses ctxblock at this line.
+//
+// Suppression directives MUST carry a non-empty justification R; a bare
+// directive is itself a diagnostic (the analyzers report it). A
+// directive written at the end of a code line applies to that line; a
+// directive on its own line applies to the following line.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "//dvet:"
+
+// A Directive is one parsed //dvet: comment.
+type Directive struct {
+	Name string // e.g. "nondeterministic-ok"
+	Args string // remainder of the line, trimmed; the justification
+	Pos  token.Pos
+}
+
+// Map indexes a file's directives by the source line they govern.
+type Map struct {
+	byLine map[int][]Directive
+}
+
+// ForFile scans f's comments and returns the directive map. Standalone
+// comment lines govern the next line; trailing comments govern their
+// own line. (A directive separated from its target by a blank line
+// governs nothing — keep justifications adjacent to the code.)
+func ForFile(fset *token.FileSet, f *ast.File) *Map {
+	m := &Map{byLine: map[int][]Directive{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := Parse(c.Text)
+			if !ok {
+				continue
+			}
+			d.Pos = c.Pos()
+			line := fset.Position(c.Pos()).Line
+			// Govern both the directive's own line (trailing-comment
+			// case) and the next line (standalone-comment case). A
+			// standalone comment has no code on its own line, so the
+			// extra registration is harmless.
+			m.byLine[line] = append(m.byLine[line], d)
+			m.byLine[line+1] = append(m.byLine[line+1], d)
+		}
+	}
+	return m
+}
+
+// Parse extracts a directive from one comment's text, if present. Both
+// //dvet:name and /*dvet:name*/ forms are accepted.
+func Parse(text string) (Directive, bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(text, prefix):
+		rest = strings.TrimPrefix(text, prefix)
+	case strings.HasPrefix(text, "/*dvet:") && strings.HasSuffix(text, "*/"):
+		rest = strings.TrimSuffix(strings.TrimPrefix(text, "/*dvet:"), "*/")
+	default:
+		return Directive{}, false
+	}
+	name, args, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Args: strings.TrimSpace(args)}, true
+}
+
+// At returns the directive named name governing the given line, if any.
+func (m *Map) At(line int, name string) (Directive, bool) {
+	for _, d := range m.byLine[line] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective returns the named directive from a function's doc
+// comment, if present.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := Parse(c.Text); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,227 @@
+// Package driver loads type-checked packages and runs the dvet suite
+// over them. It implements both entry points of cmd/dvet:
+//
+//   - RunConfig: the `go vet -vettool` unit-checker protocol — go vet
+//     hands the tool a JSON vet.cfg describing one package's files plus
+//     the export data of its dependencies, and expects diagnostics on
+//     stderr and a facts file written to VetxOutput.
+//   - RunStandalone: `dvet ./...` — shells out to `go list -deps
+//     -export -json` for the same information, then analyzes every
+//     matched package.
+//
+// Both paths type-check with the stdlib gc importer reading export
+// data, so dvet needs no dependencies outside the standard library and
+// works fully offline.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+
+	"druzhba/internal/vet/analysis"
+)
+
+// A Diag is one finding, resolved to a printable position.
+type Diag struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// Config mirrors the vet.cfg JSON that go vet writes for -vettool
+// tools (cmd/go's vetConfig). Unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunConfig analyzes the single package described by the vet.cfg file
+// at cfgPath. It always writes the (empty — dvet exports no facts)
+// VetxOutput file so go vet can cache the unit.
+func RunConfig(cfgPath string, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	diags, err := check(fset, files, cfg.ImportPath, cfg.GoVersion, lookup, analyzers)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return nil, nil
+	}
+	return diags, err
+}
+
+// listPackage is the subset of `go list -json` output the standalone
+// loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+}
+
+// RunStandalone analyzes every package matched by patterns.
+func RunStandalone(patterns []string, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var all []Diag
+	fset := token.NewFileSet()
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		paths := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			paths[i] = p.Dir + string(os.PathSeparator) + f
+		}
+		files, err := parseFiles(fset, paths)
+		if err != nil {
+			return all, err
+		}
+		goVersion := ""
+		if p.Module != nil {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		diags, err := check(fset, files, p.ImportPath, goVersion, lookup, analyzers)
+		all = append(all, diags...)
+		if err != nil {
+			return all, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Posn.Filename != all[j].Posn.Filename {
+			return all[i].Posn.Filename < all[j].Posn.Filename
+		}
+		return all[i].Posn.Offset < all[j].Posn.Offset
+	})
+	return all, nil
+}
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, files []*ast.File, importPath, goVersion string, lookup func(string) (io.ReadCloser, error), analyzers []*analysis.Analyzer) ([]Diag, error) {
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+		Error:     func(error) {}, // collect via returned error; keep going
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+
+	var diags []Diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diag{Analyzer: a.Name, Posn: fset.Position(d.Pos), Message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}

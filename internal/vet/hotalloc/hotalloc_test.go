@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"druzhba/internal/vet/hotalloc"
+	"druzhba/internal/vet/vettest"
+)
+
+func TestHotpathFunctions(t *testing.T) {
+	// hotalloc is annotation-scoped, not package-scoped: any path works.
+	vettest.Run(t, "testdata/src/hot", hotalloc.Analyzer, "druzhba/internal/core")
+}

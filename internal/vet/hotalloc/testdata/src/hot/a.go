@@ -1,0 +1,72 @@
+// Package hot is a hotalloc fixture: only //dvet:hotpath functions are
+// checked, and every allocation-introducing construct inside one is
+// flagged unless justified line-by-line.
+package hot
+
+import "fmt"
+
+type sink struct{ vals []int }
+
+// step is the annotated hot function exercising each flagged construct.
+//
+//dvet:hotpath allocs=0
+func step(s *sink, v int, name string) int {
+	s.vals = append(s.vals, v)   // want `append may grow and allocate in hotpath step`
+	m := map[string]int{}        // want `map literal allocates in hotpath step`
+	sl := []int{v}               // want `slice literal allocates in hotpath step`
+	p := &sink{}                 // want `&composite literal allocates in hotpath step`
+	buf := make([]byte, v)       // want `make allocates in hotpath step`
+	q := new(sink)               // want `new allocates in hotpath step`
+	label := name + "!"          // want `string concatenation allocates in hotpath step`
+	msg := fmt.Sprintf("%d", v)  // want `call to fmt.Sprintf allocates`
+	f := func() int { return v } // want `closure allocates in hotpath step`
+	go f()                       // want `go statement allocates in hotpath step`
+	bs := []byte(name)           // want `copies and allocates`
+	str := string(buf)           // want `copies and allocates`
+	return len(m) + len(sl) + len(p.vals) + len(q.vals) + len(label) + len(msg) + len(bs) + len(str) + f()
+}
+
+// boxing flags concrete values crossing into interfaces; pointers and
+// constants stay unflagged.
+//
+//dvet:hotpath allocs=0
+func boxing(s *sink, v int, e error) error {
+	var any1 any
+	any1 = v       // want `value of type int boxed into interface`
+	consume(v)     // want `value of type int boxed into interface`
+	consume(s)     // pointer: interface data word, no allocation
+	consume("lit") // constant: boxed from static data
+	consume(e)     // already an interface
+	_ = any1
+	if v > 0 {
+		return errval(v) // want `boxed into interface`
+	}
+	return nil
+}
+
+type errval int
+
+func (errval) Error() string { return "e" }
+
+func consume(x any) { _ = x }
+
+// justified shows the per-line escape hatch and the bare-directive
+// diagnostic.
+//
+//dvet:hotpath allocs=1
+func justified(s *sink, v int) {
+	//dvet:alloc-ok cold path, only on mismatch
+	s.vals = append(s.vals, v)
+	/*dvet:alloc-ok*/ // want `needs a justification`
+	s.vals = append(s.vals, v)
+}
+
+// missingBudget is annotated without allocs=N.
+//
+//dvet:hotpath
+func missingBudget() {} // want `needs an allocation budget`
+
+// cold is unannotated: nothing in it is checked.
+func cold(v int) string {
+	return fmt.Sprintf("%d", v)
+}

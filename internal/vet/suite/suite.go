@@ -1,0 +1,22 @@
+// Package suite enumerates the dvet analyzers in their canonical
+// order. cmd/dvet, the drivers, and the tests all consume this one
+// list so an analyzer cannot exist without being run.
+package suite
+
+import (
+	"druzhba/internal/vet/analysis"
+	"druzhba/internal/vet/ctxblock"
+	"druzhba/internal/vet/detrange"
+	"druzhba/internal/vet/hotalloc"
+	"druzhba/internal/vet/walltime"
+)
+
+// Analyzers returns the full dvet suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrange.Analyzer,
+		hotalloc.Analyzer,
+		walltime.Analyzer,
+		ctxblock.Analyzer,
+	}
+}

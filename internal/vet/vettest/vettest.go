@@ -1,0 +1,145 @@
+// Package vettest is a minimal analysistest: it type-checks a testdata
+// package from source, runs one analyzer over it, and compares the
+// diagnostics against // want "regexp" expectations written on the
+// offending lines. It exists in-tree for the same reason as
+// internal/vet/analysis: the module builds offline and cannot depend on
+// golang.org/x/tools/go/analysis/analysistest.
+package vettest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"druzhba/internal/vet/analysis"
+)
+
+// wantRE matches one expectation pattern: "double-quoted" or
+// `backquoted`, like analysistest.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the .go files in dir as a package imported as
+// importPath (the path is significant: analyzers scope themselves by
+// package path, so fixtures choose real in-scope or out-of-scope
+// paths), runs a, and asserts the diagnostics exactly match the // want
+// expectations in the sources. Stdlib imports in fixtures are resolved
+// by type-checking from GOROOT source, which needs no network.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("vettest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("vettest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, expectationsIn(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("vettest: no Go files in %s", dir)
+	}
+
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Errorf("vettest: typecheck: %v", err) },
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("vettest: typecheck %s: %v", importPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("vettest: %s: %v", a.Name, err)
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if !claim(wants, posn.Filename, posn.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// expectationsIn collects // want "re" ["re" ...] comments; each
+// expectation anchors to the line its comment starts on.
+func expectationsIn(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			ms := wantRE.FindAllStringSubmatch(text[len("want "):], -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s: malformed want comment: %s", posn, c.Text)
+			}
+			for _, m := range ms {
+				pat := m[1]
+				if m[2] != "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+				}
+				out = append(out, &expectation{file: posn.Filename, line: posn.Line, pattern: re})
+			}
+		}
+	}
+	return out
+}
+
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

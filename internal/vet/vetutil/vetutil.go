@@ -1,0 +1,65 @@
+// Package vetutil holds small helpers shared by the dvet analyzers.
+package vetutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsTestFile reports whether the file node comes from a _test.go file.
+// The dvet invariants govern production paths; test files exercise them
+// but are free to iterate maps and read clocks.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// PkgFunc resolves call to a package-level function and returns its
+// package path and name, or "", "" if the callee is not one (method
+// calls, builtins, conversions, locals).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// Method resolves call to a method and returns the receiver's named
+// type (package path + type name) and the method name.
+func Method(info *types.Info, call *ast.CallExpr) (recvPkg, recvType, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name()
+}

@@ -1,0 +1,7 @@
+// Package outofscope is type-checked under druzhba/internal/cli, which
+// is not wall-clock-critical.
+package outofscope
+
+import "time"
+
+func unflagged() time.Time { return time.Now() }

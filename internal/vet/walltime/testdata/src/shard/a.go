@@ -1,0 +1,47 @@
+// Package shard is a walltime fixture type-checked under the in-scope
+// import path druzhba/internal/campaign.
+package shard
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagged() time.Duration {
+	start := time.Now()    // want `time.Now reads the wall clock`
+	d := time.Since(start) // want `time.Since reads the wall clock`
+	d += time.Until(start) // want `time.Until reads the wall clock`
+	return d
+}
+
+func globalRNG(n int) int {
+	return rand.Intn(n) // want `rand.Intn uses the global RNG`
+}
+
+func seededIsFine(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func injectedSeam(now func() time.Time) time.Time {
+	return now() // calling a seam is not a wall-clock read
+}
+
+func justified() time.Time {
+	return time.Now() //dvet:walltime-ok deadline for a write, excluded from report bytes
+}
+
+func bare() time.Time {
+	/*dvet:walltime-ok*/ // want `needs a justification`
+	return time.Now()
+}
+
+// A seam's default binds the function value without calling it; that
+// reference is still flagged, so every approved default carries an
+// annotation.
+var defaultClock = time.Now //dvet:walltime-ok the approved seam default
+
+func valueReference() func() time.Time {
+	_ = defaultClock
+	return time.Now // want `time.Now reads the wall clock`
+}

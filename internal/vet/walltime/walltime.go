@@ -1,0 +1,83 @@
+// Package walltime flags wall-clock and global-RNG reads in
+// shard-execution and report-serialization packages. Shard results are
+// cached and replayed by content address, so anything that feeds a
+// result must be a pure function of the job; time.Now and the global
+// math/rand state are per-run inputs that break byte-identity between
+// a cold run and a cached replay.
+//
+// The approved seams are injected: a clock func field defaulting to
+// time.Now (the single default site carries //dvet:walltime-ok) and
+// explicitly seeded rand.New(rand.NewSource(seed)) generators —
+// rand.New/NewSource are therefore not flagged, but every global
+// convenience function (rand.Intn, rand.Shuffle, ...) is.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"druzhba/internal/vet/analysis"
+	"druzhba/internal/vet/directive"
+	"druzhba/internal/vet/vetcfg"
+	"druzhba/internal/vet/vetutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/Since/Until and unseeded global math/rand use in shard-execution and report-serialization packages",
+	Run:  run,
+}
+
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seeded constructors return generator values the caller owns; every
+// other math/rand package-level function reads the shared global state.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !vetcfg.WallClockCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if vetutil.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		dirs := directive.ForFile(pass.Fset, f)
+		// Any use of the function — called or bound as a value (a seam's
+		// default) — is flagged, so every wall-clock input is either a
+		// call site that must be refactored or an annotated seam default.
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			pkg, name := fn.Pkg().Path(), fn.Name()
+			var msg string
+			switch {
+			case pkg == "time" && timeFuncs[name]:
+				msg = "time." + name + " reads the wall clock"
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+				msg = "rand." + name + " uses the global RNG"
+			default:
+				return true
+			}
+			line := pass.Fset.Position(id.Pos()).Line
+			if d, ok := dirs.At(line, "walltime-ok"); ok {
+				if d.Args == "" {
+					pass.Reportf(d.Pos, "//dvet:walltime-ok needs a justification")
+				}
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s in %s: results must be pure functions of the job — use the injected clock/RNG seam, or annotate //dvet:walltime-ok <reason>", msg, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

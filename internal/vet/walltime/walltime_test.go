@@ -1,0 +1,16 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"druzhba/internal/vet/vettest"
+	"druzhba/internal/vet/walltime"
+)
+
+func TestShardExecutionPackage(t *testing.T) {
+	vettest.Run(t, "testdata/src/shard", walltime.Analyzer, "druzhba/internal/campaign")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	vettest.Run(t, "testdata/src/outofscope", walltime.Analyzer, "druzhba/internal/cli")
+}
