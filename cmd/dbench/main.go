@@ -7,19 +7,34 @@
 // embedded dRMT benchmark's differential fuzzing loop is timed on both the
 // slot-compiled streaming engines and the map-based compatibility engines.
 //
+// A PHV-batch row rides along with each section: the RMT matrix gains a
+// "compiled+batch" level (the struct-of-arrays sim.Batch engine over the
+// compiled pipeline) and the dRMT section a "slots+batch" engine (the
+// differential fuzzer on column-major planes), so BENCH_table1.json records
+// the batched engines' trajectory next to the streaming ones.
+//
 // Usage:
 //
 //	dbench                           # full table, 50000 PHVs per cell
 //	dbench -phvs 5000                # quicker pass
-//	dbench -program rcp              # single RMT row
+//	dbench -program rcp,blue-burst   # restrict the RMT rows
+//	dbench -batch 256                # PHV-batch size for the batch rows
 //	dbench -drmt-phvs 0              # skip the dRMT section
 //	dbench -drmt-bench l2l3          # filter the dRMT section
 //	dbench -json BENCH_table1.json   # machine-readable perf trajectory
+//	dbench -check -phvs 2000         # ns/PHV regression gate vs baseline
 //
 // The JSON report records ns/PHV and allocs/PHV per (benchmark × level) and
-// per (dRMT benchmark × engine); a "baseline" block already present in the
-// output file is preserved across regenerations so the perf trajectory
-// keeps its reference point.
+// per (dRMT benchmark × engine), a per-engine geomean summary, and the Go
+// toolchain/CPU the numbers came from; a "baseline" block already present
+// in the output file is preserved across regenerations so the perf
+// trajectory keeps its reference point.
+//
+// -check is the CI regression gate: it reruns the selected cells, matches
+// them against the checked-in report (-baseline, default BENCH_table1.json)
+// and fails when any engine's geomean fresh/baseline ns/PHV ratio exceeds
+// 1 + -tolerance. -selftest inflates the fresh numbers past the tolerance
+// and requires the gate to trip, proving the gate detects regressions.
 package main
 
 import (
@@ -29,6 +44,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"druzhba/internal/cli"
@@ -62,25 +79,86 @@ type DRMTRow struct {
 
 // Report is the BENCH_table1.json document.
 type Report struct {
-	Command    string          `json:"command"`
-	PHVs       int             `json:"phvs"`
-	Engine     string          `json:"engine"`
-	Rows       []Row           `json:"rows"`
-	DRMTPHVs   int             `json:"drmt_phvs,omitempty"`
-	DRMTEngine string          `json:"drmt_engine,omitempty"`
-	DRMT       []DRMTRow       `json:"drmt,omitempty"`
-	Baseline   json.RawMessage `json:"baseline,omitempty"`
+	Command    string    `json:"command"`
+	GoVersion  string    `json:"go_version,omitempty"`
+	CPU        string    `json:"cpu,omitempty"`
+	PHVs       int       `json:"phvs"`
+	Batch      int       `json:"batch,omitempty"`
+	Engine     string    `json:"engine"`
+	Rows       []Row     `json:"rows"`
+	DRMTPHVs   int       `json:"drmt_phvs,omitempty"`
+	DRMTEngine string    `json:"drmt_engine,omitempty"`
+	DRMT       []DRMTRow `json:"drmt,omitempty"`
+	// Geomeans summarizes the table per engine: the geometric mean ns/PHV
+	// across the engine's benchmarks, keyed "rmt/<level>" and
+	// "drmt/<engine>". The regression gate (-check) compares these shapes.
+	Geomeans map[string]float64 `json:"geomeans,omitempty"`
+	Baseline json.RawMessage    `json:"baseline,omitempty"`
+}
+
+// engineKey groups report cells by execution engine for the geomean summary
+// and the regression gate.
+func engineKey(arch, engine string) string { return arch + "/" + engine }
+
+// geomeans folds the report's rows into per-engine geometric means of
+// ns/PHV. Map iteration never leaks into the output: encoding/json emits
+// map keys sorted.
+func geomeans(rows []Row, drmtRows []DRMTRow) map[string]float64 {
+	vals := map[string][]float64{}
+	for _, r := range rows {
+		k := engineKey("rmt", r.Level)
+		vals[k] = append(vals[k], r.NsPerPHV)
+	}
+	for _, r := range drmtRows {
+		k := engineKey("drmt", r.Engine)
+		vals[k] = append(vals[k], r.NsPerPHV)
+	}
+	out := make(map[string]float64, len(vals))
+	for k, v := range vals {
+		out[k] = round2(geomean(v))
+	}
+	return out
+}
+
+// geomean is the geometric mean of strictly positive samples.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// cpuModel identifies the benchmarking CPU for the report's provenance
+// header (best effort: /proc/cpuinfo on Linux, the architecture elsewhere).
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+			}
+		}
+	}
+	return runtime.GOARCH
 }
 
 func main() {
 	fs := flag.NewFlagSet("dbench", flag.ExitOnError)
 	phvs := fs.Int("phvs", 50000, "PHVs per benchmark run (the paper uses 50000)")
-	program := fs.String("program", "", "run a single program (default: all twelve)")
+	program := fs.String("program", "", "comma-separated programs to run (default: all twelve)")
 	seed := fs.Int64("seed", 1, "traffic generator seed")
 	repeats := fs.Int("repeats", 1, "repetitions per cell (minimum time reported)")
+	batch := fs.Int("batch", 64, "PHV-batch size for the compiled+batch and slots+batch rows (0 = skip them)")
 	drmtPHVs := fs.Int("drmt-phvs", 50000, "packets per dRMT differential-fuzz cell (0 = skip the dRMT section)")
 	drmtBench := fs.String("drmt-bench", "", "restrict the dRMT section to benchmarks containing this substring")
 	jsonPath := fs.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	check := fs.Bool("check", false, "regression gate: compare this run's ns/PHV against -baseline and fail past -tolerance")
+	baselinePath := fs.String("baseline", "BENCH_table1.json", "checked-in report the -check gate compares against")
+	tolerance := fs.Float64("tolerance", 0.25, "-check failure threshold: fail when an engine's geomean fresh/baseline ratio exceeds 1+tolerance")
+	selftest := fs.Bool("selftest", false, "with -check: synthesize a regression and require the gate to trip (exit 0 = gate works)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if *repeats < 1 {
 		// A zero-repeat run would report no timing at all (and +Inf
@@ -90,17 +168,20 @@ func main() {
 
 	benches := spec.All()
 	if *program != "" {
-		b, err := spec.Lookup(*program)
-		if err != nil {
-			cli.Fatalf("dbench: %v", err)
+		benches = nil
+		for _, name := range strings.Split(*program, ",") {
+			b, err := spec.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				cli.Fatalf("dbench: %v", err)
+			}
+			benches = append(benches, b)
 		}
-		benches = []*spec.Benchmark{b}
 	}
 
 	var rows []Row
 	fmt.Printf("Table 1: RMT runtimes with and without optimizations (%d PHVs per run, streaming engine)\n\n", *phvs)
-	fmt.Printf("%-20s %-16s %-12s %14s %14s %18s %14s\n",
-		"Program", "Depth, width", "ALU name", "Unoptimized", "SCC prop.", "+ Func. inlining", "Compiled")
+	fmt.Printf("%-20s %-16s %-12s %14s %14s %18s %14s %14s\n",
+		"Program", "Depth, width", "ALU name", "Unoptimized", "SCC prop.", "+ Func. inlining", "Compiled", "Batch")
 	for _, bm := range benches {
 		times := make(map[core.OptLevel]time.Duration)
 		for _, level := range core.AllLevels() {
@@ -121,14 +202,40 @@ func main() {
 				AllocsPerPHV: round4(allocs / float64(*phvs)),
 			})
 		}
-		fmt.Printf("%-20s %-16s %-12s %11d ms %11d ms %15d ms %11d ms\n",
+		batchMS := int64(-1)
+		if *batch > 0 {
+			// The PHV-batch row: the compiled pipeline driven by the
+			// struct-of-arrays engine, batch columns at a time.
+			pipeline, err := bm.Pipeline(core.Compiled)
+			if err != nil {
+				cli.Fatalf("dbench: %s/compiled+batch: %v", bm.Name, err)
+			}
+			best, allocs, err := measureBatch(pipeline, bm, *seed, *phvs, *repeats, *batch)
+			if err != nil {
+				cli.Fatalf("dbench: %s/compiled+batch: %v", bm.Name, err)
+			}
+			batchMS = best.Milliseconds()
+			rows = append(rows, Row{
+				Benchmark:    bm.Name,
+				Level:        "compiled+batch",
+				MS:           batchMS,
+				NsPerPHV:     round2(float64(best.Nanoseconds()) / float64(*phvs)),
+				AllocsPerPHV: round4(allocs / float64(*phvs)),
+			})
+		}
+		batchCell := "-"
+		if batchMS >= 0 {
+			batchCell = fmt.Sprintf("%d ms", batchMS)
+		}
+		fmt.Printf("%-20s %-16s %-12s %11d ms %11d ms %15d ms %11d ms %14s\n",
 			bm.Name,
 			fmt.Sprintf("%d,%d", bm.Depth, bm.Width),
 			bm.Atom,
 			times[core.Unoptimized].Milliseconds(),
 			times[core.SCCPropagation].Milliseconds(),
 			times[core.SCCInlining].Milliseconds(),
-			times[core.Compiled].Milliseconds())
+			times[core.Compiled].Milliseconds(),
+			batchCell)
 	}
 	var drmtRows []DRMTRow
 	if *drmtPHVs > 0 {
@@ -137,19 +244,29 @@ func main() {
 			cli.Fatalf("dbench: no dRMT benchmark matches %q", *drmtBench)
 		}
 		fmt.Printf("\ndRMT differential fuzzing (ISA machine vs table-level spec, %d packets per run)\n\n", *drmtPHVs)
-		fmt.Printf("%-16s %14s %14s %16s %16s\n", "Program", "Map engine", "Slot engine", "Slot PHVs/sec", "Slot allocs/PHV")
+		fmt.Printf("%-16s %14s %14s %14s %16s %16s\n", "Program", "Map engine", "Slot engine", "Batch engine", "Batch PHVs/sec", "Batch allocs/PHV")
+		engines := []string{"map", "slots"}
+		if *batch > 0 {
+			engines = append(engines, "slots+batch")
+		}
 		for _, bm := range benches {
-			var perEngine [2]DRMTRow
-			for i, engine := range []string{"map", "slots"} {
-				row, err := measureDRMT(bm, engine, *seed, *drmtPHVs, *repeats)
+			perEngine := make(map[string]DRMTRow, len(engines))
+			for _, engine := range engines {
+				row, err := measureDRMT(bm, engine, *seed, *drmtPHVs, *repeats, *batch)
 				if err != nil {
 					cli.Fatalf("dbench: drmt %s/%s: %v", bm.Name, engine, err)
 				}
-				perEngine[i] = row
+				perEngine[engine] = row
 				drmtRows = append(drmtRows, row)
 			}
-			fmt.Printf("%-16s %11d ms %11d ms %16.0f %16.4f\n",
-				bm.Name, perEngine[0].MS, perEngine[1].MS, perEngine[1].PHVsPerSec, perEngine[1].AllocsPerPHV)
+			batchCell, phvsCell, allocsCell := "-", "-", "-"
+			if br, ok := perEngine["slots+batch"]; ok {
+				batchCell = fmt.Sprintf("%d ms", br.MS)
+				phvsCell = fmt.Sprintf("%.0f", br.PHVsPerSec)
+				allocsCell = fmt.Sprintf("%.4f", br.AllocsPerPHV)
+			}
+			fmt.Printf("%-16s %11d ms %11d ms %14s %16s %16s\n",
+				bm.Name, perEngine["map"].MS, perEngine["slots"].MS, batchCell, phvsCell, allocsCell)
 		}
 	}
 
@@ -161,6 +278,9 @@ func main() {
 		if *program != "" {
 			command += " -program " + *program
 		}
+		if *batch != 64 {
+			command += fmt.Sprintf(" -batch %d", *batch)
+		}
 		if *drmtPHVs != 50000 {
 			command += fmt.Sprintf(" -drmt-phvs %d", *drmtPHVs)
 		}
@@ -169,26 +289,172 @@ func main() {
 		}
 		command += " -json BENCH_table1.json"
 		rep := &Report{
-			Command: command,
-			PHVs:    *phvs,
-			Engine:  "streaming (sim.Stream, prechecked fast path at optimized levels)",
-			Rows:    rows,
+			Command:   command,
+			GoVersion: runtime.Version(),
+			CPU:       cpuModel(),
+			PHVs:      *phvs,
+			Batch:     *batch,
+			Engine:    "streaming (sim.Stream, prechecked fast path at optimized levels); compiled+batch rows on the struct-of-arrays sim.Batch engine",
+			Rows:      rows,
 		}
 		if len(drmtRows) > 0 {
 			rep.DRMTPHVs = *drmtPHVs
-			rep.DRMTEngine = "differential fuzz, slot-compiled streaming engines (drmt.DiffFuzzer.Fuzz) vs map-based compat (FuzzCompat)"
+			rep.DRMTEngine = "differential fuzz, slot-compiled streaming engines (drmt.DiffFuzzer.Fuzz) vs map-based compat (FuzzCompat); slots+batch rows on column-major planes"
 			rep.DRMT = drmtRows
 		}
+		rep.Geomeans = geomeans(rows, drmtRows)
 		if err := writeJSON(*jsonPath, rep); err != nil {
 			cli.Fatalf("dbench: %v", err)
 		}
 	}
+
+	if *check {
+		if *selftest {
+			// Inflate the fresh numbers far past the tolerance; a working
+			// gate must trip on them.
+			scale := 2 * (1 + *tolerance)
+			for i := range rows {
+				rows[i].NsPerPHV *= scale
+			}
+			for i := range drmtRows {
+				drmtRows[i].NsPerPHV *= scale
+			}
+		}
+		err := checkRegression(*baselinePath, rows, drmtRows, *tolerance)
+		if *selftest {
+			if err == nil {
+				cli.Fatalf("dbench: -selftest: gate did not trip on a synthetic %.0f%% regression", 100*2*(1+*tolerance))
+			}
+			fmt.Printf("\nselftest: gate tripped as required: %v\n", err)
+			return
+		}
+		if err != nil {
+			cli.Fatalf("dbench: %v", err)
+		}
+		fmt.Printf("\ncheck: ns/PHV within %.0f%% of %s per engine\n", 100**tolerance, *baselinePath)
+	}
+}
+
+// checkRegression compares this run's ns/PHV cells against the checked-in
+// baseline report: cells are matched on (benchmark, level/engine), each
+// engine's fresh/baseline ratios are folded into a geometric mean, and any
+// engine whose geomean exceeds 1+tolerance fails the gate. Cells absent
+// from the baseline (new benchmarks, new engines) are skipped; an engine
+// with no matched cells is skipped too.
+func checkRegression(baselinePath string, rows []Row, drmtRows []DRMTRow, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("-check: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-check: %s: %w", baselinePath, err)
+	}
+	baseNs := map[string]float64{}
+	for _, r := range base.Rows {
+		baseNs[engineKey("rmt", r.Level)+"/"+r.Benchmark] = r.NsPerPHV
+	}
+	for _, r := range base.DRMT {
+		baseNs[engineKey("drmt", r.Engine)+"/"+r.Benchmark] = r.NsPerPHV
+	}
+	ratios := map[string][]float64{}
+	matched := 0
+	add := func(engine, benchmark string, fresh float64) {
+		b, ok := baseNs[engine+"/"+benchmark]
+		if !ok || b <= 0 || fresh <= 0 {
+			return
+		}
+		ratios[engine] = append(ratios[engine], fresh/b)
+		matched++
+	}
+	for _, r := range rows {
+		add(engineKey("rmt", r.Level), r.Benchmark, r.NsPerPHV)
+	}
+	for _, r := range drmtRows {
+		add(engineKey("drmt", r.Engine), r.Benchmark, r.NsPerPHV)
+	}
+	if matched == 0 {
+		return fmt.Errorf("-check: no cell of this run matches %s", baselinePath)
+	}
+	engines := make([]string, 0, len(ratios))
+	for e := range ratios {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	var failures []string
+	fmt.Printf("\nregression gate vs %s (tolerance %.0f%%):\n", baselinePath, 100*tolerance)
+	for _, e := range engines {
+		g := geomean(ratios[e])
+		status := "ok"
+		if g > 1+tolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s %.2fx", e, g))
+		}
+		fmt.Printf("  %-24s geomean ratio %.3f over %d cells  %s\n", e, g, len(ratios[e]), status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("-check: ns/PHV regression past %.0f%%: %s", 100*tolerance, strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+// measureBatch drives n PHVs through the struct-of-arrays batch engine,
+// batch columns at a time, repeated repeats times after one warmup pass; it
+// reports the best wall time and that pass's heap allocation count. Traffic
+// and pipeline state match measure exactly, so the two rows time the same
+// work on different engines.
+func measureBatch(pipeline *core.Pipeline, bm *spec.Benchmark, seed int64, n, repeats, batch int) (time.Duration, float64, error) {
+	b, err := sim.NewBatch(pipeline, batch)
+	if err != nil {
+		return 0, 0, err
+	}
+	in := make([]phv.Value, pipeline.PHVLen())
+	pass := func() (time.Duration, float64, error) {
+		gen := sim.NewTrafficGen(seed, pipeline.PHVLen(), pipeline.Bits(), bm.MaxInput)
+		pipeline.ResetState()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for at := 0; at < n; at += batch {
+			m := batch
+			if n-at < m {
+				m = n - at
+			}
+			for k := 0; k < m; k++ {
+				gen.Fill(in)
+				b.Load(k, in)
+			}
+			if err := b.Run(m); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return elapsed, float64(m1.Mallocs - m0.Mallocs), nil
+	}
+	if _, _, err := pass(); err != nil { // warmup
+		return 0, 0, err
+	}
+	var best time.Duration
+	var bestAllocs float64
+	for r := 0; r < repeats; r++ {
+		elapsed, allocs, err := pass()
+		if err != nil {
+			return 0, 0, err
+		}
+		if best == 0 || elapsed < best {
+			best, bestAllocs = elapsed, allocs
+		}
+	}
+	return best, bestAllocs, nil
 }
 
 // measureDRMT times one dRMT benchmark's differential fuzzing loop on one
-// engine ("slots" or "map"), repeated repeats times after one warmup pass;
-// the best pass's wall time and its heap allocation count are reported.
-func measureDRMT(bm *drmt.Benchmark, engine string, seed int64, n, repeats int) (DRMTRow, error) {
+// engine ("slots", "slots+batch" or "map"), repeated repeats times after
+// one warmup pass; the best pass's wall time and its heap allocation count
+// are reported.
+func measureDRMT(bm *drmt.Benchmark, engine string, seed int64, n, repeats, batch int) (DRMTRow, error) {
 	prog, err := bm.Program()
 	if err != nil {
 		return DRMTRow{}, err
@@ -201,16 +467,19 @@ func measureDRMT(bm *drmt.Benchmark, engine string, seed int64, n, repeats int) 
 	if err != nil {
 		return DRMTRow{}, err
 	}
+	if engine == "slots+batch" {
+		f.SetBatch(batch)
+	}
 	pass := func() (time.Duration, float64, error) {
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		var rep *drmt.DiffReport
-		if engine == "slots" {
-			rep, err = f.FuzzSeeded(seed, n, bm.MaxInput)
-		} else {
+		if engine == "map" {
 			rep, err = f.FuzzSeededCompat(seed, n, bm.MaxInput)
+		} else {
+			rep, err = f.FuzzSeeded(seed, n, bm.MaxInput) // batched when SetBatch is active
 		}
 		if err != nil {
 			return 0, 0, err

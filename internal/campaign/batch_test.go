@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"druzhba/internal/drmt"
+)
+
+// miscompiledDRMTJob builds the l2l3 job against a deliberately miscompiled
+// ISA program, so the campaign yields counterexamples at known global
+// packet indices.
+func miscompiledDRMTJob(t *testing.T, packets int) Job {
+	t.Helper()
+	bm, err := drmt.LookupBenchmark("l2l3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bm.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := bm.Entries(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isa, err := drmt.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := drmt.MiscompileALUAdd(isa, 8) // the ttl decrement
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Name:    "drmt/l2l3/miscompiled",
+		Target:  &DRMTTarget{Program: prog, Entries: entries, HW: bm.HW, ISA: bad},
+		Seed:    11,
+		Packets: packets,
+	}
+}
+
+// TestReportIdenticalAcrossBatchSizes is the batching contract at campaign
+// level: BatchSize is an execution strategy, not part of a campaign's
+// identity, so every batch size — streaming, single-packet, a
+// partial-tail-inducing 7, 64, and one larger than a whole shard — crossed
+// with every worker count must render byte-identical reports over a mixed
+// rmt+drmt matrix that includes failing jobs on both architectures, their
+// counterexamples (injected at fixed global packet indices) included.
+func TestReportIdenticalAcrossBatchSizes(t *testing.T) {
+	const shard = 512
+	buildJobs := func() []Job {
+		jobs := passingJobs(t, 1500, 1)
+		jobs = append(jobs, brokenJob(t, "broken", 1500))
+		jobs = append(jobs, drmtJobs(t, 1500, 9)...)
+		jobs = append(jobs, miscompiledDRMTJob(t, 1500))
+		return jobs
+	}
+	render := func(batch, workers int) string {
+		t.Helper()
+		rep, err := Run(context.Background(), buildJobs(), Options{
+			Workers:            workers,
+			ShardSize:          shard,
+			BatchSize:          batch,
+			MaxCounterexamples: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String() + "\n---\n" + rep.Text(false)
+	}
+
+	want := render(0, 1) // the streaming single-worker report is the anchor
+	for _, batch := range []int{1, 7, 64, shard + 100} {
+		for _, workers := range []int{1, 4} {
+			if got := render(batch, workers); got != want {
+				t.Fatalf("report differs at batch=%d workers=%d:\n--- want ---\n%s--- got ---\n%s",
+					batch, workers, want, got)
+			}
+		}
+	}
+}

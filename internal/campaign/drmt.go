@@ -116,6 +116,12 @@ type drmtRunner struct {
 	fuzzer *drmt.DiffFuzzer
 }
 
+// SetBatchSize implements BatchSizer: slot-engine shards execute on
+// column-major planes n packets at a time, with byte-identical reports for
+// every n. The map-based compat path (Compat) is unaffected by design — it
+// exists to differentially test the slot engines, batched or not.
+func (r *drmtRunner) SetBatchSize(n int) { r.fuzzer.SetBatch(n) }
+
 // RunShard resets both machines and streams the shard's seeded traffic
 // through the differential loop — by default on the slot-compiled zero-
 // allocation engines. Diff indices are already shard offsets (each shard

@@ -167,7 +167,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 						}
 						if res == nil {
 							if t.job != wsJob || ws == nil {
-								ws = newWorkerState(masters[t.job])
+								ws = newWorkerState(masters[t.job], o.BatchSize)
 								wsJob = t.job
 							}
 							if o.JobTimeout > 0 {
@@ -230,10 +230,13 @@ type workerState struct {
 	err    error
 }
 
-func newWorkerState(master Instance) *workerState {
+func newWorkerState(master Instance, batchSize int) *workerState {
 	runner, err := master.NewRunner()
 	if err != nil {
 		return &workerState{err: err}
+	}
+	if bs, ok := runner.(BatchSizer); ok && batchSize > 0 {
+		bs.SetBatchSize(batchSize)
 	}
 	return &workerState{runner: runner}
 }

@@ -69,6 +69,16 @@ type ShardSizer interface {
 	ShardSize(dflt int) int
 }
 
+// BatchSizer is an optional Runner interface for targets whose execution
+// machinery supports the PHV-batch (struct-of-arrays) mode. The engine
+// calls SetBatchSize once per runner with Options.BatchSize before any
+// shard executes on it. Implementations must keep shard results
+// byte-identical across every batch size, including 0 (streaming) —
+// batching is an execution strategy, never part of a campaign's identity.
+type BatchSizer interface {
+	SetBatchSize(n int)
+}
+
 // ContextRunner is an optional Runner interface for targets whose shards
 // can honor cancellation mid-execution. When a runner implements it, the
 // engine passes the campaign context — bounded by the job's wall-clock

@@ -1,0 +1,183 @@
+// batch.go is the PHV-batch (struct-of-arrays) execution layer of the
+// prechecked engines: ExecuteStageBatch runs one stage's ALU grid over a
+// whole vector of packets held in column-major value planes
+// (planes[container][packet]), hoisting the per-packet dispatch — stage
+// lookup, ALU iteration set-up, closure/interpreter selection and the
+// output-mux switch — out of the inner loop. The per-container output mux
+// collapses to one switch per container per batch followed by a plane
+// copy.
+//
+// Batch execution is behaviourally identical to the streaming tick loop:
+// the pipeline is feedforward and every piece of mutable state is private
+// to one (stage, slot) ALU, so as long as each ALU sees packets in
+// admission order — which the per-ALU inner loops below preserve — the
+// outputs and the final state are byte-identical to executing the packets
+// one tick at a time.
+package core
+
+import (
+	"fmt"
+
+	"druzhba/internal/aludsl"
+	"druzhba/internal/phv"
+)
+
+// BatchScratch holds the per-ALU result planes ExecuteStageBatch writes
+// before muxing them into the output planes. Stages execute sequentially,
+// so one scratch — two Width-sized sets of planes — serves every stage of
+// a pipeline; it is reused across batches and owned by a single execution
+// engine (a scratch is not safe for concurrent use).
+type BatchScratch struct {
+	stateless [][]phv.Value // [slot][packet]
+	stateful  [][]phv.Value
+	capacity  int
+}
+
+// Cap returns the scratch's packet capacity.
+func (s *BatchScratch) Cap() int { return s.capacity }
+
+// NewBatchScratch allocates result planes for batch execution of up to
+// capacity packets per ExecuteStageBatch call.
+func (p *Pipeline) NewBatchScratch(capacity int) (*BatchScratch, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: batch scratch capacity %d < 1", capacity)
+	}
+	w := p.spec.Width
+	sc := &BatchScratch{capacity: capacity}
+	backing := make([]phv.Value, 2*w*capacity)
+	sc.stateless = make([][]phv.Value, w)
+	sc.stateful = make([][]phv.Value, w)
+	for i := 0; i < w; i++ {
+		sc.stateless[i] = backing[i*capacity : (i+1)*capacity : (i+1)*capacity]
+		base := (w + i) * capacity
+		sc.stateful[i] = backing[base : base+capacity : base+capacity]
+	}
+	return sc, nil
+}
+
+// ExecuteStageBatch is ExecuteStageFast over a vector of n packets held in
+// column-major planes: in[c][k] is container c of packet k, and the stage's
+// results land in out[c][k]. Every plane (and the scratch) must have
+// capacity >= n. Each ALU processes packets in index order, so stateful
+// ALU state advances exactly as it would under the streaming tick loop.
+//
+// Like ExecuteStageFast, evaluation failures (impossible after a successful
+// optimized build) propagate as panics convertible with AsExecError, and
+// calling this on a pipeline for which Prechecked is false panics.
+//
+//dvet:hotpath allocs=0
+func (p *Pipeline) ExecuteStageBatch(si int, in, out [][]phv.Value, sc *BatchScratch, n int) {
+	if !p.Prechecked() {
+		panic("core: ExecuteStageBatch on an unoptimized pipeline")
+	}
+	st := p.stages[si]
+	for k, a := range st.stateless {
+		runALUBatch(a, in, sc.stateless[k], n)
+	}
+	for k, a := range st.stateful {
+		runALUBatch(a, in, sc.stateful[k], n)
+	}
+	w := p.spec.Width
+	for c, sel := range st.outputMux {
+		// Build's validation bounded sel to [0, 2w] (or [0, w] without
+		// stateful ALUs), so three arms cover every value — one switch per
+		// container per batch, where the streaming path pays it per packet.
+		switch {
+		case sel == 0:
+			copy(out[c][:n], in[c][:n])
+		case sel <= w:
+			copy(out[c][:n], sc.stateless[sel-1][:n])
+		default:
+			copy(out[c][:n], sc.stateful[sel-w-1][:n])
+		}
+	}
+}
+
+// runALUBatch executes one prechecked ALU over n packets. The closure/
+// interpreter selection and the operand-mux arity dispatch happen once per
+// batch; common arities additionally hoist the source plane lookups out of
+// the packet loop.
+//
+//dvet:hotpath allocs=0
+func runALUBatch(a *compiledALU, in [][]phv.Value, out []phv.Value, n int) {
+	ops := a.env.Operands
+	mux := a.operandMux
+	if cl := a.closure; cl != nil {
+		state := a.state
+		switch len(mux) {
+		case 1:
+			src0 := in[mux[0]]
+			for k := 0; k < n; k++ {
+				ops[0] = src0[k]
+				out[k] = cl(ops, state)
+			}
+		case 2:
+			src0, src1 := in[mux[0]], in[mux[1]]
+			for k := 0; k < n; k++ {
+				ops[0], ops[1] = src0[k], src1[k]
+				out[k] = cl(ops, state)
+			}
+		case 3:
+			src0, src1, src2 := in[mux[0]], in[mux[1]], in[mux[2]]
+			for k := 0; k < n; k++ {
+				ops[0], ops[1], ops[2] = src0[k], src1[k], src2[k]
+				out[k] = cl(ops, state)
+			}
+		default:
+			for k := 0; k < n; k++ {
+				for op, idx := range mux {
+					ops[op] = in[idx][k]
+				}
+				out[k] = cl(ops, state)
+			}
+		}
+		return
+	}
+	env := &a.env
+	prog := a.prog
+	for k := 0; k < n; k++ {
+		for op, idx := range mux {
+			ops[op] = in[idx][k]
+		}
+		out[k] = aludsl.RunUnsafe(prog, env)
+	}
+}
+
+// StateLen returns the total number of stateful values across every stage,
+// the buffer length CopyStateTo and SetStateFrom operate on.
+func (p *Pipeline) StateLen() int {
+	n := 0
+	for _, st := range p.stages {
+		for _, a := range st.stateful {
+			n += len(a.state)
+		}
+	}
+	return n
+}
+
+// CopyStateTo flattens every stateful ALU's state into dst (stage-major,
+// slot order, StateLen values) without allocating, and returns the number
+// of values written. The batched fuzzer checkpoints state this way before
+// each batch so the (build-time impossible) evaluation-panic path can
+// restore it and replay the batch through the streaming engine.
+func (p *Pipeline) CopyStateTo(dst []phv.Value) int {
+	n := 0
+	for _, st := range p.stages {
+		for _, a := range st.stateful {
+			n += copy(dst[n:], a.state)
+		}
+	}
+	return n
+}
+
+// SetStateFrom is the inverse of CopyStateTo: it overwrites every stateful
+// ALU's state from the flat buffer and returns the number of values read.
+func (p *Pipeline) SetStateFrom(src []phv.Value) int {
+	n := 0
+	for _, st := range p.stages {
+		for _, a := range st.stateful {
+			n += copy(a.state, src[n:])
+		}
+	}
+	return n
+}

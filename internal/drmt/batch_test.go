@@ -1,0 +1,236 @@
+package drmt
+
+import (
+	"testing"
+)
+
+// batchPlanes allocates column-major slot planes for tests.
+func batchPlanes(width, n int) [][]int64 {
+	planes := make([][]int64, width)
+	for i := range planes {
+		planes[i] = make([]int64, n)
+	}
+	return planes
+}
+
+// TestFillBatchMatchesFill: FillBatch consumes the random stream and the ID
+// counter exactly like n successive Fill calls — same values in the planes'
+// columns, same first ID, and identical draws afterwards.
+func TestFillBatchMatchesFill(t *testing.T) {
+	prog := routerProg(t)
+	gBatch, err := NewTrafficGen(11, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gFill, err := NewTrafficGen(11, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 37
+	nf := gBatch.NumFields()
+	planes := batchPlanes(nf, n)
+	row := make([]int64, nf)
+
+	first := gBatch.FillBatch(planes, n)
+	if first != 0 {
+		t.Fatalf("first batch ID = %d, want 0", first)
+	}
+	for k := 0; k < n; k++ {
+		gFill.Fill(row)
+		for i := 0; i < nf; i++ {
+			if planes[i][k] != row[i] {
+				t.Fatalf("packet %d slot %d: FillBatch %d, Fill %d", k, i, planes[i][k], row[i])
+			}
+		}
+	}
+	// Both generators must agree on everything that follows.
+	if second := gBatch.FillBatch(planes, 5); second != n {
+		t.Fatalf("second batch ID = %d, want %d", second, n)
+	}
+	for k := 0; k < 5; k++ {
+		gFill.Fill(row)
+		for i := 0; i < nf; i++ {
+			if planes[i][k] != row[i] {
+				t.Fatalf("post-batch packet %d slot %d diverges", k, i)
+			}
+		}
+	}
+}
+
+// TestBatchEnginesMatchSlotEngines: ExecBatch and ProcessBatch over n
+// packets leave exactly the planes, drop flags and register effects that n
+// successive ExecSlots/ProcessSlots calls produce — including the shared
+// register banks, which subsequent packets observe.
+func TestBatchEnginesMatchSlotEngines(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	fBatch, err := NewDiffFuzzer(prog, nil, entries, HWConfig{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSlots := fBatch.Clone()
+	gen1, err := NewTrafficGen(5, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := NewTrafficGen(5, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	nf := fBatch.layout.NumFields()
+	isaPlanes := batchPlanes(nf, n)
+	tabPlanes := batchPlanes(nf, n)
+	drops := make([]bool, n)
+	gen1.FillBatch(isaPlanes, n)
+	for i := range isaPlanes {
+		copy(tabPlanes[i], isaPlanes[i])
+	}
+	executed, bad, err := fBatch.isa.ExecBatch(isaPlanes, drops, n)
+	if err != nil {
+		t.Fatalf("ExecBatch: packet %d: %v", bad, err)
+	}
+	tabDrops := make([]bool, n)
+	fBatch.tab.ProcessBatch(tabPlanes, tabDrops, n)
+
+	row := make([]int64, nf)
+	isaRow := make([]int64, nf)
+	tabRow := make([]int64, nf)
+	var slotExecuted int64
+	for k := 0; k < n; k++ {
+		gen2.Fill(row)
+		copy(isaRow, row)
+		copy(tabRow, row)
+		ex, isaDrop, err := fSlots.isa.ExecSlots(isaRow)
+		if err != nil {
+			t.Fatalf("ExecSlots packet %d: %v", k, err)
+		}
+		slotExecuted += int64(ex)
+		tabDrop := fSlots.tab.ProcessSlots(tabRow)
+		if isaDrop != drops[k] || tabDrop != tabDrops[k] {
+			t.Fatalf("packet %d: drops (isa %v/%v, tab %v/%v) diverge", k, drops[k], isaDrop, tabDrops[k], tabDrop)
+		}
+		for i := 0; i < nf; i++ {
+			if isaPlanes[i][k] != isaRow[i] {
+				t.Fatalf("packet %d slot %d: ExecBatch %d, ExecSlots %d", k, i, isaPlanes[i][k], isaRow[i])
+			}
+			if tabPlanes[i][k] != tabRow[i] {
+				t.Fatalf("packet %d slot %d: ProcessBatch %d, ProcessSlots %d", k, i, tabPlanes[i][k], tabRow[i])
+			}
+		}
+	}
+	if executed != slotExecuted {
+		t.Fatalf("ExecBatch executed %d instructions, ExecSlots %d", executed, slotExecuted)
+	}
+}
+
+// diffReportsEqual fails the test unless the two reports are byte-identical
+// in every exported field.
+func diffReportsEqual(t *testing.T, label string, batched, streamed *DiffReport) {
+	t.Helper()
+	if batched.Checked != streamed.Checked || batched.Instructions != streamed.Instructions {
+		t.Fatalf("%s: batched (checked=%d instr=%d) != streamed (checked=%d instr=%d)",
+			label, batched.Checked, batched.Instructions, streamed.Checked, streamed.Instructions)
+	}
+	if (batched.Err == nil) != (streamed.Err == nil) {
+		t.Fatalf("%s: Err %v vs %v", label, batched.Err, streamed.Err)
+	}
+	if batched.Err != nil && batched.Err.Error() != streamed.Err.Error() {
+		t.Fatalf("%s: Err %q vs %q", label, batched.Err, streamed.Err)
+	}
+	if len(batched.Diffs) != len(streamed.Diffs) {
+		t.Fatalf("%s: %d vs %d diffs", label, len(batched.Diffs), len(streamed.Diffs))
+	}
+	for i := range batched.Diffs {
+		if batched.Diffs[i] != streamed.Diffs[i] {
+			t.Fatalf("%s: diff %d: %+v vs %+v", label, i, batched.Diffs[i], streamed.Diffs[i])
+		}
+	}
+}
+
+// TestFuzzBatchedMatchesStreaming sweeps batch sizes — 1, a size leaving a
+// partial tail, a typical power of two, and one larger than the whole run —
+// over a clean program and an injected miscompile, requiring DiffReports
+// byte-identical to the streaming loop's, counterexample indices and IDs
+// included.
+func TestFuzzBatchedMatchesStreaming(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	isa, err := Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := MiscompileALUAdd(isa, 8) // the ttl decrement
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500
+	for _, tc := range []struct {
+		name string
+		isa  *ISAProgram
+	}{
+		{"clean", nil},
+		{"miscompiled", bad},
+	} {
+		fStream, err := NewDiffFuzzer(prog, tc.isa, entries, HWConfig{Processors: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := fStream.FuzzSeeded(7, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.name == "miscompiled" && len(streamed.Diffs) == 0 {
+			t.Fatal("streaming run found no diffs to cross-check")
+		}
+		for _, size := range []int{1, 7, 64, n + 1} {
+			fBatch, err := NewDiffFuzzer(prog, tc.isa, entries, HWConfig{Processors: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fBatch.SetBatch(size)
+			batched, err := fBatch.FuzzSeeded(7, n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffReportsEqual(t, tc.name+"/"+itoa(size), batched, streamed)
+		}
+	}
+}
+
+// TestSetBatchReuseAndResize: one fuzzer across streaming and several batch
+// sizes (growing and shrinking, forcing and skipping plane reallocation)
+// keeps producing the streaming report.
+func TestSetBatchReuseAndResize(t *testing.T) {
+	prog, entries := loadL2L3(t)
+	f, err := NewDiffFuzzer(prog, nil, entries, HWConfig{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	want, err := f.FuzzSeeded(3, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{8, 64, 8, 0, 512, 3} {
+		f.SetBatch(size)
+		got, err := f.FuzzSeeded(3, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffReportsEqual(t, "size "+itoa(size), got, want)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -63,6 +63,13 @@ type DiffFuzzer struct {
 	// Reused slot vectors: the generated packet and the two machines'
 	// working copies. One backing array, three windows.
 	in, got, want []int64
+
+	// Batched mode (SetBatch): column-major slot planes and per-packet flag
+	// vectors, allocated lazily on the first batched run.
+	batchSize           int       // 0 = streaming
+	inP, gotP, wantP    [][]int64 // planes[slot][packet]
+	gotDrops, wantDrops []bool
+	dirty               []bool // per-packet divergence marks, reused
 }
 
 // NewDiffFuzzer builds a differential fuzzer for the program over the given
@@ -131,6 +138,10 @@ func (f *DiffFuzzer) Fuzz(gen *TrafficGen, n int) (*DiffReport, error) {
 	}
 	if gen.NumFields() != f.layout.NumFields() {
 		return nil, fmt.Errorf("drmt: traffic generator has %d fields, program has %d", gen.NumFields(), f.layout.NumFields())
+	}
+	if f.batchSize > 0 {
+		// Batched mode produces byte-identical reports on the plane engines.
+		return f.fuzzBatched(gen, n)
 	}
 	f.Reset()
 	rep := &DiffReport{}

@@ -338,6 +338,7 @@ func (c *Coordinator) runCampaign(st *campaignState, req *farmd.MatrixRequest) {
 		return campaign.Options{
 			Workers:            c.cfg.Workers,
 			ShardSize:          req.ShardSize,
+			BatchSize:          req.Batch,
 			MaxCounterexamples: req.MaxCounterexamples,
 			FailFast:           req.FailFast,
 			JobTimeout:         timeout,

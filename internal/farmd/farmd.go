@@ -76,6 +76,13 @@ type MatrixRequest struct {
 	// campaign's traffic identity and therefore of every cache key.
 	ShardSize int `json:"shard_size,omitempty"`
 
+	// Batch selects the PHV-batch execution strategy: shards execute
+	// Batch packets at a time on struct-of-arrays planes (0 = the
+	// server's default, typically streaming). Unlike ShardSize it is an
+	// execution knob, not traffic identity: reports and cache keys are
+	// byte-identical for every value.
+	Batch int `json:"batch,omitempty"`
+
 	// MaxCounterexamples caps deduplicated counterexamples per job
 	// (0 = 8, negative = unbounded).
 	MaxCounterexamples int `json:"max_counterexamples,omitempty"`

@@ -32,6 +32,11 @@ type Config struct {
 	// Workers is each campaign's worker pool size (0 = GOMAXPROCS).
 	Workers int
 
+	// BatchSize is the default PHV-batch size applied when a request does
+	// not set one (0 = streaming). An execution knob only: results and
+	// cache keys are byte-identical for every value.
+	BatchSize int
+
 	// MaxConcurrent bounds how many campaigns execute at once (0 = 2);
 	// excess submissions queue until a slot frees or the client leaves.
 	MaxConcurrent int
@@ -218,9 +223,14 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	batch := req.Batch
+	if batch <= 0 {
+		batch = s.cfg.BatchSize
+	}
 	opts := campaign.Options{
 		Workers:            s.cfg.Workers,
 		ShardSize:          req.ShardSize,
+		BatchSize:          batch,
 		MaxCounterexamples: req.MaxCounterexamples,
 		FailFast:           req.FailFast,
 		JobTimeout:         timeout,
@@ -315,6 +325,18 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeResult(&campaign.ShardResult{Err: err})
 		return
+	}
+	// Apply the batch strategy per lease. The lease key hashes the matrix
+	// request (Batch included), so pooled runners for one key have all seen
+	// the same batch size; results are byte-identical either way.
+	if bs, ok := runner.(campaign.BatchSizer); ok {
+		batch := lease.Request.Batch
+		if batch <= 0 {
+			batch = s.cfg.BatchSize
+		}
+		if batch > 0 {
+			bs.SetBatchSize(batch)
+		}
 	}
 	var res campaign.ShardResult
 	if cr, ok := runner.(campaign.ContextRunner); ok {

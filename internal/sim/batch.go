@@ -1,0 +1,404 @@
+// batch.go is the struct-of-arrays execution mode of the streaming engine:
+// packets live in column-major value planes (planes[container][packet]) and
+// whole stage vectors execute per core.ExecuteStageBatch call, amortizing
+// the tick loop's per-packet dispatch — ring bookkeeping, the per-tick
+// recover boundary, the per-stage call and the output-mux switch — across a
+// batch.
+//
+// Batch execution is observationally identical to the tick loop. The
+// pipeline is feedforward and all mutable state is private to one (stage,
+// slot) ALU; both schedules visit each ALU's state in packet-admission
+// order, so outputs and final state are byte-identical. The fuzzer's
+// batched mode exploits this to produce BatchReports byte-identical to
+// streaming ones — including tick counts, which it reconstructs from the
+// streaming schedule's arithmetic (a packet admitted at tick i completes at
+// tick i+depth-1), and counterexample records, which it materializes from
+// the plane columns of a mismatching batch.
+package sim
+
+import (
+	"fmt"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+)
+
+// Batch is the PHV-batch execution engine: input planes, two work plane
+// sets ping-ponged across stages, and the per-ALU result scratch, all
+// preallocated once and reused across runs. All planes are owned by the
+// Batch: Load copies, Run retains no caller memory, and the slices returned
+// by In and Out stay valid only until the next Run (they are overwritten in
+// place, never reallocated, so a caller-held plane slice can never alias a
+// later run's packets after Reset-style reuse). A Batch is not safe for
+// concurrent use.
+type Batch struct {
+	p        *core.Pipeline
+	depth    int
+	phvLen   int
+	capacity int
+	in       [][]phv.Value // in[c][k]: container c of packet k, preserved across Run
+	work     [2][][]phv.Value
+	out      [][]phv.Value // final stage's output planes, set by Run
+	sc       *core.BatchScratch
+}
+
+// NewBatch returns a batch engine over the pipeline with room for capacity
+// packets per run. Batch execution uses the prechecked stage kernel, so the
+// pipeline must satisfy core.Pipeline.Prechecked; callers with unoptimized
+// pipelines use the streaming engine (the fuzzer falls back transparently).
+func NewBatch(p *core.Pipeline, capacity int) (*Batch, error) {
+	if !p.Prechecked() {
+		return nil, fmt.Errorf("sim: batch execution requires a prechecked pipeline")
+	}
+	sc, err := p.NewBatchScratch(capacity)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{p: p, depth: p.Depth(), phvLen: p.PHVLen(), capacity: capacity, sc: sc}
+	backing := make([]phv.Value, 3*b.phvLen*capacity)
+	plane := func(i int) []phv.Value { return backing[i*capacity : (i+1)*capacity : (i+1)*capacity] }
+	b.in = make([][]phv.Value, b.phvLen)
+	b.work[0] = make([][]phv.Value, b.phvLen)
+	b.work[1] = make([][]phv.Value, b.phvLen)
+	for c := 0; c < b.phvLen; c++ {
+		b.in[c] = plane(c)
+		b.work[0][c] = plane(b.phvLen + c)
+		b.work[1][c] = plane(2*b.phvLen + c)
+	}
+	return b, nil
+}
+
+// Cap returns the engine's packet capacity per run.
+func (b *Batch) Cap() int { return b.capacity }
+
+// PHVLen returns the container count of every packet column.
+func (b *Batch) PHVLen() int { return b.phvLen }
+
+// In returns the input planes (In()[c][k] is container c of packet k).
+// Callers may fill columns directly; the planes are owned by the Batch and
+// are preserved across Run, so a mismatching packet's input can be read
+// back after execution.
+func (b *Batch) In() [][]phv.Value { return b.in }
+
+// Out returns the output planes of the last Run: Out()[c][k] is container c
+// of packet k's final pipeline output. The planes are owned by the Batch
+// and valid until the next Run.
+func (b *Batch) Out() [][]phv.Value { return b.out }
+
+// Load scatters one packet's container values into column k of the input
+// planes; vals is copied, the caller keeps ownership.
+func (b *Batch) Load(k int, vals []phv.Value) {
+	for c, v := range vals {
+		b.in[c][k] = v
+	}
+}
+
+// Run executes all pipeline stages over the first n packet columns of the
+// input planes, leaving results readable via Out. Stateful ALU state
+// advances exactly as a streaming run over the same packets would advance
+// it. Evaluation panics (build-time impossible on prechecked pipelines, but
+// guarded like the streaming tick loop) are converted to the error the
+// unoptimized engine would have returned.
+//
+//dvet:hotpath allocs=0
+func (b *Batch) Run(n int) (err error) {
+	if n < 1 || n > b.capacity {
+		//dvet:alloc-ok harness-misuse error path, never taken in a clean run
+		return fmt.Errorf("sim: batch run of %d packets, capacity %d", n, b.capacity)
+	}
+	//dvet:alloc-ok non-escaping recover closure; the zero-alloc tests pin it to the stack
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := core.AsExecError(r); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	cur := b.in
+	for si := 0; si < b.depth; si++ {
+		nxt := b.work[si&1]
+		b.p.ExecuteStageBatch(si, cur, nxt, b.sc, n)
+		cur = nxt
+	}
+	b.out = cur
+	return nil
+}
+
+// gatherCol copies packet column k of the planes into dst and returns it.
+func gatherCol(planes [][]phv.Value, k int, dst []phv.Value) []phv.Value {
+	dst = dst[:len(planes)]
+	for c := range planes {
+		dst[c] = planes[c][k]
+	}
+	return dst
+}
+
+// equalColRow compares packet column k of the planes against a row vector
+// on the selected containers (nil = every container), with the same
+// wrong-length rule as equalVals.
+func equalColRow(planes [][]phv.Value, k int, want []phv.Value, containers []int) bool {
+	if len(planes) != len(want) {
+		return false
+	}
+	if containers == nil {
+		for c := range planes {
+			if planes[c][k] != want[c] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range containers {
+		if planes[c][k] != want[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetBatch selects the fuzzer's execution strategy: size >= 1 enables the
+// PHV-batch engine with that batch size, 0 restores the streaming tick
+// loop. Reports are byte-identical in every mode and for every batch size —
+// batching is an execution strategy, not part of a campaign's identity — so
+// the campaign engine exposes it as a free knob. On pipelines for which
+// Prechecked is false the fuzzer stays on the streaming path regardless.
+func (f *Fuzzer) SetBatch(size int) {
+	if size < 0 {
+		size = 0
+	}
+	f.batchSize = size
+}
+
+// ensureBatch (re)allocates the batched mode's planes and scratch rows the
+// first time a batched run needs them (or when the batch size grew).
+func (f *Fuzzer) ensureBatch() error {
+	size := f.batchSize
+	if f.batch != nil && f.batch.Cap() >= size {
+		return nil
+	}
+	b, err := NewBatch(f.pipe, size)
+	if err != nil {
+		return err
+	}
+	phvLen := f.pipe.PHVLen()
+	backing := make([]phv.Value, size*phvLen)
+	rows := make([][]phv.Value, size)
+	for k := 0; k < size; k++ {
+		// Want rows start empty and are refilled by append, so a spec
+		// returning a wrong-length PHV is caught by the comparison — the
+		// same discipline as the streaming ring.
+		base := k * phvLen
+		rows[k] = backing[base : base : base+phvLen]
+	}
+	f.batch = b
+	f.wantRows = rows
+	f.fillRow = make([]phv.Value, phvLen)
+	f.gatherRow = make([]phv.Value, phvLen)
+	f.stateBuf = make([]phv.Value, f.pipe.StateLen())
+	return nil
+}
+
+// fuzzBatched is Fuzz on the batch engine. Packets are generated and
+// spec-processed in admission order (so generator and spec state advance
+// exactly as in streaming mode), executed a batch at a time, and compared
+// column against want row. Reports are byte-identical to the streaming
+// path: tick counts follow the streaming schedule's arithmetic, mismatch
+// records are materialized from plane columns in index order, and every
+// early-exit path (counterexample cap, generator error, spec error,
+// evaluation panic) reconstructs the exact point the streaming run would
+// have stopped — including dropping comparisons the streaming run would
+// never have reached.
+func (f *Fuzzer) fuzzBatched(spec Spec, n int, next func(dst []phv.Value) error, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
+	if err := f.ensureBatch(); err != nil {
+		return nil, err
+	}
+	report := &BatchReport{SpecName: spec.Name()}
+	f.pipe.ResetState()
+	f.stream.Reset() // the evaluation-panic replay path starts from a clean ring
+	spec.Reset()
+	ss, streaming := spec.(StreamSpec)
+	var mms []Mismatch
+	for at := 0; at < n; at += f.batchSize {
+		m := f.batchSize
+		if n-at < m {
+			m = n - at
+		}
+		for k := 0; k < m; k++ {
+			i := at + k
+			if err := next(f.fillRow); err != nil {
+				// Streaming admits packet i at tick i; the run would have
+				// stopped there with err as its finding. Execute and
+				// compare the packets already filled — their completions
+				// precede tick i or are dropped by the endgame.
+				mms, errTick, execErr := f.runCompareBatch(at, k, opts, mms)
+				if execErr != nil && errTick < i {
+					return f.finishBatched(report, mms, maxMismatches, n, errTick, fmt.Errorf("sim: tick %d: %w", errTick, execErr))
+				}
+				return f.finishBatched(report, mms, maxMismatches, n, i, err)
+			}
+			f.batch.Load(k, f.fillRow)
+			// Lock step: the spec consumes packet i on the tick of its
+			// admission, so spec state advances in packet order.
+			if streaming {
+				f.wantRows[k] = append(f.wantRows[k][:0], f.fillRow...)
+				if serr := ss.ProcessStream(f.wantRows[k]); serr != nil {
+					return f.specAbortBatched(report, spec, mms, maxMismatches, at, k, opts, serr)
+				}
+			} else {
+				copy(f.specIn.Raw(), f.fillRow)
+				out, serr := spec.Process(f.specIn)
+				if serr != nil {
+					return f.specAbortBatched(report, spec, mms, maxMismatches, at, k, opts, serr)
+				}
+				f.wantRows[k] = append(f.wantRows[k][:0], out.Raw()...)
+			}
+		}
+		var errTick int
+		var execErr error
+		mms, errTick, execErr = f.runCompareBatch(at, m, opts, mms)
+		if execErr != nil {
+			return f.finishBatched(report, mms, maxMismatches, n, errTick, fmt.Errorf("sim: tick %d: %w", errTick, execErr))
+		}
+		if maxMismatches > 0 && len(mms) >= maxMismatches {
+			return f.finishBatched(report, mms, maxMismatches, n, -1, nil)
+		}
+	}
+	return f.finishBatched(report, mms, maxMismatches, n, -1, nil)
+}
+
+// runCompareBatch executes the first m filled packets of the batch starting
+// at global packet index 'at' and appends any mismatches, materialized from
+// the plane columns, in index order. On an evaluation panic it restores the
+// pre-batch state checkpoint and replays the batch through the streaming
+// engine, returning the exact global tick and error the streaming run would
+// have reported (with the comparisons completed before that tick already
+// appended).
+func (f *Fuzzer) runCompareBatch(at, m int, opts FuzzOptions, mms []Mismatch) ([]Mismatch, int, error) {
+	if m == 0 {
+		return mms, -1, nil
+	}
+	if len(f.stateBuf) > 0 {
+		f.pipe.CopyStateTo(f.stateBuf)
+	}
+	if err := f.batch.Run(m); err != nil {
+		return f.replayBatch(at, m, opts, mms)
+	}
+	out := f.batch.Out()
+	in := f.batch.In()
+	for k := 0; k < m; k++ {
+		if !equalColRow(out, k, f.wantRows[k], opts.Containers) {
+			//dvet:alloc-ok mismatch collection is the cold path; clean runs never reach it
+			mms = append(mms, Mismatch{
+				Index: at + k,
+				Input: phv.FromValues(gatherCol(in, k, f.gatherRow)),
+				Got:   phv.FromValues(gatherCol(out, k, f.gatherRow)),
+				Want:  phv.FromValues(f.wantRows[k]),
+			})
+		}
+	}
+	return mms, -1, nil
+}
+
+// replayBatch is the evaluation-panic fallback: state is restored to the
+// pre-batch checkpoint and the batch's packets are replayed through the
+// streaming engine tick by tick, reproducing the exact tick, error and set
+// of completed comparisons of a streaming run. (Build-time impossible on
+// prechecked pipelines; kept so even that path stays byte-identical. Should
+// the replay not reproduce the panic, its results stand in for the batch —
+// both schedules compute identical values — and the run continues.)
+func (f *Fuzzer) replayBatch(at, m int, opts FuzzOptions, mms []Mismatch) ([]Mismatch, int, error) {
+	f.pipe.SetStateFrom(f.stateBuf)
+	f.stream.Reset()
+	in := f.batch.In()
+	fed, compared := 0, 0
+	for fed < m || f.stream.InFlight() > 0 {
+		var row []phv.Value
+		if fed < m {
+			row = gatherCol(in, fed, f.fillRow)
+			fed++
+		}
+		out, err := f.stream.Tick(row)
+		if err != nil {
+			return mms, at + f.stream.Ticks(), err
+		}
+		if out == nil {
+			continue
+		}
+		if !equalVals(out, f.wantRows[compared], opts.Containers) {
+			mms = append(mms, Mismatch{
+				Index: at + compared,
+				Input: phv.FromValues(gatherCol(in, compared, f.gatherRow)),
+				Got:   phv.FromValues(out),
+				Want:  phv.FromValues(f.wantRows[compared]),
+			})
+		}
+		compared++
+	}
+	return mms, -1, nil
+}
+
+// specAbortBatched reconstructs the streaming outcome of a spec failure at
+// global packet index i = at+k: a harness error — unless the counterexample
+// cap would have been reached strictly before packet i's admission tick, in
+// which case the capped report wins exactly as it would in streaming mode.
+func (f *Fuzzer) specAbortBatched(report *BatchReport, spec Spec, mms []Mismatch, maxMismatches, at, k int, opts FuzzOptions, serr error) (*BatchReport, error) {
+	i := at + k
+	mms, errTick, execErr := f.runCompareBatch(at, k, opts, mms)
+	if execErr != nil && errTick < i {
+		return f.finishBatched(report, mms, maxMismatches, 0, errTick, fmt.Errorf("sim: tick %d: %w", errTick, execErr))
+	}
+	depth := f.pipe.Depth()
+	if maxMismatches > 0 && len(mms) >= maxMismatches {
+		if capM := mms[maxMismatches-1]; capM.Index+depth-1 < i {
+			report.Mismatches = mms[:maxMismatches]
+			report.Checked = capM.Index + 1
+			report.Ticks = capM.Index + depth
+			return report, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: spec %q, PHV %d: %w", spec.Name(), i, serr)
+}
+
+// finishBatched assembles the final report from the accumulated mismatches,
+// replicating the streaming engine's stopping rules. abortTick < 0 means
+// the stream ran to completion (n packets over n+depth-1 ticks, modulo the
+// counterexample cap); otherwise the run aborted at abortTick with abortErr
+// as its finding, and only packets completed strictly before that tick
+// count as checked — comparisons past it, which the streaming run would
+// never have reached, are dropped.
+func (f *Fuzzer) finishBatched(report *BatchReport, mms []Mismatch, maxMismatches, n, abortTick int, abortErr error) (*BatchReport, error) {
+	depth := f.pipe.Depth()
+	if maxMismatches > 0 && len(mms) >= maxMismatches {
+		// The cap triggers the moment the maxMismatches-th diverging packet
+		// surfaces; it wins over an abort at a strictly later tick.
+		if capM := mms[maxMismatches-1]; abortTick < 0 || capM.Index+depth-1 < abortTick {
+			report.Mismatches = mms[:maxMismatches]
+			report.Checked = capM.Index + 1
+			report.Ticks = capM.Index + depth
+			return report, nil
+		}
+	}
+	if abortTick < 0 {
+		report.Mismatches = mms
+		report.Checked = n
+		report.Ticks = n + depth - 1
+		return report, nil
+	}
+	checked := abortTick - depth + 1
+	if checked < 0 {
+		checked = 0
+	}
+	for len(mms) > 0 && mms[len(mms)-1].Index >= checked {
+		mms = mms[:len(mms)-1]
+	}
+	if len(mms) == 0 {
+		mms = nil
+	}
+	report.Mismatches = mms
+	report.Checked = checked
+	report.Ticks = abortTick
+	report.Err = abortErr
+	return report, nil
+}

@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"druzhba/internal/core"
+	"druzhba/internal/phv"
+)
+
+// batchReportsEqual fails unless the two BatchReports are byte-identical in
+// every exported field (error compared by rendered message).
+func batchReportsEqual(t *testing.T, label string, batched, streamed *BatchReport) {
+	t.Helper()
+	if batched.SpecName != streamed.SpecName {
+		t.Fatalf("%s: spec %q vs %q", label, batched.SpecName, streamed.SpecName)
+	}
+	if batched.Checked != streamed.Checked || batched.Ticks != streamed.Ticks {
+		t.Fatalf("%s: batched (checked=%d ticks=%d) != streamed (checked=%d ticks=%d)",
+			label, batched.Checked, batched.Ticks, streamed.Checked, streamed.Ticks)
+	}
+	if (batched.Err == nil) != (streamed.Err == nil) {
+		t.Fatalf("%s: Err %v vs %v", label, batched.Err, streamed.Err)
+	}
+	if batched.Err != nil && batched.Err.Error() != streamed.Err.Error() {
+		t.Fatalf("%s: Err %q vs %q", label, batched.Err, streamed.Err)
+	}
+	if len(batched.Mismatches) != len(streamed.Mismatches) {
+		t.Fatalf("%s: %d vs %d mismatches", label, len(batched.Mismatches), len(streamed.Mismatches))
+	}
+	for i := range batched.Mismatches {
+		a, b := batched.Mismatches[i], streamed.Mismatches[i]
+		if a.Index != b.Index || !a.Input.Equal(b.Input) || !a.Got.Equal(b.Got) || !a.Want.Equal(b.Want) {
+			t.Fatalf("%s: mismatch %d differs: %s vs %s", label, i, &a, &b)
+		}
+	}
+}
+
+// TestBatchedFuzzMatchesStreamingSweep is the core byte-identity sweep:
+// batch sizes 1, 7 (partial tails: 300 = 42*7+6), 64 and one exceeding the
+// whole run, over clean and diverging specs, with and without a
+// counterexample cap, at both prechecked levels. Every cell's BatchReport
+// must equal the streaming report field for field, mismatch for mismatch.
+func TestBatchedFuzzMatchesStreamingSweep(t *testing.T) {
+	const n = 300
+	for _, level := range []core.OptLevel{core.SCCInlining, core.Compiled} {
+		for _, tc := range []struct {
+			name string
+			spec func() Spec
+		}{
+			{"clean", passThroughSpec},
+			{"diverging", brokenSpec},
+		} {
+			for _, maxMM := range []int{0, 3} {
+				pStream := buildPipeline(t, 3, 2, "pred_raw", nil, level)
+				if !pStream.Prechecked() {
+					t.Fatalf("%s pipeline is not prechecked; the batched path would never engage", level)
+				}
+				streamed, err := NewFuzzer(pStream).FuzzGen(tc.spec(), NewTrafficGen(9, 2, phv.Default32, 1000), n, FuzzOptions{}, maxMM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.name == "diverging" && len(streamed.Mismatches) == 0 {
+					t.Fatal("diverging streaming run found no mismatches to cross-check")
+				}
+				for _, size := range []int{1, 7, 64, n + 100} {
+					label := fmt.Sprintf("%s/%s/max=%d/size=%d", level, tc.name, maxMM, size)
+					pBatch := buildPipeline(t, 3, 2, "pred_raw", nil, level)
+					f := NewFuzzer(pBatch)
+					f.SetBatch(size)
+					batched, err := f.FuzzGen(tc.spec(), NewTrafficGen(9, 2, phv.Default32, 1000), n, FuzzOptions{}, maxMM)
+					if err != nil {
+						t.Fatal(err)
+					}
+					batchReportsEqual(t, label, batched, streamed)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedNextErrorMatchesStreaming: a generator failure at packet i
+// aborts a streaming run at tick i with only the packets completed strictly
+// before it counted — mismatches past the abort dropped. The batched path
+// must reconstruct that exact report, whether the failure lands at the
+// start, inside a batch, or deep into the run.
+func TestBatchedNextErrorMatchesStreaming(t *testing.T) {
+	const n = 300
+	boom := errors.New("traffic source failed")
+	nextErrAt := func(i int) func(dst []phv.Value) error {
+		gen := NewTrafficGen(9, 2, phv.Default32, 1000)
+		calls := 0
+		return func(dst []phv.Value) error {
+			if calls == i {
+				return boom
+			}
+			calls++
+			gen.Fill(dst)
+			return nil
+		}
+	}
+	for _, errAt := range []int{0, 5, 150} {
+		pStream := buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled)
+		streamed, err := NewFuzzer(pStream).Fuzz(brokenSpec(), n, nextErrAt(errAt), FuzzOptions{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(streamed.Err, boom) {
+			t.Fatalf("errAt=%d: streaming Err = %v, want the generator failure", errAt, streamed.Err)
+		}
+		for _, size := range []int{7, 64} {
+			pBatch := buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled)
+			f := NewFuzzer(pBatch)
+			f.SetBatch(size)
+			batched, err := f.Fuzz(brokenSpec(), n, nextErrAt(errAt), FuzzOptions{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchReportsEqual(t, fmt.Sprintf("errAt=%d/size=%d", errAt, size), batched, streamed)
+			if !errors.Is(batched.Err, boom) {
+				t.Fatalf("errAt=%d/size=%d: batched Err = %v, want the generator failure unwrapped", errAt, size, batched.Err)
+			}
+		}
+	}
+}
+
+// specErrAt wraps a spec so it fails on packet i, diverging (or not) on the
+// packets before it.
+func specErrAt(inner Spec, i int) Spec {
+	calls := 0
+	return &SpecFunc{SpecName: inner.Name(), Fn: func(in *phv.PHV) (*phv.PHV, error) {
+		if calls == i {
+			return nil, errors.New("spec gave up")
+		}
+		calls++
+		return inner.(*SpecFunc).Fn(in)
+	}}
+}
+
+// TestBatchedSpecErrorMatchesStreaming: a specification failure is harness
+// misuse — a non-nil error and no report — in both modes, with identical
+// messages; except when the counterexample cap was reached strictly before
+// the failing packet's admission, in which case the capped report wins in
+// both modes.
+func TestBatchedSpecErrorMatchesStreaming(t *testing.T) {
+	const n = 300
+	run := func(pipe *core.Pipeline, batch int, spec Spec, maxMM int) (*BatchReport, error) {
+		f := NewFuzzer(pipe)
+		f.SetBatch(batch)
+		return f.FuzzGen(spec, NewTrafficGen(9, 2, phv.Default32, 1000), n, FuzzOptions{}, maxMM)
+	}
+
+	// Clean prefix, spec failure at packet 100: harness error in both modes.
+	streamed, serr := run(buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled), 0, specErrAt(passThroughSpec(), 100), 0)
+	if serr == nil || streamed != nil {
+		t.Fatalf("streaming spec failure: report=%v err=%v, want nil report and an error", streamed, serr)
+	}
+	for _, size := range []int{7, 64} {
+		batched, berr := run(buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled), size, specErrAt(passThroughSpec(), 100), 0)
+		if berr == nil || batched != nil {
+			t.Fatalf("size=%d: batched spec failure: report=%v err=%v, want nil report and an error", size, batched, berr)
+		}
+		if berr.Error() != serr.Error() {
+			t.Fatalf("size=%d: batched err %q, streaming err %q", size, berr, serr)
+		}
+	}
+
+	// Diverging spec capped at 1 mismatch long before the failure at packet
+	// 200: the cap wins and both modes return the identical capped report.
+	streamedCap, serr := run(buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled), 0, specErrAt(brokenSpec(), 200), 1)
+	if serr != nil {
+		t.Fatalf("capped streaming run errored: %v", serr)
+	}
+	if len(streamedCap.Mismatches) != 1 || streamedCap.Err != nil {
+		t.Fatalf("capped streaming run: %+v, want exactly the capped mismatch", streamedCap)
+	}
+	for _, size := range []int{7, 64} {
+		batchedCap, berr := run(buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled), size, specErrAt(brokenSpec(), 200), 1)
+		if berr != nil {
+			t.Fatal(berr)
+		}
+		batchReportsEqual(t, fmt.Sprintf("cap-wins/size=%d", size), batchedCap, streamedCap)
+	}
+}
+
+// TestBatchedFallsBackUnoptimized: on a pipeline without Prechecked the
+// fuzzer ignores SetBatch and stays on the streaming tick loop, producing
+// the streaming report rather than failing.
+func TestBatchedFallsBackUnoptimized(t *testing.T) {
+	pStream := buildPipeline(t, 2, 2, "pred_raw", nil, core.Unoptimized)
+	if pStream.Prechecked() {
+		t.Fatal("unoptimized pipeline unexpectedly prechecked")
+	}
+	streamed, err := NewFuzzer(pStream).FuzzGen(brokenSpec(), NewTrafficGen(3, 2, phv.Default32, 1000), 200, FuzzOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBatch := buildPipeline(t, 2, 2, "pred_raw", nil, core.Unoptimized)
+	f := NewFuzzer(pBatch)
+	f.SetBatch(64)
+	batched, err := f.FuzzGen(brokenSpec(), NewTrafficGen(3, 2, phv.Default32, 1000), 200, FuzzOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchReportsEqual(t, "unoptimized fallback", batched, streamed)
+	if _, err := NewBatch(pStream, 8); err == nil {
+		t.Fatal("NewBatch accepted an unoptimized pipeline")
+	}
+}
+
+// TestBatchMatchesStream differentially tests the plane engine itself
+// against the tick loop over randomized stateful pipelines: same packets in
+// chunks of varying size (with partial tails), same outputs column for
+// column, same final stateful-ALU state.
+func TestBatchMatchesStream(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(70*trial + 7)))
+		pStream := randomizedPipeline(t, 3, 2, "pair", rng, core.Compiled)
+		rng = rand.New(rand.NewSource(int64(70*trial + 7)))
+		pBatch := randomizedPipeline(t, 3, 2, "pair", rng, core.Compiled)
+
+		const n = 50
+		input := NewTrafficGen(int64(trial), 2, phv.Default32, 1<<16).Trace(n)
+
+		stream := NewStream(pStream)
+		want := phv.NewTrace()
+		for fed := 0; fed < n || stream.InFlight() > 0; {
+			var in []phv.Value
+			if fed < n {
+				in = input.At(fed).Raw()
+				fed++
+			}
+			out, err := stream.Tick(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				want.Append(phv.FromValues(out))
+			}
+		}
+
+		b, err := NewBatch(pBatch, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := phv.NewTrace()
+		for at := 0; at < n; at += 8 {
+			m := 8
+			if n-at < m {
+				m = n - at // 50 = 6*8+2: the last chunk is a partial tail
+			}
+			for k := 0; k < m; k++ {
+				b.Load(k, input.At(at+k).Raw())
+			}
+			if err := b.Run(m); err != nil {
+				t.Fatal(err)
+			}
+			row := make([]phv.Value, b.PHVLen())
+			for k := 0; k < m; k++ {
+				got.Append(phv.FromValues(gatherCol(b.Out(), k, row)))
+			}
+		}
+		if d := want.Diff(got); d != "" {
+			t.Fatalf("trial %d: batch diverges from stream: %s", trial, d)
+		}
+		if !pBatch.StateSnapshot().Equal(pStream.StateSnapshot()) {
+			t.Fatalf("trial %d: final stateful-ALU states diverge", trial)
+		}
+	}
+}
+
+// TestBatchAliasingAudit pins the plane-ownership contract: Load copies its
+// argument, so a caller mutating (or reusing) its row after Load cannot
+// corrupt the batch; and In/Out planes are overwritten in place across
+// runs — never reallocated — so a slice held from run 1 observes run 2's
+// packets instead of silently retaining stale ones.
+func TestBatchAliasingAudit(t *testing.T) {
+	p := buildPipeline(t, 2, 2, "", nil, core.Compiled) // identity pipeline
+	b, err := NewBatch(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []phv.Value{10, 20}
+	b.Load(0, row)
+	row[0], row[1] = 99, 99 // caller reuses its buffer; the batch must not see it
+	b.Load(1, []phv.Value{30, 40})
+	if err := b.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if b.In()[0][0] != 10 || b.In()[1][0] != 20 {
+		t.Fatalf("Load aliased the caller's row: in[*][0] = %d,%d, want 10,20", b.In()[0][0], b.In()[1][0])
+	}
+	if b.Out()[0][0] != 10 || b.Out()[0][1] != 30 {
+		t.Fatalf("identity outputs wrong: %d,%d", b.Out()[0][0], b.Out()[0][1])
+	}
+
+	// Planes are reused in place across Run: the held slice sees run 2.
+	heldIn, heldOut := b.In()[0], b.Out()[0]
+	b.Load(0, []phv.Value{77, 78})
+	if err := b.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if &heldIn[0] != &b.In()[0][0] || heldIn[0] != 77 {
+		t.Fatal("input planes were reallocated between runs; Reset-style reuse would leak stale packets to holders")
+	}
+	if &heldOut[0] != &b.Out()[0][0] || heldOut[0] != 77 {
+		t.Fatal("output planes were reallocated between runs")
+	}
+
+	// Capacity misuse is an error, not a partial run.
+	if err := b.Run(5); err == nil {
+		t.Fatal("Run beyond capacity succeeded")
+	}
+	if err := b.Run(0); err == nil {
+		t.Fatal("empty Run succeeded")
+	}
+}
+
+// TestFuzzerSetBatchResize: one fuzzer swept through growing, shrinking and
+// streaming batch sizes (exercising plane reallocation and reuse) keeps
+// producing the streaming report.
+func TestFuzzerSetBatchResize(t *testing.T) {
+	const n = 300
+	pStream := buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled)
+	want, err := NewFuzzer(pStream).FuzzGen(brokenSpec(), NewTrafficGen(5, 2, phv.Default32, 1000), n, FuzzOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPipeline(t, 3, 2, "pred_raw", nil, core.Compiled)
+	f := NewFuzzer(p)
+	for _, size := range []int{8, 64, 8, 0, 512, 3} {
+		f.SetBatch(size)
+		got, err := f.FuzzGen(brokenSpec(), NewTrafficGen(5, 2, phv.Default32, 1000), n, FuzzOptions{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchReportsEqual(t, fmt.Sprintf("size=%d", size), got, want)
+	}
+}

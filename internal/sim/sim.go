@@ -544,6 +544,15 @@ type Fuzzer struct {
 	inputs [][]phv.Value // input i lives at slot i%win until compared
 	want   [][]phv.Value // expected output i, same slot discipline
 	specIn *phv.PHV      // reusable wrapper for non-streaming specs
+
+	// Batched mode (SetBatch): the plane engine and its scratch rows,
+	// allocated lazily on the first batched run and reused afterwards.
+	batchSize int           // 0 = streaming
+	batch     *Batch        // column-major execution planes
+	wantRows  [][]phv.Value // expected output k of the current batch
+	fillRow   []phv.Value   // row scratch for generation and replay
+	gatherRow []phv.Value   // row scratch for column gathers
+	stateBuf  []phv.Value   // pre-batch state checkpoint for panic replay
 }
 
 // NewFuzzer returns a streaming fuzzer over the pipeline. The ring buffers
@@ -591,6 +600,11 @@ func (f *Fuzzer) FuzzGen(spec Spec, gen *TrafficGen, n int, opts FuzzOptions, ma
 func (f *Fuzzer) Fuzz(spec Spec, n int, next func(dst []phv.Value) error, opts FuzzOptions, maxMismatches int) (*BatchReport, error) {
 	if n <= 0 {
 		return nil, errors.New("sim: empty input trace")
+	}
+	if f.batchSize > 0 && f.pipe.Prechecked() {
+		// Batched mode produces byte-identical reports on the plane engine;
+		// unoptimized pipelines fall through to the streaming tick loop.
+		return f.fuzzBatched(spec, n, next, opts, maxMismatches)
 	}
 	report := &BatchReport{SpecName: spec.Name()} //dvet:alloc-ok one report per run, not per PHV
 	f.pipe.ResetState()

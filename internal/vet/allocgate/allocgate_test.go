@@ -66,7 +66,16 @@ var runners = map[string]func(t *testing.T) float64{
 			}
 		}
 		fuzzRun() // warm ring, arena, spec scratch
-		return testing.AllocsPerRun(10, fuzzRun)
+		streaming := testing.AllocsPerRun(10, fuzzRun)
+		// The batched mode must hold the same budget: same loop on the
+		// struct-of-arrays engine, planes allocated once at warmup.
+		f.SetBatch(64)
+		fuzzRun()
+		batched := testing.AllocsPerRun(10, fuzzRun)
+		if batched > streaming {
+			return batched
+		}
+		return streaming
 	},
 	"internal/sim.Fuzzer.FuzzGen": func(t *testing.T) float64 {
 		f, sp, gen, opts := benchFuzzer(t)
@@ -81,6 +90,40 @@ var runners = map[string]func(t *testing.T) float64{
 		}
 		fuzzRun()
 		return testing.AllocsPerRun(10, fuzzRun)
+	},
+	"internal/core.Pipeline.ExecuteStageBatch": func(t *testing.T) float64 {
+		pipe := benchPipeline(t)
+		const n = 64
+		sc, err := pipe.NewBatchScratch(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := benchValuePlanes(pipe.PHVLen(), n)
+		out := benchValuePlanes(pipe.PHVLen(), n)
+		pipe.ExecuteStageBatch(0, in, out, sc, n)
+		return testing.AllocsPerRun(100, func() { pipe.ExecuteStageBatch(0, in, out, sc, n) })
+	},
+	"internal/sim.Batch.Run": func(t *testing.T) float64 {
+		pipe := benchPipeline(t)
+		const n = 64
+		b, err := sim.NewBatch(pipe, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := sim.NewTrafficGen(1, pipe.PHVLen(), pipe.Bits(), 0)
+		row := make([]phv.Value, pipe.PHVLen())
+		for k := 0; k < n; k++ {
+			gen.Fill(row)
+			b.Load(k, row)
+		}
+		if err := b.Run(n); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(100, func() {
+			if err := b.Run(n); err != nil {
+				panic(err)
+			}
+		})
 	},
 	"internal/drmt.TrafficGen.Fill": func(t *testing.T) float64 {
 		_, _, gen, buf := benchMachines(t)
@@ -105,6 +148,61 @@ var runners = map[string]func(t *testing.T) float64{
 			tabM.ProcessSlots(buf)
 		})
 	},
+	"internal/drmt.TrafficGen.FillBatch": func(t *testing.T) float64 {
+		_, _, gen, buf := benchMachines(t)
+		const n = 64
+		planes := benchSlotPlanes(len(buf), n)
+		gen.FillBatch(planes, n) // warm: builds the draw-limit table
+		return testing.AllocsPerRun(100, func() { gen.FillBatch(planes, n) })
+	},
+	"internal/drmt.ISAMachine.ExecBatch": func(t *testing.T) float64 {
+		isaM, _, gen, buf := benchMachines(t)
+		const n = 64
+		planes := benchSlotPlanes(len(buf), n)
+		drops := make([]bool, n)
+		gen.FillBatch(planes, n)
+		if _, _, err := isaM.ExecBatch(planes, drops, n); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(100, func() {
+			gen.FillBatch(planes, n)
+			if _, _, err := isaM.ExecBatch(planes, drops, n); err != nil {
+				panic(err)
+			}
+		})
+	},
+	"internal/drmt.Machine.ProcessBatch": func(t *testing.T) float64 {
+		_, tabM, gen, buf := benchMachines(t)
+		const n = 64
+		planes := benchSlotPlanes(len(buf), n)
+		drops := make([]bool, n)
+		gen.FillBatch(planes, n)
+		tabM.ProcessBatch(planes, drops, n)
+		return testing.AllocsPerRun(100, func() {
+			gen.FillBatch(planes, n)
+			tabM.ProcessBatch(planes, drops, n)
+		})
+	},
+}
+
+// benchValuePlanes allocates column-major phv.Value planes for the batch
+// kernels' fixtures.
+func benchValuePlanes(width, n int) [][]phv.Value {
+	planes := make([][]phv.Value, width)
+	for i := range planes {
+		planes[i] = make([]phv.Value, n)
+	}
+	return planes
+}
+
+// benchSlotPlanes allocates column-major int64 slot planes for the dRMT
+// batch fixtures.
+func benchSlotPlanes(width, n int) [][]int64 {
+	planes := make([][]int64, width)
+	for i := range planes {
+		planes[i] = make([]int64, n)
+	}
+	return planes
 }
 
 // benchPipeline builds the first Table-1 benchmark's pipeline at the
