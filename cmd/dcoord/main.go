@@ -29,8 +29,15 @@
 //	GET  /v1/workers      fleet snapshot
 //	GET  /v1/shards/{key} shared shard store read (workers' remote tier)
 //	PUT  /v1/shards/{key} shared shard store write
-//	GET  /v1/stats        campaigns/rows/workers/dispatch counters
+//	GET  /v1/stats        campaigns/rows/workers/dispatch counters, per-worker
+//	                      lease-latency quantiles and poison forensics
+//	GET  /metrics         Prometheus-text metrics (lease latency histograms,
+//	                      retries, backoff, poison quarantines, fleet gauges)
 //	GET  /healthz         liveness probe
+//
+// -trace journals campaign/job/shard/lease lifecycle events as NDJSON;
+// -pprof mounts net/http/pprof on a separate listener, never the serving
+// mux.
 //
 // On SIGINT/SIGTERM the coordinator stops accepting campaigns, drains
 // subscriber streams for -drain-timeout, stops producers (their campaigns
@@ -50,6 +57,7 @@ import (
 	"druzhba/internal/cli"
 	"druzhba/internal/fabric"
 	"druzhba/internal/farmd"
+	"druzhba/internal/obs"
 )
 
 func main() {
@@ -71,22 +79,40 @@ func main() {
 	poisonAfter := fs.Int("poison-after", 3, "distinct failed workers per shard before poison quarantine")
 	leaseTimeout := fs.Duration("lease-timeout", 10*time.Minute, "per-attempt shard execution budget on a worker")
 	cooldown := fs.Duration("cooldown", 5*time.Second, "bench an unreachable worker for this long after a transport failure")
+	tracePath := fs.String("trace", "", "journal campaign/job/shard/lease lifecycle events as NDJSON to this file (empty = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra listener, e.g. 127.0.0.1:6060 (empty = off; never mounted on the serving mux)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() > 0 {
 		cli.Fatalf("dcoord: unexpected argument %q (all options are flags)", fs.Arg(0))
 	}
 
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			cli.Fatalf("dcoord: -trace: %v", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, nil)
+	}
+	if *pprofAddr != "" {
+		bound, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			cli.Fatalf("dcoord: -pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dcoord: pprof on http://%s/debug/pprof/\n", bound)
+	}
+
 	var cache campaign.ShardCache
 	if !*noCache {
-		mem := farmd.NewMemCache(*cacheEntries)
+		cache = farmd.InstrumentCache(farmd.NewMemCache(*cacheEntries), farmd.TierMem, reg)
 		if *cacheDir != "" {
 			disk, err := farmd.NewDirCacheLimit(*cacheDir, *cacheMaxMB<<20)
 			if err != nil {
 				cli.Fatalf("dcoord: %v", err)
 			}
-			cache = farmd.NewTiered(mem, disk)
-		} else {
-			cache = mem
+			cache = farmd.NewTiered(cache, farmd.InstrumentCache(disk, farmd.TierDisk, reg))
 		}
 	}
 
@@ -99,6 +125,8 @@ func main() {
 		RowWriteTimeout: *rowTimeout,
 		AuthToken:       *authToken,
 		WorkerTTL:       *workerTTL,
+		Metrics:         reg,
+		Trace:           tracer,
 		Dispatch: fabric.DispatchConfig{
 			MaxAttempts:  *maxAttempts,
 			PoisonAfter:  *poisonAfter,

@@ -56,6 +56,7 @@ import (
 	"druzhba/internal/campaign"
 	"druzhba/internal/cli"
 	"druzhba/internal/farmd"
+	"druzhba/internal/obs"
 )
 
 func main() {
@@ -81,6 +82,7 @@ func main() {
 	authToken := fs.String("auth-token", "", "bearer token for -server submissions (the fleet's shared secret)")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file (- for stdout)")
 	timing := fs.Bool("timing", false, "include workers/elapsed/cache metadata in the report (breaks byte-identity across -workers and cache states)")
+	tracePath := fs.String("trace", "", "journal campaign/job/shard lifecycle events as NDJSON to this file; offline mode only (empty = off; the report stays byte-identical)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() > 0 {
 		cli.Fatalf("dfarm: unexpected argument %q (all options are flags)", fs.Arg(0))
@@ -138,6 +140,15 @@ func main() {
 			cli.Fatalf("dfarm: %v", runErr)
 		}
 	} else {
+		var tracer *obs.Tracer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				cli.Fatalf("dfarm: -trace: %v", err)
+			}
+			defer f.Close()
+			tracer = obs.NewTracer(f, nil)
+		}
 		report, runErr = farmd.RunMatrix(ctx, req, campaign.Options{
 			Workers:            *workers,
 			ShardSize:          *shard,
@@ -145,6 +156,7 @@ func main() {
 			MaxCounterexamples: *maxCE,
 			FailFast:           *failfast,
 			JobTimeout:         *jobTimeout,
+			Trace:              tracer,
 		})
 		if report == nil {
 			cli.Fatalf("dfarm: %v", runErr)

@@ -29,7 +29,11 @@
 //	POST /v1/leases      execute one shard lease (fabric coordinators)
 //	GET  /v1/benchmarks  embedded benchmark registries by architecture
 //	GET  /v1/stats       cumulative campaigns/jobs/leases/cache counters
+//	GET  /metrics        Prometheus-text metrics (lease latency, cache tiers)
 //	GET  /healthz        liveness probe
+//
+// -trace journals campaign/lease lifecycle events as NDJSON; -pprof
+// mounts net/http/pprof on a separate listener, never the serving mux.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // streams for -drain-timeout, flushes the disk cache tier and exits.
@@ -49,6 +53,7 @@ import (
 	"druzhba/internal/cli"
 	"druzhba/internal/fabric"
 	"druzhba/internal/farmd"
+	"druzhba/internal/obs"
 )
 
 func main() {
@@ -68,28 +73,49 @@ func main() {
 	coord := fs.String("coord", "", "join this dcoord coordinator's fabric as a worker (base URL)")
 	advertise := fs.String("advertise", "", "base URL the coordinator dials this worker back on (default derived from -addr and the hostname)")
 	heartbeat := fs.Duration("heartbeat", 5*time.Second, "coordinator heartbeat interval with -coord")
+	tracePath := fs.String("trace", "", "journal campaign/lease lifecycle events as NDJSON to this file (empty = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra listener, e.g. 127.0.0.1:6060 (empty = off; never mounted on the serving mux)")
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
 	if fs.NArg() > 0 {
 		cli.Fatalf("dfarmd: unexpected argument %q (all options are flags)", fs.Arg(0))
 	}
 
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			cli.Fatalf("dfarmd: -trace: %v", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, nil)
+	}
+	if *pprofAddr != "" {
+		bound, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			cli.Fatalf("dfarmd: -pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dfarmd: pprof on http://%s/debug/pprof/\n", bound)
+	}
+
 	var cache campaign.ShardCache
+	var remoteCounts func() (hits, misses int64)
 	if !*noCache {
-		mem := farmd.NewMemCache(*cacheEntries)
+		cache = farmd.InstrumentCache(farmd.NewMemCache(*cacheEntries), farmd.TierMem, reg)
 		if *cacheDir != "" {
 			disk, err := farmd.NewDirCacheLimit(*cacheDir, *cacheMaxMB<<20)
 			if err != nil {
 				cli.Fatalf("dfarmd: %v", err)
 			}
-			cache = farmd.NewTiered(mem, disk)
-		} else {
-			cache = mem
+			cache = farmd.NewTiered(cache, farmd.InstrumentCache(disk, farmd.TierDisk, reg))
 		}
 		if *coord != "" {
 			// The fleet's shared store is the outermost (slowest) tier:
 			// local misses consult the coordinator, local executions
 			// publish back, so the whole fleet pools its shard work.
-			cache = farmd.NewTiered(cache, farmd.NewRemoteCache(*coord, *authToken, nil))
+			remote := farmd.InstrumentCache(farmd.NewRemoteCache(*coord, *authToken, nil), farmd.TierRemote, reg)
+			cache = farmd.NewTiered(cache, remote)
+			remoteCounts = remote.Counts
 		}
 	}
 
@@ -122,6 +148,9 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		RowWriteTimeout: *rowTimeout,
 		AuthToken:       *authToken,
+		Metrics:         reg,
+		Trace:           tracer,
+		RemoteCounts:    remoteCounts,
 	}, *drainTimeout)
 	if err != nil {
 		cli.Fatalf("dfarmd: %v", err)

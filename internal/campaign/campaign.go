@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"druzhba/internal/obs"
 )
 
 // Job is one cell of the campaign matrix: an architecture-specific target
@@ -130,6 +132,20 @@ type Options struct {
 	// figures derived from it are excluded from report serialization,
 	// so reports stay byte-identical across clocks.
 	Now func() time.Time
+
+	// Metrics, when non-nil, receives the engine's instrumentation:
+	// shard/job durations, cache hit counters and queue depth, at shard
+	// granularity. Metrics are observability only — they never feed
+	// fingerprints, shard keys or serialized rows, so an instrumented
+	// report stays byte-identical to an unmetered one. All timing reads
+	// go through Now.
+	Metrics *Metrics
+
+	// Trace, when non-nil, journals campaign → job → shard lifecycle
+	// events as NDJSON spans (the -trace flag). Like Metrics it is
+	// observability only and timestamps through the tracer's own
+	// injected clock.
+	Trace *obs.Tracer
 
 	// OnJobReport, when non-nil, receives each job's merged report as
 	// soon as the job completes. Calls are serialized and arrive in job

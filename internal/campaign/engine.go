@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"druzhba/internal/obs"
 )
 
 // task addresses one shard of one job. The shard's global packet range is
@@ -39,6 +41,16 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		seen[jobs[i].Name] = true
 	}
 	start := o.Now()
+
+	// Observability is opt-in per run: with neither metrics nor tracing
+	// the engine makes no extra clock reads at all. clocks records each
+	// job's first shard start; all reads flow through the o.Now seam.
+	obsOn := o.Metrics != nil || o.Trace != nil
+	var clocks *jobClocks
+	if obsOn {
+		clocks = &jobClocks{start: make([]time.Time, len(jobs))}
+	}
+	span := o.Trace.Begin("campaign", "run")
 
 	// Build every target once, up front. A failed build is a test finding
 	// (configuration incompatible with the architecture model — the
@@ -101,8 +113,11 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 	// The emitter merges each job the moment its last shard lands and
 	// hands rows to OnJobReport in matrix order; jobs with no shards
 	// (build errors, cancelled builds) are complete already.
-	em := &emitter{jobs: jobs, buildErrs: buildErrs, results: results, pending: pending, o: o, sizes: sizes, reports: make([]*JobReport, len(jobs))}
+	em := &emitter{jobs: jobs, buildErrs: buildErrs, results: results, pending: pending, o: o, sizes: sizes, reports: make([]*JobReport, len(jobs)), clocks: clocks}
 	em.flush()
+
+	remaining := int64(len(tasks))
+	o.Metrics.queueDepth(remaining)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -132,17 +147,27 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 				if runCtx.Err() != nil {
 					continue // drain without running; emitter.finish reports the jobs
 				}
+				if clocks != nil {
+					clocks.begin(t.job, o.Now)
+				}
 				seed := deriveSeed(jobs[t.job].Seed, t.shard)
 				key := ""
 				if fps[t.job] != "" {
 					key = ShardKey(fps[t.job], seed, t.n)
 				}
 				var res *ShardResult
+				cached := false
 				if o.Cache != nil && key != "" {
 					if c, ok := o.Cache.Get(key); ok {
 						atomic.AddInt64(&hits, 1)
+						o.Metrics.cacheProbe(true)
 						res = c
+						cached = true
 					}
+				}
+				var shardStart time.Time
+				if obsOn && res == nil {
+					shardStart = o.Now()
 				}
 				if res == nil {
 					var deadline time.Time
@@ -158,6 +183,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 					} else {
 						if o.Cache != nil && key != "" {
 							atomic.AddInt64(&misses, 1)
+							o.Metrics.cacheProbe(false)
 						}
 						if o.Executor != nil {
 							res = runShardRemote(runCtx, o.Executor, ShardTask{Job: &jobs[t.job], Shard: t.shard, Seed: seed, N: t.n, Fingerprint: fps[t.job], Key: key}, deadline, o.JobTimeout)
@@ -186,6 +212,30 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 					}
 				}
 				results[t.job][t.shard] = res
+				if obsOn {
+					outcome := "executed"
+					switch {
+					case cached:
+						outcome = "cached"
+					case res.Err != nil:
+						outcome = "error"
+					}
+					durSec := -1.0
+					if !shardStart.IsZero() {
+						durSec = o.Now().Sub(shardStart).Seconds()
+					}
+					o.Metrics.shardDone(outcome, durSec)
+					o.Metrics.queueDepth(atomic.AddInt64(&remaining, -1))
+					if durSec >= 0 {
+						o.Trace.Event("shard", jobs[t.job].Name,
+							obs.KV{K: "shard", V: t.shard}, obs.KV{K: "outcome", V: outcome},
+							obs.KV{K: "checked", V: res.Checked}, obs.KV{K: "dur_us", V: int64(durSec * 1e6)})
+					} else {
+						o.Trace.Event("shard", jobs[t.job].Name,
+							obs.KV{K: "shard", V: t.shard}, obs.KV{K: "outcome", V: outcome},
+							obs.KV{K: "checked", V: res.Checked})
+					}
+				}
 				if o.FailFast && res.failed() {
 					stopped.Do(func() { stoppedEarly = true })
 					cancel()
@@ -219,7 +269,31 @@ feed:
 		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
 		PHVsPerSec: float64(report.TotalChecked) / elapsed.Seconds(),
 	}
+	span.End(obs.KV{K: "jobs", V: len(jobs)}, obs.KV{K: "checked", V: report.TotalChecked}, obs.KV{K: "passed", V: report.Passed})
 	return report, ctx.Err()
+}
+
+// jobClocks records each job's first shard start under the engine's
+// clock seam, feeding the job-duration histogram and trace spans. It
+// exists only when observability is on, so an unmetered run reads no
+// extra clocks.
+type jobClocks struct {
+	mu    sync.Mutex
+	start []time.Time
+}
+
+func (jc *jobClocks) begin(j int, now func() time.Time) {
+	jc.mu.Lock()
+	if jc.start[j].IsZero() {
+		jc.start[j] = now()
+	}
+	jc.mu.Unlock()
+}
+
+func (jc *jobClocks) get(j int) time.Time {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	return jc.start[j]
 }
 
 // workerState is one worker's reusable runner for one job. Building it can
@@ -323,6 +397,7 @@ type emitter struct {
 	o         Options
 	sizes     []int // per-job shard size (merge's packet-index arithmetic)
 	reports   []*JobReport
+	clocks    *jobClocks // nil when observability is off
 	cursor    int
 }
 
@@ -361,6 +436,14 @@ func (e *emitter) advance() {
 		jr := mergeJob(&e.jobs[j], e.buildErrs[j], e.results[j], e.o, e.sizes[j])
 		e.reports[j] = &jr
 		e.cursor++
+		if e.clocks != nil {
+			durSec := -1.0
+			if st := e.clocks.get(j); !st.IsZero() {
+				durSec = e.o.Now().Sub(st).Seconds()
+			}
+			e.o.Metrics.jobDone(jr.Status, durSec)
+			e.o.Trace.Event("job", jr.Name, obs.KV{K: "status", V: jr.Status}, obs.KV{K: "checked", V: jr.Checked})
+		}
 		if e.o.OnJobReport != nil {
 			e.o.OnJobReport(jr)
 		}

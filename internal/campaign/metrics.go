@@ -1,0 +1,115 @@
+package campaign
+
+import "druzhba/internal/obs"
+
+// Metrics is the engine's instrumentation set: shard and job durations,
+// cache hit ratios and live queue depth, at shard granularity. It is
+// deliberately not part of report content — every field updates through
+// obs atomics that fingerprints, shard keys and serialized rows never
+// read, so an instrumented campaign's report is byte-identical to an
+// unmetered one (pinned by test). A nil *Metrics (the default) disables
+// everything at the cost of one branch per shard.
+type Metrics struct {
+	// ShardSeconds observes each executed shard's duration (cache
+	// replays are counted, not timed).
+	ShardSeconds *obs.Histogram
+
+	// JobSeconds observes each job's duration from its first shard
+	// starting to its merge (fully cached and build-error jobs are
+	// counted under Jobs but not timed).
+	JobSeconds *obs.Histogram
+
+	// Shards counts shard completions by outcome: cached | executed |
+	// error.
+	Shards *obs.CounterVec
+
+	// Jobs counts merged job rows by report status (pass, fail, error,
+	// aborted, unknown).
+	Jobs *obs.CounterVec
+
+	// CacheHits / CacheMisses mirror the report's CacheStats counters
+	// cumulatively across campaigns.
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+
+	// QueueDepth tracks the running campaign's not-yet-completed shard
+	// count.
+	QueueDepth *obs.Gauge
+
+	// Interned outcome series so the per-shard path does no map lookups.
+	shardCached, shardExecuted, shardError *obs.Counter
+}
+
+// NewMetrics registers the engine's metric families on r. Registration
+// is idempotent, so every campaign run in one process shares the same
+// cumulative series.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		ShardSeconds: r.Histogram("druzhba_campaign_shard_seconds", "executed shard durations in seconds", nil),
+		JobSeconds:   r.Histogram("druzhba_campaign_job_seconds", "job durations from first shard start to merge, in seconds", nil),
+		Shards:       r.CounterVec("druzhba_campaign_shards_total", "shard completions by outcome", "outcome"),
+		Jobs:         r.CounterVec("druzhba_campaign_jobs_total", "merged job rows by report status", "status"),
+		CacheHits:    r.Counter("druzhba_campaign_cache_hits_total", "shards replayed from the shard cache"),
+		CacheMisses:  r.Counter("druzhba_campaign_cache_misses_total", "shards executed with caching on"),
+		QueueDepth:   r.Gauge("druzhba_campaign_queue_depth", "shards not yet completed in the running campaign"),
+	}
+	m.shardCached = m.Shards.With("cached")
+	m.shardExecuted = m.Shards.With("executed")
+	m.shardError = m.Shards.With("error")
+	return m
+}
+
+// shardDone records one completed shard. durSec < 0 means the shard was
+// not executed here (cache replay, deadline pre-failure) and only the
+// outcome counter moves.
+func (m *Metrics) shardDone(outcome string, durSec float64) {
+	if m == nil {
+		return
+	}
+	switch outcome {
+	case "cached":
+		m.shardCached.Inc()
+	case "error":
+		m.shardError.Inc()
+	default:
+		m.shardExecuted.Inc()
+	}
+	if durSec >= 0 {
+		m.ShardSeconds.Observe(durSec)
+	}
+}
+
+// jobDone records one merged job row. durSec < 0 means no shard of the
+// job ever started a clock here.
+func (m *Metrics) jobDone(status string, durSec float64) {
+	if m == nil {
+		return
+	}
+	m.Jobs.With(status).Inc()
+	if durSec >= 0 {
+		m.JobSeconds.Observe(durSec)
+	}
+}
+
+// cacheProbe records one shard-cache consultation.
+func (m *Metrics) cacheProbe(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.CacheHits.Inc()
+	} else {
+		m.CacheMisses.Inc()
+	}
+}
+
+// queueDepth publishes the number of shards still pending.
+func (m *Metrics) queueDepth(n int64) {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Set(float64(n))
+}

@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"druzhba/internal/obs"
+)
+
+// TestInstrumentedReportByteIdentical pins the observability invariant:
+// running the same campaign with metrics and tracing enabled yields a
+// report byte-identical to an unmetered run, while the instruments record
+// every shard and job.
+func TestInstrumentedReportByteIdentical(t *testing.T) {
+	jobs := passingJobs(t, 2000, 1)
+	jobs = append(jobs, brokenJob(t, "broken", 2000))
+
+	plain, err := Run(context.Background(), jobs, Options{Workers: 4, ShardSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	var traceBuf bytes.Buffer
+	var tick int64
+	clock := func() time.Time { return time.UnixMicro(1_754_640_000_000_000 + atomic.AddInt64(&tick, 250)) }
+	tracer := obs.NewTracer(&traceBuf, clock)
+
+	metered, err := Run(context.Background(), jobs, Options{
+		Workers: 4, ShardSize: 512, Metrics: m, Trace: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := deterministicJSON(t, metered), deterministicJSON(t, plain); got != want {
+		t.Fatalf("instrumented JSON report differs from plain run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if metered.Text(false) != plain.Text(false) {
+		t.Fatal("instrumented text report differs from plain run")
+	}
+
+	// The instruments saw the work: every shard executed (no cache
+	// configured), every job finished, the queue drained.
+	var wantShards uint64
+	for _, j := range metered.Jobs {
+		wantShards += uint64(j.Shards)
+	}
+	executed := uint64(m.Shards.With("executed").Value())
+	errored := uint64(m.Shards.With("error").Value())
+	if executed+errored != wantShards {
+		t.Fatalf("shards_total executed=%d error=%d, want total %d", executed, errored, wantShards)
+	}
+	if got := int(m.Jobs.With(StatusPass).Value() + m.Jobs.With(StatusFail).Value()); got != len(metered.Jobs) {
+		t.Fatalf("jobs_total = %d, want %d", got, len(metered.Jobs))
+	}
+	if depth := m.QueueDepth.Value(); depth != 0 {
+		t.Fatalf("queue depth after campaign = %v, want 0", depth)
+	}
+	if snap := m.ShardSeconds.Snapshot(); snap.Count != uint64(executed+errored) {
+		t.Fatalf("shard_seconds count = %d, want %d", snap.Count, executed+errored)
+	}
+
+	// The trace journal is valid NDJSON with the expected lifecycle
+	// events: one campaign span, one event per job and per shard.
+	var campaignSpans, jobEvents, shardEvents int
+	sc := bufio.NewScanner(bytes.NewReader(traceBuf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		if _, ok := ev["ts_us"].(float64); !ok {
+			t.Fatalf("trace line %q has no ts_us", sc.Text())
+		}
+		switch ev["scope"] {
+		case "campaign":
+			campaignSpans++
+		case "job":
+			jobEvents++
+		case "shard":
+			shardEvents++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if campaignSpans != 1 {
+		t.Fatalf("campaign spans = %d, want 1", campaignSpans)
+	}
+	if jobEvents != len(metered.Jobs) {
+		t.Fatalf("job trace events = %d, want %d", jobEvents, len(metered.Jobs))
+	}
+	if int(wantShards) != shardEvents {
+		t.Fatalf("shard trace events = %d, want %d", shardEvents, wantShards)
+	}
+}
+
+// TestMetricsCacheCounters pins cache-probe accounting: a warm re-run
+// replays every shard from cache and the hit/miss counters say so.
+func TestMetricsCacheCounters(t *testing.T) {
+	jobs := passingJobs(t, 1500, 3)
+	cache := newMapCache()
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	opts := Options{Workers: 2, ShardSize: 512, Cache: cache, Metrics: m}
+
+	cold, err := Run(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := m.CacheMisses.Value()
+	if misses == 0 {
+		t.Fatal("cold run recorded no cache misses")
+	}
+	if hits := m.CacheHits.Value(); hits != 0 {
+		t.Fatalf("cold run recorded %v cache hits", hits)
+	}
+
+	warm, err := Run(context.Background(), jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := deterministicJSON(t, warm), deterministicJSON(t, cold); got != want {
+		t.Fatal("warm instrumented run differs from cold run")
+	}
+	if hits := m.CacheHits.Value(); hits != misses {
+		t.Fatalf("warm run hits = %v, want %v (every shard replayed)", hits, misses)
+	}
+	// Cached shards count under the "cached" outcome, not "executed".
+	if cached := m.Shards.With("cached").Value(); cached != misses {
+		t.Fatalf("shards_total{outcome=cached} = %v, want %v", cached, misses)
+	}
+}
+
+// TestMetricsNilSafe: every helper an unmetered engine run hits must be
+// nil-receiver safe, so disabling observability costs one branch.
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.shardDone("executed", 0.5)
+	m.jobDone(StatusPass, 1)
+	m.cacheProbe(true)
+	m.cacheProbe(false)
+	m.queueDepth(3)
+}

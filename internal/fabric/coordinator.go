@@ -15,6 +15,7 @@ import (
 
 	"druzhba/internal/campaign"
 	"druzhba/internal/farmd"
+	"druzhba/internal/obs"
 )
 
 // CoordConfig configures a Coordinator.
@@ -56,6 +57,16 @@ type CoordConfig struct {
 
 	// Dispatch tunes lease retry, backoff, poisoning and transport.
 	Dispatch DispatchConfig
+
+	// Metrics is the registry GET /metrics serves; the coordinator
+	// registers its campaign, dispatcher and shard-store instruments on
+	// it (nil = a fresh private registry, so /metrics always works).
+	Metrics *obs.Registry
+
+	// Trace journals campaign/job/shard/lease lifecycle events as
+	// NDJSON (nil = no tracing). Observability only: an instrumented
+	// campaign's report is byte-identical to an untraced one.
+	Trace *obs.Tracer
 }
 
 func (c *CoordConfig) rowTimeout() time.Duration {
@@ -115,7 +126,19 @@ func (st *campaignState) finish() {
 	st.mu.Unlock()
 }
 
-// CoordStats is the coordinator's /v1/stats document.
+// LeaseLatencySummary summarizes one worker's lease-latency histogram
+// for /v1/stats: observation count plus interpolated quantiles in
+// milliseconds.
+type LeaseLatencySummary struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// CoordStats is the coordinator's /v1/stats document. LeaseLatency and
+// Poison are additive extensions — existing consumers of the original
+// counters are unaffected.
 type CoordStats struct {
 	Campaigns    int64         `json:"campaigns"`      // campaigns completed
 	Rows         int64         `json:"rows"`           // rows journaled/streamed
@@ -125,6 +148,14 @@ type CoordStats struct {
 	ShardPuts    int64         `json:"shard_puts"`     // shared-store PUTs accepted
 	Dispatch     DispatchStats `json:"dispatch"`       // lease dispatcher counters
 	LocalShards  int64         `json:"local_fallback"` // dispatcher fallbacks (duplicated for convenience)
+
+	// LeaseLatency summarizes per-worker lease round trips (JSON object
+	// keys sort deterministically under encoding/json).
+	LeaseLatency map[string]LeaseLatencySummary `json:"lease_latency"`
+
+	// Poison is the recent poison-quarantine forensics ledger: which
+	// workers failed each shard, with the full attempt timeline.
+	Poison []PoisonRecord `json:"poison"`
 }
 
 // Coordinator is the dcoord HTTP service: it accepts campaign matrices,
@@ -159,6 +190,14 @@ type Coordinator struct {
 	campaigns map[string]*campaignState
 
 	campaignsDone, rowCount, shardHits, shardMisses, shardPuts int64 // atomics
+
+	// Observability: fm/cm are the fabric and engine instrument sets on
+	// cfg.Metrics; the rest are the coordinator's own counters.
+	fm                       *Metrics
+	cm                       *campaign.Metrics
+	mCampaigns, mRows        *obs.Counter
+	mStoreHits, mStoreMisses *obs.Counter
+	mStorePuts               *obs.Counter
 }
 
 // NewCoordinator builds a coordinator and recovers its journal: completed
@@ -173,15 +212,34 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.Dispatch.Token == "" {
 		cfg.Dispatch.Token = cfg.AuthToken
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	fm := NewMetrics(cfg.Metrics)
+	if cfg.Dispatch.Metrics == nil {
+		cfg.Dispatch.Metrics = fm
+	}
+	if cfg.Dispatch.Trace == nil {
+		cfg.Dispatch.Trace = cfg.Trace
+	}
 	c := &Coordinator{
 		cfg:       cfg,
 		reg:       NewRegistry(cfg.WorkerTTL),
 		mux:       http.NewServeMux(),
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		campaigns: map[string]*campaignState{},
+
+		fm:           fm,
+		cm:           campaign.NewMetrics(cfg.Metrics),
+		mCampaigns:   cfg.Metrics.Counter("druzhba_coord_campaigns_total", "campaigns run to completion"),
+		mRows:        cfg.Metrics.Counter("druzhba_coord_rows_total", "rows journaled and streamed"),
+		mStoreHits:   cfg.Metrics.Counter("druzhba_coord_shard_store_hits_total", "shared shard store GET hits"),
+		mStoreMisses: cfg.Metrics.Counter("druzhba_coord_shard_store_misses_total", "shared shard store GET misses"),
+		mStorePuts:   cfg.Metrics.Counter("druzhba_coord_shard_store_puts_total", "shared shard store PUTs accepted"),
 	}
 	c.disp = NewDispatcher(c.reg, cfg.Dispatch)
 	c.root, c.stopRoot = context.WithCancel(context.Background())
+	cfg.Metrics.OnCollect(c.fm.CollectFleet(c.reg))
 
 	c.mux.HandleFunc("POST /v1/campaigns", c.auth(c.handleCampaigns))
 	c.mux.HandleFunc("POST /v1/workers", c.auth(c.handleWorkerRegister))
@@ -189,6 +247,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/shards/{key}", c.auth(c.handleShardGet))
 	c.mux.HandleFunc("PUT /v1/shards/{key}", c.auth(c.handleShardPut))
 	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -309,6 +368,7 @@ func (c *Coordinator) runCampaign(st *campaignState, req *farmd.MatrixRequest) {
 			return
 		}
 		atomic.AddInt64(&c.rowCount, 1)
+		c.mRows.Inc()
 		if writer != nil {
 			writer.Append(data) //nolint:errcheck // stream stays authoritative in memory
 		}
@@ -344,6 +404,8 @@ func (c *Coordinator) runCampaign(st *campaignState, req *farmd.MatrixRequest) {
 			JobTimeout:         timeout,
 			Cache:              c.cfg.Cache,
 			Executor:           exec,
+			Metrics:            c.cm,
+			Trace:              c.cfg.Trace,
 			OnJobReport:        func(jr campaign.JobReport) { emit(farmd.Row{Job: &jr}) },
 		}
 	}
@@ -367,6 +429,7 @@ func (c *Coordinator) runCampaign(st *campaignState, req *farmd.MatrixRequest) {
 		}})
 	}
 	atomic.AddInt64(&c.campaignsDone, 1)
+	c.mCampaigns.Inc()
 	if writer != nil {
 		if err := writer.Close(); err == nil {
 			c.journal.MarkDone(st.id) //nolint:errcheck // next run re-executes, still correct
@@ -487,10 +550,12 @@ func (c *Coordinator) handleShardGet(w http.ResponseWriter, r *http.Request) {
 	res, ok := c.cfg.Cache.Get(key)
 	if !ok {
 		atomic.AddInt64(&c.shardMisses, 1)
+		c.mStoreMisses.Inc()
 		httpError(w, http.StatusNotFound, "no such shard")
 		return
 	}
 	atomic.AddInt64(&c.shardHits, 1)
+	c.mStoreHits.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(farmd.WireResult(res)) //nolint:errcheck // terminal write
 }
@@ -513,12 +578,30 @@ func (c *Coordinator) handleShardPut(w http.ResponseWriter, r *http.Request) {
 	}
 	c.cfg.Cache.Put(key, wire.Result())
 	atomic.AddInt64(&c.shardPuts, 1)
+	c.mStorePuts.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleStats reports the coordinator's counters.
+// handleStats reports the coordinator's counters plus the per-worker
+// lease-latency summaries and poison forensics.
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	ds := c.disp.Stats()
+	lease := map[string]LeaseLatencySummary{}
+	for _, s := range c.fm.LeaseLatency.Snapshots() {
+		if len(s.Labels) != 1 {
+			continue
+		}
+		lease[s.Labels[0]] = LeaseLatencySummary{
+			Count: s.Snap.Count,
+			P50MS: s.Snap.Quantile(0.5) * 1000,
+			P90MS: s.Snap.Quantile(0.9) * 1000,
+			P99MS: s.Snap.Quantile(0.99) * 1000,
+		}
+	}
+	poison := c.disp.PoisonForensics()
+	if poison == nil {
+		poison = []PoisonRecord{}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(CoordStats{ //nolint:errcheck // terminal write
 		Campaigns:    atomic.LoadInt64(&c.campaignsDone),
@@ -529,6 +612,8 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		ShardPuts:    atomic.LoadInt64(&c.shardPuts),
 		Dispatch:     ds,
 		LocalShards:  ds.Fallback,
+		LeaseLatency: lease,
+		Poison:       poison,
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 
 	"druzhba/internal/campaign"
 	"druzhba/internal/farmd"
+	"druzhba/internal/obs"
 )
 
 // DispatchConfig tunes the lease dispatcher's failure handling.
@@ -52,6 +54,18 @@ type DispatchConfig struct {
 	// JitterSeed seeds the backoff jitter RNG (0 = unjittered backoff);
 	// jitter spreads retry storms, it never affects results.
 	JitterSeed int64
+
+	// Now is the dispatcher's clock seam: lease latency and forensics
+	// timings read it, never the wall clock directly (nil = time.Now).
+	// Timings measured through it are observability only — they reach
+	// /metrics and /v1/stats, never report rows.
+	Now func() time.Time
+
+	// Metrics instruments the dispatcher (nil = unmetered).
+	Metrics *Metrics
+
+	// Trace journals lease lifecycle events (nil = no tracing).
+	Trace *obs.Tracer
 }
 
 func (c DispatchConfig) withDefaults() DispatchConfig {
@@ -75,6 +89,9 @@ func (c DispatchConfig) withDefaults() DispatchConfig {
 	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
+	}
+	if c.Now == nil {
+		c.Now = time.Now //dvet:walltime-ok the one approved default for the dispatcher's clock seam
 	}
 	return c
 }
@@ -115,6 +132,65 @@ type Dispatcher struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand // jitter only; nil = no jitter
+
+	fmu       sync.Mutex
+	forensics []PoisonRecord // most recent quarantines, oldest first
+}
+
+// poisonLedgerCap bounds the forensics ledger: enough history to debug
+// a bad deploy, bounded so a poison storm cannot grow the coordinator.
+const poisonLedgerCap = 32
+
+// Attempt is one entry of a poisoned shard's attempt timeline.
+type Attempt struct {
+	Attempt   int     `json:"attempt"`
+	Worker    string  `json:"worker"`
+	Class     string  `json:"class"` // "transport" | "protocol"
+	Error     string  `json:"error"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// PoisonRecord is one quarantined shard's forensics: which workers
+// failed it and the full attempt timeline. It surfaces on /v1/stats and
+// (compactly) in the errored report row's message.
+type PoisonRecord struct {
+	Campaign string    `json:"campaign,omitempty"`
+	Phase    string    `json:"phase,omitempty"`
+	Job      string    `json:"job"`
+	Shard    int       `json:"shard"`
+	Workers  []string  `json:"workers"` // distinct failed workers, sorted
+	Attempts []Attempt `json:"attempts"`
+}
+
+// timeline renders the attempt history compactly for the report row's
+// error message: "1:http://w1/transport 2:http://w2/protocol".
+func (p PoisonRecord) timeline() string {
+	var b strings.Builder
+	for i, a := range p.Attempts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%s/%s", a.Attempt, a.Worker, a.Class)
+	}
+	return b.String()
+}
+
+// recordPoison appends one quarantine to the bounded forensics ledger.
+func (d *Dispatcher) recordPoison(rec PoisonRecord) {
+	d.fmu.Lock()
+	d.forensics = append(d.forensics, rec)
+	if len(d.forensics) > poisonLedgerCap {
+		d.forensics = d.forensics[len(d.forensics)-poisonLedgerCap:]
+	}
+	d.fmu.Unlock()
+}
+
+// PoisonForensics snapshots the most recent poison quarantines, oldest
+// first (/v1/stats' forensics feed).
+func (d *Dispatcher) PoisonForensics() []PoisonRecord {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	return append([]PoisonRecord(nil), d.forensics...)
 }
 
 // NewDispatcher returns a dispatcher scheduling onto reg.
@@ -154,6 +230,7 @@ func (d *Dispatcher) backoff(attempt int) time.Duration {
 // shard error), a poison verdict, or campaign.ErrNoWorkers.
 func (d *Dispatcher) Execute(ctx context.Context, lease *farmd.ShardLease) *campaign.ShardResult {
 	failed := map[string]bool{} // distinct workers this shard failed on
+	var attempts []Attempt      // forensics timeline, kept even unmetered
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -162,12 +239,19 @@ func (d *Dispatcher) Execute(ctx context.Context, lease *farmd.ShardLease) *camp
 		url := d.reg.Pick(nil)
 		if url == "" {
 			atomic.AddInt64(&d.stats.Fallback, 1)
+			d.cfg.Metrics.fallback()
+			d.cfg.Trace.Event("fabric", "fallback", obs.KV{K: "job", V: lease.Job}, obs.KV{K: "shard", V: lease.Shard})
 			return &campaign.ShardResult{Err: fmt.Errorf("%w (shard %s/%d)", campaign.ErrNoWorkers, lease.Job, lease.Shard)}
 		}
+		start := d.cfg.Now()
 		res, err, transport := d.tryLease(ctx, url, lease)
 		d.reg.Done(url)
+		elapsed := d.cfg.Now().Sub(start)
 		if err == nil {
 			atomic.AddInt64(&d.stats.Leases, 1)
+			d.cfg.Metrics.lease(url, elapsed.Seconds())
+			d.cfg.Trace.Event("fabric", "lease", obs.KV{K: "job", V: lease.Job}, obs.KV{K: "shard", V: lease.Shard},
+				obs.KV{K: "worker", V: url}, obs.KV{K: "attempt", V: attempt}, obs.KV{K: "dur_us", V: elapsed.Microseconds()})
 			return res
 		}
 		if ctx.Err() != nil {
@@ -177,18 +261,46 @@ func (d *Dispatcher) Execute(ctx context.Context, lease *farmd.ShardLease) *camp
 		}
 		lastErr = fmt.Errorf("worker %s: %w", url, err)
 		failed[url] = true
+		class := "protocol"
 		if transport {
+			class = "transport"
 			d.reg.Fail(url, d.cfg.Cooldown)
 		}
+		d.cfg.Metrics.leaseFailed(url, class)
+		attempts = append(attempts, Attempt{
+			Attempt: attempt, Worker: url, Class: class,
+			Error: err.Error(), ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		})
 		if len(failed) >= d.cfg.PoisonAfter || attempt >= d.cfg.MaxAttempts {
 			atomic.AddInt64(&d.stats.Poisoned, 1)
+			d.cfg.Metrics.poisoned()
+			workers := make([]string, 0, len(failed))
+			for w := range failed {
+				workers = append(workers, w)
+			}
+			sort.Strings(workers)
+			rec := PoisonRecord{
+				Campaign: lease.Campaign, Phase: lease.Phase,
+				Job: lease.Job, Shard: lease.Shard,
+				Workers: workers, Attempts: attempts,
+			}
+			d.recordPoison(rec)
+			d.cfg.Trace.Event("fabric", "poison", obs.KV{K: "job", V: lease.Job}, obs.KV{K: "shard", V: lease.Shard},
+				obs.KV{K: "workers", V: workers}, obs.KV{K: "attempts", V: attempt})
+			// The timeline names the workers that failed the shard and
+			// how, so the errored report row carries its own forensics.
+			// Poison rows are already run-dependent (attempt counts,
+			// worker URLs), so this stays inside the existing
+			// determinism carve-out for errored distributed rows.
 			return &campaign.ShardResult{Err: fmt.Errorf(
-				"fabric: shard %s/%d poisoned after %d attempts on %d workers: %w",
-				lease.Job, lease.Shard, attempt, len(failed), lastErr)}
+				"fabric: shard %s/%d poisoned after %d attempts on %d workers [%s]: %w",
+				lease.Job, lease.Shard, attempt, len(failed), rec.timeline(), lastErr)}
 		}
 		atomic.AddInt64(&d.stats.Retries, 1)
+		delay := d.backoff(attempt)
+		d.cfg.Metrics.retry(delay.Seconds())
 		select {
-		case <-time.After(d.backoff(attempt)):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return &campaign.ShardResult{Err: ctx.Err()}
 		}

@@ -310,6 +310,52 @@ func TestPoisonShardQuarantine(t *testing.T) {
 	if got := c.Dispatcher().Stats().Fallback; got != 0 {
 		t.Fatalf("%d local fallbacks; alive-but-failing workers must poison, not fall back", got)
 	}
+
+	// Forensics: the quarantine ledger names the workers that failed each
+	// shard with a full attempt timeline, the same record surfaces in
+	// /v1/stats, and the errored report rows carry the timeline.
+	recs := c.Dispatcher().PoisonForensics()
+	if len(recs) == 0 {
+		t.Fatal("no poison forensics recorded")
+	}
+	for _, rec := range recs {
+		// Quarantine fires on PoisonAfter=2 distinct workers or
+		// MaxAttempts total, so every timeline has at least two entries
+		// naming every distinct worker that failed the shard.
+		if len(rec.Workers) == 0 || len(rec.Attempts) < 2 {
+			t.Fatalf("poison record %s/%d: %d workers, %d attempts; want a populated timeline",
+				rec.Job, rec.Shard, len(rec.Workers), len(rec.Attempts))
+		}
+		distinct := map[string]bool{}
+		for _, a := range rec.Attempts {
+			if a.Worker == "" || a.Class == "" || a.Error == "" {
+				t.Fatalf("poison attempt incomplete: %+v", a)
+			}
+			distinct[a.Worker] = true
+		}
+		if len(distinct) != len(rec.Workers) {
+			t.Fatalf("poison record %s/%d names %d workers but its timeline spans %d",
+				rec.Job, rec.Shard, len(rec.Workers), len(distinct))
+		}
+	}
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats CoordStats
+	derr := json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(stats.Poison) != len(recs) {
+		t.Fatalf("/v1/stats poison has %d records, dispatcher holds %d", len(stats.Poison), len(recs))
+	}
+	for _, j := range rep.Jobs {
+		if strings.Contains(j.Name, "compiled") && !strings.Contains(j.Error, "workers [") {
+			t.Fatalf("errored row %q lacks the poison attempt timeline: %q", j.Name, j.Error)
+		}
+	}
 }
 
 // TestNoWorkersLocalFallback: a coordinator with an empty (or fully

@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"druzhba/internal/farmd"
+	"druzhba/internal/obs"
+)
+
+// lockedBuffer is a mutex-guarded bytes.Buffer: the tracer serializes
+// its own writes, but the test reads the journal while coordinator
+// goroutines may still be winding down.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestInstrumentedDistributedByteIdentity is the observability acceptance
+// test: a distributed campaign with metrics and tracing enabled renders
+// byte-identically to a single-process run, while /metrics exposes
+// per-worker lease-latency histograms and /v1/stats carries the quantile
+// summaries.
+func TestInstrumentedDistributedByteIdentity(t *testing.T) {
+	wantText, wantJSON := localRender(t, smallMatrix())
+
+	reg := obs.NewRegistry()
+	var traceBuf lockedBuffer
+	var tick int64
+	tracer := obs.NewTracer(&traceBuf, func() time.Time {
+		return time.UnixMicro(1_754_640_000_000_000 + atomic.AddInt64(&tick, 100))
+	})
+	c, ts := startCoordinator(t, CoordConfig{
+		Cache:   farmd.NewMemCache(0),
+		Workers: 3,
+		Metrics: reg,
+		Trace:   tracer,
+	})
+	startWorker(t, c, farmd.Config{Workers: 2})
+	startWorker(t, c, farmd.Config{Workers: 2})
+
+	gotText, gotJSON := submitRender(t, ts.URL, smallMatrix(), farmd.StreamOptions{})
+	if gotText != wantText {
+		t.Fatalf("instrumented distributed text differs from local run:\n--- distributed\n%s--- local\n%s", gotText, wantText)
+	}
+	if gotJSON != wantJSON {
+		t.Fatal("instrumented distributed JSON differs from local run")
+	}
+	if got := c.Dispatcher().Stats().Leases; got == 0 {
+		t.Fatal("no leases executed: the campaign never left the coordinator")
+	}
+
+	// GET /metrics serves the Prometheus text exposition with the fabric
+	// and coordinator families populated.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		`druzhba_fabric_lease_latency_seconds_count{worker="`,
+		`druzhba_fabric_lease_attempts_total{`,
+		"druzhba_coord_rows_total",
+		"druzhba_coord_campaigns_total 1",
+		"druzhba_campaign_shards_total{",
+		"druzhba_fabric_workers_alive 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /v1/stats summarizes each worker's lease latency histogram.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats CoordStats
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.LeaseLatency) != 2 {
+		t.Fatalf("lease_latency has %d workers, want 2: %+v", len(stats.LeaseLatency), stats.LeaseLatency)
+	}
+	var leases uint64
+	for worker, sum := range stats.LeaseLatency {
+		leases += sum.Count
+		if sum.Count == 0 {
+			t.Errorf("worker %s: lease latency count 0", worker)
+		}
+		if sum.P50MS < 0 || sum.P50MS > sum.P99MS {
+			t.Errorf("worker %s: quantiles out of order: p50=%v p99=%v", worker, sum.P50MS, sum.P99MS)
+		}
+	}
+	if got := uint64(c.Dispatcher().Stats().Leases); leases != got {
+		t.Fatalf("lease_latency counts sum to %d, dispatcher executed %d", leases, got)
+	}
+	if stats.Poison == nil || len(stats.Poison) != 0 {
+		t.Fatalf("clean run has poison forensics: %+v", stats.Poison)
+	}
+
+	// The trace journal captured the lease lifecycle as valid NDJSON.
+	var leaseEvents int
+	for _, line := range strings.Split(strings.TrimSuffix(traceBuf.String(), "\n"), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev["scope"] == "fabric" && ev["event"] == "lease" {
+			leaseEvents++
+		}
+	}
+	if leaseEvents == 0 {
+		t.Fatal("trace journal has no fabric lease events")
+	}
+}
+
+// TestCollectFleetTracksRegistry pins the scrape-time fleet gauges:
+// series follow the registry's live snapshot, and departed workers'
+// staleness series disappear instead of lingering.
+func TestCollectFleetTracksRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	fleet := NewRegistry(50 * time.Millisecond)
+	m := NewMetrics(reg)
+	reg.OnCollect(m.CollectFleet(fleet))
+
+	fleet.Register("http://w1:1")
+	fleet.Register("http://w2:2")
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "druzhba_fabric_workers_alive 2") {
+		t.Fatalf("scrape missing alive=2:\n%s", out)
+	}
+	if !strings.Contains(out, `druzhba_fabric_worker_heartbeat_staleness_seconds{worker="http://w1:1"}`) {
+		t.Fatalf("scrape missing w1 staleness series:\n%s", out)
+	}
+
+	time.Sleep(80 * time.Millisecond) // both workers expire past the TTL
+	buf.Reset()
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "druzhba_fabric_workers_alive 0") {
+		t.Fatalf("scrape after TTL missing alive=0:\n%s", buf.String())
+	}
+}

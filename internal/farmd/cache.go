@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"druzhba/internal/campaign"
+	"druzhba/internal/obs"
 )
 
 // MemCache is a bounded in-memory LRU campaign.ShardCache: the hot tier of
@@ -21,6 +22,8 @@ type MemCache struct {
 	cap   int
 	order *list.List // front = most recently used; values are *memEntry
 	items map[string]*list.Element
+
+	evictions *obs.Counter // nil = uncounted
 }
 
 type memEntry struct {
@@ -67,7 +70,16 @@ func (c *MemCache) Put(key string, res *campaign.ShardResult) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*memEntry).key)
+		c.evictions.Inc()
 	}
+}
+
+// SetEvictionCounter wires the tier's eviction counter (observability
+// only; nil disables counting).
+func (c *MemCache) SetEvictionCounter(evictions *obs.Counter) {
+	c.mu.Lock()
+	c.evictions = evictions
+	c.mu.Unlock()
 }
 
 // Len returns the number of cached entries.
@@ -113,6 +125,8 @@ type DirCache struct {
 	size  int64
 	order *list.List // front = most recently used; values are *dirEntry
 	items map[string]*list.Element
+
+	evictions, evictedBytes *obs.Counter // nil = uncounted
 }
 
 type dirEntry struct {
@@ -224,7 +238,18 @@ func (c *DirCache) evict() {
 		c.size -= ent.size
 		c.order.Remove(oldest)
 		delete(c.items, ent.key)
+		c.evictions.Inc()
+		c.evictedBytes.Add(float64(ent.size))
 	}
+}
+
+// SetEvictionCounters wires the tier's eviction count and byte counters
+// (observability only; nil disables counting).
+func (c *DirCache) SetEvictionCounters(evictions, evictedBytes *obs.Counter) {
+	c.mu.Lock()
+	c.evictions = evictions
+	c.evictedBytes = evictedBytes
+	c.mu.Unlock()
 }
 
 // Len returns the number of tracked entries (bounded caches only).

@@ -14,6 +14,7 @@ import (
 
 	"druzhba/internal/campaign"
 	"druzhba/internal/drmt"
+	"druzhba/internal/obs"
 	"druzhba/internal/spec"
 )
 
@@ -56,6 +57,26 @@ type Config struct {
 	// /v1/benchmarks, /v1/stats) stay open for load balancers and
 	// monitoring.
 	AuthToken string
+
+	// Metrics is the registry GET /metrics serves; the server registers
+	// its lease and campaign instruments on it (nil = a fresh private
+	// registry, so /metrics always works). Observability only: metrics
+	// never feed results.
+	Metrics *obs.Registry
+
+	// Trace journals campaign/lease lifecycle events as NDJSON (nil =
+	// no tracing).
+	Trace *obs.Tracer
+
+	// Now is the server's clock seam for lease-duration observations;
+	// nil means time.Now. Timing read through it only ever feeds
+	// metrics, never results.
+	Now func() time.Time
+
+	// RemoteCounts, when non-nil, reports the remote cache tier's
+	// cumulative hit/miss counts for /v1/stats (dfarmd wires the
+	// instrumented remote tier's Counts here).
+	RemoteCounts func() (hits, misses int64)
 }
 
 // rowTimeout resolves the configured row-write deadline.
@@ -71,12 +92,18 @@ func (c *Config) rowTimeout() time.Duration {
 }
 
 // Stats is the server's cumulative serving state, exposed on /v1/stats.
+// LeaseErrors and the remote-cache pair are additive extensions — existing
+// consumers of the original counters are unaffected.
 type Stats struct {
 	Campaigns   int64 `json:"campaigns"`    // campaigns completed
 	Jobs        int64 `json:"jobs"`         // job rows streamed
 	Leases      int64 `json:"leases"`       // shard leases executed
 	CacheHits   int64 `json:"cache_hits"`   // shards replayed from cache
 	CacheMisses int64 `json:"cache_misses"` // shards executed with caching on
+
+	LeaseErrors  int64 `json:"lease_errors"`        // leases whose shard errored
+	RemoteHits   int64 `json:"remote_cache_hits"`   // remote-tier cache hits
+	RemoteMisses int64 `json:"remote_cache_misses"` // remote-tier cache misses
 }
 
 // Server is the dfarmd HTTP service: POST /v1/campaigns streams campaign
@@ -91,6 +118,13 @@ type Server struct {
 	mux       *http.ServeMux
 	instances *instanceCache
 	stats     Stats // updated atomically
+
+	// Observability: cm instruments engine runs; the rest are the
+	// server's own lease/campaign counters on cfg.Metrics.
+	cm                    *campaign.Metrics
+	mCampaigns, mJobs     *obs.Counter
+	mLeases, mLeaseErrors *obs.Counter
+	mLeaseSeconds         *obs.Histogram
 }
 
 // NewServer builds a campaign server over cfg.
@@ -102,17 +136,31 @@ func NewServer(cfg Config) *Server {
 	if leaseSlots <= 0 {
 		leaseSlots = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now //dvet:walltime-ok the one approved default for the server's clock seam
+	}
 	s := &Server{
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		leaseSem:  make(chan struct{}, leaseSlots),
 		mux:       http.NewServeMux(),
 		instances: newInstanceCache(16),
+
+		cm:            campaign.NewMetrics(cfg.Metrics),
+		mCampaigns:    cfg.Metrics.Counter("druzhba_farmd_campaigns_total", "campaigns run to completion"),
+		mJobs:         cfg.Metrics.Counter("druzhba_farmd_jobs_total", "job rows streamed"),
+		mLeases:       cfg.Metrics.Counter("druzhba_farmd_leases_total", "shard leases executed"),
+		mLeaseErrors:  cfg.Metrics.Counter("druzhba_farmd_lease_errors_total", "leases whose shard errored"),
+		mLeaseSeconds: cfg.Metrics.Histogram("druzhba_farmd_lease_seconds", "shard lease service time, cache probe included", nil),
 	}
 	s.mux.HandleFunc("POST /v1/campaigns", s.auth(s.handleCampaigns))
 	s.mux.HandleFunc("POST /v1/leases", s.auth(s.handleLease))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -147,13 +195,18 @@ func CheckBearer(r *http.Request, token string) bool {
 
 // Stats returns a snapshot of the cumulative serving counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Campaigns:   atomic.LoadInt64(&s.stats.Campaigns),
 		Jobs:        atomic.LoadInt64(&s.stats.Jobs),
 		Leases:      atomic.LoadInt64(&s.stats.Leases),
 		CacheHits:   atomic.LoadInt64(&s.stats.CacheHits),
 		CacheMisses: atomic.LoadInt64(&s.stats.CacheMisses),
+		LeaseErrors: atomic.LoadInt64(&s.stats.LeaseErrors),
 	}
+	if s.cfg.RemoteCounts != nil {
+		st.RemoteHits, st.RemoteMisses = s.cfg.RemoteCounts()
+	}
+	return st
 }
 
 // httpError writes a JSON error body with the given status.
@@ -235,8 +288,12 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		FailFast:           req.FailFast,
 		JobTimeout:         timeout,
 		Cache:              s.cfg.Cache,
+		Metrics:            s.cm,
+		Trace:              s.cfg.Trace,
+		Now:                s.cfg.Now,
 		OnJobReport: func(jr campaign.JobReport) {
 			atomic.AddInt64(&s.stats.Jobs, 1)
+			s.mJobs.Inc()
 			writeRow(Row{Job: &jr})
 		},
 	}
@@ -246,6 +303,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	atomic.AddInt64(&s.stats.Campaigns, 1)
+	s.mCampaigns.Inc()
 	if rep.Cache != nil {
 		atomic.AddInt64(&s.stats.CacheHits, rep.Cache.Hits)
 		atomic.AddInt64(&s.stats.CacheMisses, rep.Cache.Misses)
@@ -298,8 +356,22 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	start := s.cfg.Now()
 	writeResult := func(res *campaign.ShardResult) {
 		atomic.AddInt64(&s.stats.Leases, 1)
+		s.mLeases.Inc()
+		durSec := s.cfg.Now().Sub(start).Seconds()
+		s.mLeaseSeconds.Observe(durSec)
+		errored := res != nil && res.Err != nil
+		if errored {
+			atomic.AddInt64(&s.stats.LeaseErrors, 1)
+			s.mLeaseErrors.Inc()
+		}
+		s.cfg.Trace.Event("lease", "served",
+			obs.KV{K: "key", V: lease.Key},
+			obs.KV{K: "n", V: lease.N},
+			obs.KV{K: "errored", V: errored},
+			obs.KV{K: "dur_us", V: int64(durSec * 1e6)})
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(WireResult(res)) //nolint:errcheck // terminal write
 	}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof mounts net/http/pprof on its own listener at addr and
+// serves it in the background, returning the bound address. The
+// profiler is never attached to a serving mux: it exposes heap and goroutine
+// internals, so the -pprof flag binds it to a separate (typically
+// loopback) listener that fleet auth and routing never reach. Pass an
+// explicit port 0 address (e.g. "127.0.0.1:0") to let the kernel pick.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // diagnostics listener lives until process exit
+	return ln.Addr().String(), nil
+}

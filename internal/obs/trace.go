@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// KV is one ordered trace attribute. Attributes are a slice, not a map,
+// so journal lines render keys in the order call sites wrote them —
+// no map iteration anywhere near the determinism-critical packages.
+type KV struct {
+	K string
+	V any
+}
+
+// Tracer journals span events as NDJSON, one object per line:
+//
+//	{"ts_us":1754640000000000,"scope":"fabric","event":"lease","job":"...","dur_us":1234}
+//
+// It is the -trace flag's backend: campaign, job, shard and lease
+// lifecycle events (plus cache-tier probes and SAT solve cells, which
+// are one-cell shards) land here at shard granularity — never
+// per-packet, so tracing cannot move a hot-path budget. Writes are
+// mutex-serialized and best-effort: a failed write drops the line, it
+// never fails the campaign. A nil *Tracer drops everything, so call
+// sites need no enabled-checks.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+	buf bytes.Buffer
+}
+
+// NewTracer journals events to w, timestamping through now (nil = wall
+// clock). Timestamps are diagnostic metadata only; nothing derived from
+// them reaches report content.
+func NewTracer(w io.Writer, now func() time.Time) *Tracer {
+	if w == nil {
+		return nil
+	}
+	if now == nil {
+		now = time.Now //dvet:walltime-ok the approved default for the tracer's injected clock seam
+	}
+	return &Tracer{w: w, now: now}
+}
+
+// Event journals one instant event in the given scope.
+func (t *Tracer) Event(scope, event string, attrs ...KV) {
+	if t == nil {
+		return
+	}
+	t.emit(scope, event, -1, attrs)
+}
+
+// Span is an in-progress timed operation; End journals it.
+type Span struct {
+	t     *Tracer
+	scope string
+	event string
+	start time.Time
+}
+
+// Begin starts a span; the single journal line is written by End, with
+// the span's duration attached. A nil tracer returns an inert span.
+func (t *Tracer) Begin(scope, event string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, scope: scope, event: event, start: t.now()}
+}
+
+// End journals the span with its duration in microseconds.
+func (s Span) End(attrs ...KV) {
+	if s.t == nil {
+		return
+	}
+	s.t.emit(s.scope, s.event, s.t.now().Sub(s.start).Microseconds(), attrs)
+}
+
+// emit serializes one NDJSON line under the tracer's lock, reusing its
+// buffer across events.
+func (t *Tracer) emit(scope, event string, durUS int64, attrs []KV) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buf
+	b.Reset()
+	b.WriteString(`{"ts_us":`)
+	b.WriteString(strconv.FormatInt(t.now().UnixMicro(), 10))
+	b.WriteString(`,"scope":`)
+	t.writeJSON(scope)
+	b.WriteString(`,"event":`)
+	t.writeJSON(event)
+	if durUS >= 0 {
+		b.WriteString(`,"dur_us":`)
+		b.WriteString(strconv.FormatInt(durUS, 10))
+	}
+	for _, kv := range attrs {
+		b.WriteByte(',')
+		t.writeJSON(kv.K)
+		b.WriteByte(':')
+		t.writeJSON(kv.V)
+	}
+	b.WriteString("}\n")
+	t.w.Write(b.Bytes()) //nolint:errcheck // diagnostics are best-effort
+}
+
+// writeJSON appends v's JSON encoding to the buffer; an unencodable
+// value renders as a quoted error string rather than corrupting the
+// line.
+func (t *Tracer) writeJSON(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(strconv.Quote("!" + err.Error()))
+	}
+	t.buf.Write(data)
+}

@@ -7,6 +7,7 @@ import (
 
 	"druzhba/internal/core"
 	"druzhba/internal/drmt"
+	"druzhba/internal/obs"
 	"druzhba/internal/phv"
 	"druzhba/internal/sim"
 	"druzhba/internal/spec"
@@ -170,6 +171,26 @@ var runners = map[string]func(t *testing.T) float64{
 				panic(err)
 			}
 		})
+	},
+	"internal/obs.Counter.Inc": func(t *testing.T) float64 {
+		c := obs.NewRegistry().Counter("gate_counter_inc_total", "gate")
+		c.Inc()
+		return testing.AllocsPerRun(100, func() { c.Inc() })
+	},
+	"internal/obs.Counter.Add": func(t *testing.T) float64 {
+		c := obs.NewRegistry().Counter("gate_counter_add_total", "gate")
+		c.Add(0.5)
+		return testing.AllocsPerRun(100, func() { c.Add(0.5) })
+	},
+	"internal/obs.Gauge.Set": func(t *testing.T) float64 {
+		g := obs.NewRegistry().Gauge("gate_gauge", "gate")
+		g.Set(1)
+		return testing.AllocsPerRun(100, func() { g.Set(42) })
+	},
+	"internal/obs.Histogram.Observe": func(t *testing.T) float64 {
+		h := obs.NewRegistry().Histogram("gate_hist_seconds", "gate", nil)
+		h.Observe(0.01)
+		return testing.AllocsPerRun(100, func() { h.Observe(0.01) })
 	},
 	"internal/drmt.Machine.ProcessBatch": func(t *testing.T) float64 {
 		_, tabM, gen, buf := benchMachines(t)

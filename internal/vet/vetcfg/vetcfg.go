@@ -16,6 +16,7 @@ var determinism = []string{
 	"druzhba/internal/campaign",
 	"druzhba/internal/fabric",
 	"druzhba/internal/farmd",
+	"druzhba/internal/obs",
 	"druzhba/internal/sat",
 	"druzhba/internal/verify",
 	"druzhba/internal/machinecode",
@@ -33,6 +34,7 @@ var wallclock = []string{
 	"druzhba/internal/campaign",
 	"druzhba/internal/fabric",
 	"druzhba/internal/farmd",
+	"druzhba/internal/obs",
 	"druzhba/internal/sat",
 	"druzhba/internal/verify",
 	"druzhba/internal/machinecode",
